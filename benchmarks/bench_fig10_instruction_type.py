@@ -1,0 +1,19 @@
+"""Regenerates Figure 10: on-chip vs off-chip injected instructions."""
+
+from repro.experiments import fig10_instruction_type
+
+
+def test_fig10_instruction_type(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig10_instruction_type.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(fig10_instruction_type.format(result))
+    curves = result.curves
+    on_chip = next(v for k, v in curves.items() if k.startswith("on-chip"))
+    off_chip = next(v for k, v in curves.items() if k.startswith("off-chip"))
+    # Paper shape: off-chip activity is at least as detectable at every
+    # latency, and both are eventually detected.
+    for (_, tpr_on), (_, tpr_off) in zip(on_chip, off_chip):
+        assert tpr_off >= tpr_on
+    assert max(tpr for _, tpr in on_chip) >= 50.0
+    assert max(tpr for _, tpr in off_chip) >= 99.0

@@ -1,0 +1,19 @@
+"""Regenerates Figure 1: carrier + sidebands of an AM-modulated loop."""
+
+import pytest
+
+from repro.experiments import fig1_spectrum
+
+
+def test_fig1_spectrum(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig1_spectrum.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(fig1_spectrum.format(result))
+    # Sideband geometry: both offsets equal the loop iteration frequency.
+    assert result.left_offset == pytest.approx(
+        result.iteration_freq_hz, rel=0.05
+    )
+    assert result.right_offset == pytest.approx(
+        result.iteration_freq_hz, rel=0.05
+    )

@@ -1,0 +1,15 @@
+"""Regenerates Figure 2: the parametric-test trap vs the K-S test."""
+
+from repro.experiments import fig2_distribution
+
+
+def test_fig2_distribution(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig2_distribution.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(fig2_distribution.format(result))
+    # The paper's point: the parametric test cannot avoid false negatives
+    # for this distribution; the K-S test does far better at the same
+    # group size, without extra false positives.
+    assert result.parametric_fn > result.ks_fn + 20.0
+    assert result.ks_fp <= result.parametric_fp + 5.0

@@ -1,0 +1,17 @@
+"""Regenerates Figure 3: group-size selection for three loop shapes."""
+
+from repro.experiments import fig3_buffer_size
+
+
+def test_fig3_buffer_size(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig3_buffer_size.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(fig3_buffer_size.format(result))
+    # Paper shape: the sharp-peak loop settles at the smallest n; the
+    # diffuse loop's false-rejection rate does not converge to zero.
+    assert result.selected_n["sharp peak"] <= result.selected_n["several peaks"]
+    sharp_rates = [rate for _, rate in result.curves["sharp peak"]]
+    diffuse_rates = [rate for _, rate in result.curves["diffuse peaks"]]
+    assert max(sharp_rates) <= 1.0
+    assert max(diffuse_rates) > 1.0

@@ -1,0 +1,12 @@
+"""Regenerates Figure 4: per-region latency, in-order vs out-of-order."""
+
+from repro.experiments import fig4_inorder_ooo
+
+
+def test_fig4_inorder_ooo(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig4_inorder_ooo.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(fig4_inorder_ooo.format(result))
+    # Paper finding: OOO cores need more detection latency on average.
+    assert result.mean_latency("ooo") > result.mean_latency("inorder")

@@ -1,0 +1,21 @@
+"""Regenerates Figure 5: false-negative rate vs contamination rate."""
+
+import numpy as np
+
+from repro.experiments import contamination, fig5_contamination
+
+
+def test_fig5_contamination(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig5_contamination.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(contamination.format_fig5(result))
+    # Paper shape: detection degrades (FN rises) as contamination falls.
+    # Compare the mean FN of the lowest three rates vs the highest three,
+    # across benchmarks.
+    low, high = [], []
+    for points in result.false_negatives.values():
+        ordered = sorted(points)
+        low.extend(fn for _, fn in ordered[:3])
+        high.extend(fn for _, fn in ordered[-3:])
+    assert np.mean(low) > np.mean(high)

@@ -1,0 +1,24 @@
+"""Regenerates Figure 6: TPR vs latency for 2-8 injected instructions."""
+
+import numpy as np
+
+from repro.experiments import fig6_injection_size
+
+
+def test_fig6_injection_size(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig6_injection_size.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(fig6_injection_size.format(result))
+    # Paper shape: every injection size reaches high TPR at SOME latency,
+    # and larger injections never need more latency than smaller ones to
+    # first reach full TPR.
+    for kind, by_size in result.curves.items():
+        for size, points in by_size.items():
+            best = max(tpr for _, tpr in points)
+            assert best >= 50.0, f"{kind}/{size}: best TPR {best}"
+        # 8-instruction injections at least match 2-instruction TPR at the
+        # smallest latency.
+        first_small = by_size[2][0][1]
+        first_large = by_size[8][0][1]
+        assert first_large >= first_small

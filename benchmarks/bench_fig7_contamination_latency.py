@@ -1,0 +1,14 @@
+"""Regenerates Figure 7: detection latency vs contamination rate."""
+
+from repro.experiments import contamination, fig7_contamination_latency
+
+
+def test_fig7_contamination_latency(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig7_contamination_latency.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(contamination.format_fig7(result))
+    # All injections at full contamination must be detected.
+    for name, points in result.latencies.items():
+        full = [lat for rate, lat in points if rate == 100.0]
+        assert full and full[0] is not None, f"{name}: undetected at 100%"

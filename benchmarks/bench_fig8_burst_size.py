@@ -1,0 +1,13 @@
+"""Regenerates Figure 8: TPR vs latency for bursts outside loops."""
+
+from repro.experiments import fig8_burst_size
+
+
+def test_fig8_burst_size(benchmark, scale, show):
+    result = benchmark.pedantic(
+        fig8_burst_size.run, args=(scale,), rounds=1, iterations=1
+    )
+    show(fig8_burst_size.format(result))
+    # Every burst size (100k-500k instructions) must be detectable.
+    for size, points in result.curves.items():
+        assert max(tpr for _, tpr in points) >= 50.0, f"burst {size}"

@@ -1,0 +1,66 @@
+"""Performance micro-benchmarks of the pipeline's hot primitives.
+
+These are conventional pytest-benchmark timings (many rounds) for the
+code the experiment harness leans on: the composition engine, the STFT,
+peak extraction, the K-S test, and a full monitoring pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import CoreConfig
+from repro.arch.simulator import Simulator
+from repro.core.model import EddieConfig
+from repro.core.peaks import peak_matrix
+from repro.core.stats.ks import ks_2samp, ks_statistic
+from repro.core.stft import stft
+from repro.em.modulation import am_modulate
+from repro.programs.mibench import bitcount
+from repro.programs.workloads import sharp_loop_program
+from repro.types import Signal
+
+
+@pytest.fixture(scope="module")
+def power_trace():
+    core = CoreConfig.iot_inorder(clock_hz=1e8)
+    return Simulator(sharp_loop_program(trips=20000), core).run(seed=0).power
+
+
+def test_simulate_bitcount_run(benchmark):
+    core = CoreConfig.iot_inorder(clock_hz=1e8)
+    simulator = Simulator(bitcount(), core)
+    simulator.run(seed=0)  # warm the schedule caches
+
+    seeds = iter(range(1, 10_000))
+    benchmark(lambda: simulator.run(seed=next(seeds)))
+
+
+def test_stft_throughput(benchmark, power_trace):
+    benchmark(stft, power_trace, 512, 0.5)
+
+
+def test_am_modulation(benchmark, power_trace):
+    benchmark(am_modulate, power_trace)
+
+
+def test_peak_extraction(benchmark, power_trace):
+    spectra = stft(power_trace, 512, 0.5)
+    benchmark(peak_matrix, spectra)
+
+
+def test_ks_two_sample(benchmark):
+    rng = np.random.default_rng(0)
+    reference = np.sort(rng.normal(0, 1, 1000))
+    monitored = rng.normal(0.1, 1, 64)
+    benchmark(ks_statistic, reference, monitored)
+
+
+def test_full_monitor_pass(benchmark):
+    from repro.core.detector import Eddie
+
+    core = CoreConfig.iot_inorder(clock_hz=1e8)
+    detector = Eddie().train(
+        sharp_loop_program(trips=20000), core=core, runs=4, seed=0, source="em"
+    )
+    trace = detector.source.capture(seed=50)
+    benchmark(lambda: detector.monitor_trace(trace))

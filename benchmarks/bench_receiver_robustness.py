@@ -1,0 +1,101 @@
+"""Robustness to receiver quality: the paper's low-cost-SDR claim.
+
+Section 5.1: EDDIE's results come from an expensive oscilloscope, but the
+authors "confirm that EDDIE can work efficiently on such lower-cost
+setups" (a <$800 USRP B200-mini) and envision a <$100 custom receiver.
+
+This bench sweeps the receiver from lab-grade to cheap-SDR-grade --
+dropping SNR, adding an 8-bit ADC, DC offset, IQ imbalance, and LO drift
+-- and reports EDDIE's detection and false positives at each grade.
+Expected shape: detection of the standard 8-instruction loop injection
+survives all grades; false positives grow only modestly.
+"""
+
+import numpy as np
+
+from repro.arch.config import CoreConfig
+from repro.core.detector import Eddie
+from repro.core.metrics import aggregate_metrics
+from repro.em.channel import ChannelModel, Interferer
+from repro.em.receiver import Receiver
+from repro.em.scenario import EmScenario
+from repro.experiments.report import format_table
+from repro.programs.mibench import BENCHMARKS, INJECTION_LOOPS
+from repro.programs.workloads import injection_mix
+
+_GRADES = {
+    "lab scope (30 dB, ideal)": dict(
+        channel=ChannelModel(snr_db=30.0), receiver=Receiver()
+    ),
+    "USRP-class (20 dB, 12-bit)": dict(
+        channel=ChannelModel(snr_db=20.0),
+        receiver=Receiver(adc_bits=12),
+    ),
+    "cheap SDR (14 dB, 8-bit, impaired)": dict(
+        channel=ChannelModel(
+            snr_db=14.0, interferers=(Interferer(freq_hz=1.7e6, amplitude=0.08),)
+        ),
+        receiver=Receiver(
+            adc_bits=8, dc_offset=0.05 + 0.03j, iq_imbalance_db=0.5,
+            lo_drift_hz_per_s=2e5,
+        ),
+    ),
+}
+
+_PROGRAM = "sha"
+
+
+def test_receiver_robustness(benchmark, scale, show):
+    def run():
+        core = CoreConfig.iot_inorder(clock_hz=scale.clock_hz)
+        results = {}
+        for grade, parts in _GRADES.items():
+            scenario = EmScenario.build(
+                BENCHMARKS[_PROGRAM](), core=core,
+                channel=parts["channel"], receiver=parts["receiver"],
+            )
+            detector = Eddie().train(
+                BENCHMARKS[_PROGRAM](), scenario=scenario,
+                runs=scale.train_runs, seed=scale.train_seed(),
+            )
+            clean = aggregate_metrics([
+                detector.monitor_program(seed=scale.monitor_seed(k)).metrics
+                for k in range(scale.clean_runs)
+            ])
+            scenario.simulator.set_loop_injection(
+                INJECTION_LOOPS[_PROGRAM], injection_mix(4, 4), 1.0
+            )
+            injected = aggregate_metrics([
+                detector.monitor_program(seed=scale.injected_seed(k)).metrics
+                for k in range(scale.injected_runs)
+            ])
+            scenario.simulator.clear_injections()
+            results[grade] = {
+                "detected": injected.detected,
+                "latency_ms": (
+                    injected.detection_latency * 1e3
+                    if injected.detection_latency is not None else None
+                ),
+                "fp": clean.false_positive_rate,
+                "coverage": clean.coverage,
+            }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [grade, "yes" if r["detected"] else "NO", r["latency_ms"],
+         r["fp"], r["coverage"]]
+        for grade, r in results.items()
+    ]
+    show(
+        format_table(
+            "Receiver-quality robustness (sha, 8-instruction loop injection)",
+            ["Receiver grade", "Detected", "Latency (ms)", "False pos (%)",
+             "Coverage (%)"],
+            rows,
+        )
+    )
+    # The paper's claim: detection survives the cheap setup.
+    assert all(r["detected"] for r in results.values())
+    fps = [r["fp"] for r in results.values()]
+    assert max(fps) < 15.0

@@ -1,0 +1,14 @@
+"""Regenerates Table 1: EDDIE on EM emanations of the IoT device."""
+
+from repro.experiments import table1_iot
+
+
+def test_table1_iot(benchmark, scale, show):
+    result = benchmark.pedantic(table1_iot.run, args=(scale,), rounds=1, iterations=1)
+    show(table1_iot.format(result))
+    # Paper shape: every benchmark detects both injection kinds, average
+    # accuracy ~95%, false positives in the low percents.
+    assert all(r.detected_loop for r in result.rows)
+    assert all(r.detected_burst for r in result.rows)
+    assert result.mean_accuracy > 85.0
+    assert result.mean_false_positives < 10.0

@@ -1,0 +1,13 @@
+"""Regenerates Table 2: EDDIE on the simulator-generated power signal."""
+
+from repro.experiments import table2_sim
+
+
+def test_table2_sim(benchmark, scale, show):
+    result = benchmark.pedantic(table2_sim.run, args=(scale,), rounds=1, iterations=1)
+    show(table2_sim.format(result))
+    assert all(r.detected_loop for r in result.rows)
+    assert all(r.detected_burst for r in result.rows)
+    # Noise-free simulation: false positives at or below the EM setup's.
+    assert result.mean_false_positives < 10.0
+    assert result.mean_accuracy > 85.0

@@ -1,0 +1,45 @@
+"""Shared fixtures for the experiment benchmark harness.
+
+Each ``bench_*`` / ``test_*`` module regenerates one table or figure of
+the paper at a configurable scale and prints it in the paper's shape.
+
+Scale selection: set ``REPRO_SCALE`` to ``quick`` (default), ``default``,
+or ``paper``. The quick scale finishes the whole suite in a few minutes;
+``paper`` records the paper-faithful parameters (hours).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import Scale
+
+_SCALES = {
+    "quick": Scale.quick,
+    "default": Scale.default,
+    "paper": Scale.paper,
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    name = os.environ.get("REPRO_SCALE", "quick")
+    try:
+        return _SCALES[name]()
+    except KeyError:
+        raise pytest.UsageError(
+            f"REPRO_SCALE={name!r}; expected one of {sorted(_SCALES)}"
+        )
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print experiment output to the live terminal despite capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+            print()
+
+    return _show

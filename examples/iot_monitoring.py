@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""IoT security monitoring: the paper's headline scenario, end to end.
+
+Models a medical/industrial embedded device (the paper's motivating use
+case) running a fixed firmware workload, monitored contactlessly through
+its EM emanations:
+
+- the *device*: a Cortex-A8-like in-order core running the susan image
+  benchmark, emanating an AM-modulated clock observed through a noisy
+  near-field channel with a narrowband interferer (a nearby radio);
+- the *monitor*: EDDIE trained once, then auditing runs;
+- the *attacks*: a shellcode burst between loops (~476k instructions) and
+  a stealthy 8-instruction loop-body implant at 30% contamination.
+
+Run:  python examples/iot_monitoring.py
+"""
+
+import numpy as np
+
+from repro import Eddie
+from repro.arch.config import CoreConfig
+from repro.em.channel import ChannelModel, Interferer
+from repro.em.receiver import Receiver
+from repro.em.scenario import EmScenario
+from repro.experiments.tables_common import shellcode_burst
+from repro.programs.mibench import susan
+from repro.programs.workloads import injection_mix
+
+
+def main() -> None:
+    core = CoreConfig.iot_inorder(clock_hz=1e8)
+    # A harsher channel than the default: 20 dB SNR, an interfering tone,
+    # and an 8-bit SDR front end.
+    scenario = EmScenario.build(
+        susan(),
+        core=core,
+        channel=ChannelModel(
+            snr_db=20.0,
+            interferers=(Interferer(freq_hz=1.9e6, amplitude=0.05),),
+        ),
+        receiver=Receiver(adc_bits=8),
+    )
+
+    print("training on 10 instrumented, injection-free runs...")
+    detector = Eddie().train(susan(), scenario=scenario, runs=10, seed=0)
+
+    print("\n-- audit 1: three clean runs --")
+    fps, coverages = [], []
+    for seed in (200, 201, 202):
+        report = detector.monitor_program(seed=seed)
+        fps.append(report.metrics.false_positive_rate)
+        coverages.append(report.metrics.coverage)
+        print(f"  seed {seed}: reports={len(report.result.reports)}")
+    print(f"  false positives {np.mean(fps):.2f}%, coverage {np.mean(coverages):.1f}%")
+
+    print("\n-- audit 2: shellcode burst between loop regions --")
+    scenario.simulator.add_burst(shellcode_burst("loop:smooth"))
+    report = detector.monitor_program(seed=300)
+    scenario.simulator.clear_injections()
+    _describe(report)
+
+    print("\n-- audit 3: stealthy loop implant (30% of iterations) --")
+    scenario.simulator.set_loop_injection(
+        "smooth.inner", injection_mix(4, 4), contamination=0.3
+    )
+    report = detector.monitor_program(seed=301)
+    scenario.simulator.clear_injections()
+    _describe(report)
+
+
+def _describe(report) -> None:
+    metrics = report.metrics
+    if metrics.detected:
+        print(
+            f"  DETECTED after {metrics.detection_latency * 1e3:.2f} ms "
+            f"({len(report.result.reports)} reports; first anomaly in "
+            f"region {report.result.reports[0].region!r})"
+        )
+    else:
+        print("  not detected")
+
+
+if __name__ == "__main__":
+    main()

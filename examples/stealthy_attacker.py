@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The stealthy attacker's trade-off (paper Sections 5.4-5.5).
+
+An attacker who controls a loop body can throttle how often their implant
+runs (the contamination rate) and how much it does per iteration (the
+injection size). This example sweeps both knobs against a trained
+detector and prints the resulting detectability map -- the quantified
+version of the paper's conclusion that evading EDDIE requires the
+injected code to use a tiny share of the machine.
+
+Run:  python examples/stealthy_attacker.py
+"""
+
+import numpy as np
+
+from repro import Eddie
+from repro.arch.config import CoreConfig
+from repro.core.metrics import rejection_false_negative_rate
+from repro.programs.workloads import injection_mix, multi_peak_loop_program
+
+
+def flag_rate(detector, seed: int) -> float:
+    """Share of injection-containing STS groups the K-S test flagged (%)."""
+    report = detector.monitor_program(seed=seed)
+    trace = report.trace
+    window_s = detector.model.config.window_samples / detector.model.sample_rate
+    fn = rejection_false_negative_rate(
+        report.result, trace.injected_spans, window_s,
+        detector.model.hop_duration,
+    )
+    return 100.0 - fn if fn is not None else 0.0
+
+
+def main() -> None:
+    core = CoreConfig.iot_inorder(clock_hz=1e8)
+    program = multi_peak_loop_program(trips=20000)
+    detector = Eddie().train(program, core=core, runs=8, seed=0, source="em")
+    # A moderate fixed latency budget makes the stealth trade-off visible.
+    detector = detector.with_group_size(48)
+    simulator = detector.source.simulator
+
+    sizes = (2, 4, 8, 16)
+    rates = (0.1, 0.3, 1.0)
+    print("share of injected windows flagged (%), by size x contamination:\n")
+    header = "size\\rate " + "".join(f"{rate:>8.0%}" for rate in rates)
+    print(header)
+    for size in sizes:
+        payload = injection_mix(size // 2, size - size // 2,
+                                footprint=16 * 1024)
+        cells = []
+        for rate in rates:
+            simulator.set_loop_injection("L", payload, rate)
+            flagged = np.mean([flag_rate(detector, seed)
+                               for seed in (700, 701, 702)])
+            simulator.clear_injections()
+            cells.append(f"{flagged:5.1f}")
+        print(f"{size:>4d} instr" + "".join(f"{c:>8s}" for c in cells))
+
+    print(
+        "\nReading: larger implants and higher duty cycles are flagged on "
+        "nearly every\nwindow; throttling down buys the attacker stealth "
+        "only by shrinking the work\ndone per second toward zero -- the "
+        "paper's conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

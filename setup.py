@@ -1,0 +1,14 @@
+"""Legacy setup shim.
+
+Metadata lives in pyproject.toml; this shim exists for environments
+without the ``wheel`` package (e.g. offline installs), where PEP 517
+editable installs cannot build a wheel. There, use::
+
+    python setup.py develop
+
+as the equivalent of ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

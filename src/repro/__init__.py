@@ -1,0 +1,84 @@
+"""Reproduction of EDDIE: EM-Based Detection of Deviations in Program Execution.
+
+EDDIE (Nazari et al., ISCA 2017) detects code injections by monitoring the
+electromagnetic emanations of a device: loops produce spectral peaks at their
+per-iteration frequency, and deviations of the observed peak distributions
+from per-region training references (via a two-sample Kolmogorov-Smirnov
+test) indicate anomalous execution.
+
+This package implements the full stack needed to reproduce the paper on a
+laptop, with no SDR hardware:
+
+- :mod:`repro.programs` -- a mini program IR plus MiBench-like workloads.
+- :mod:`repro.cfg` -- CFG / dominator / loop analysis and the region-level
+  state machine the paper derives with an LLVM pass.
+- :mod:`repro.arch` -- a SESC-like timing simulator with a WATTCH-style
+  power model producing sampled power traces.
+- :mod:`repro.em` -- the EM emanation channel (AM-modulated clock carrier,
+  noise, receiver front end).
+- :mod:`repro.injection` -- the paper's attack models (loop-body and burst
+  code injection).
+- :mod:`repro.core` -- EDDIE itself: STFT, spectral peak extraction,
+  nonparametric statistics, training, and the monitoring algorithm.
+- :mod:`repro.experiments` -- one harness per table/figure of the paper.
+
+The most convenient entry point is :class:`repro.Eddie`::
+
+    from repro import Eddie
+    from repro.programs.mibench import bitcount
+
+    eddie = Eddie()
+    detector = eddie.train(bitcount(), runs=10, seed=0)
+    report = detector.monitor_program(seed=99)
+"""
+
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    MonitoringError,
+    ReproError,
+    SignalError,
+    SimulationError,
+    TrainingError,
+)
+
+__version__ = "1.0.0"
+
+# Facade classes live in repro.core.detector; import them lazily (PEP 562)
+# so that `import repro` stays cheap and subpackages never cycle through
+# the facade.
+_LAZY_EXPORTS = {
+    "Eddie": "repro.core.detector",
+    "TrainedDetector": "repro.core.detector",
+    "MonitorReport": "repro.core.detector",
+}
+
+__all__ = [
+    "Eddie",
+    "TrainedDetector",
+    "MonitorReport",
+    "ReproError",
+    "AnalysisError",
+    "ConfigurationError",
+    "MonitoringError",
+    "SignalError",
+    "SimulationError",
+    "TrainingError",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,197 @@
+"""Core and memory-hierarchy configurations.
+
+Two presets mirror the paper's setups:
+
+- :meth:`CoreConfig.iot_inorder` -- the A13-OLinuXino's Cortex-A8: 2-issue
+  in-order, 32 kB L1, 256 kB L2 (Section 5.1).
+- :meth:`CoreConfig.sim_ooo` -- the SESC model: 1.8 GHz 4-issue out-of-order
+  with 32 kB L1 and the paper's (unusually large) 64 MB L2, power sampled
+  every 20 cycles (Section 5.3).
+
+The paper's §5.3 sensitivity sweep varies ``kind``, ``issue_width``,
+``pipeline_depth`` and ``rob_size``; :func:`architecture_sweep` enumerates
+the same 51 configurations (3 + 18 in-order/OOO grid split as in the paper:
+in-order {1,2,4}-issue x 2 depths, OOO {1,2,4}-issue x 3 depths x 5 ROBs).
+
+Note on time scale: simulating literal GHz clocks for tens of milliseconds
+is infeasible in pure Python, so experiment profiles may pass a scaled-down
+``clock_hz``. All spectral geometry (peak positions relative to Nyquist,
+window statistics) is invariant under this scaling because every frequency
+in the system derives from the clock. See DESIGN.md D4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheConfig", "MemoryConfig", "CoreConfig", "architecture_sweep"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    size: int
+    assoc: int
+    line_size: int = 64
+    hit_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.assoc <= 0 or self.line_size <= 0:
+            raise ConfigurationError(f"invalid cache geometry: {self}")
+        if self.size % (self.assoc * self.line_size) != 0:
+            raise ConfigurationError(
+                f"cache size {self.size} not divisible by assoc*line "
+                f"({self.assoc}*{self.line_size})"
+            )
+        if self.hit_latency < 1:
+            raise ConfigurationError("hit latency must be >= 1 cycle")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.assoc * self.line_size)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """The cache hierarchy plus DRAM."""
+
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 4, hit_latency=2))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(256 * 1024, 8, hit_latency=12))
+    dram_latency: int = 120
+
+    def __post_init__(self) -> None:
+        if self.l2.size < self.l1.size:
+            raise ConfigurationError("L2 must be at least as large as L1")
+        if self.dram_latency <= self.l2.hit_latency:
+            raise ConfigurationError("DRAM latency must exceed L2 hit latency")
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """A processor core model.
+
+    Attributes:
+        kind: ``'inorder'`` or ``'ooo'``.
+        issue_width: instructions issued per cycle.
+        pipeline_depth: front-end depth; sets the branch mispredict penalty.
+        rob_size: reorder-buffer entries (OOO only; ignored for in-order).
+        clock_hz: core clock. Scaled-down values are legitimate (see module
+            docstring).
+        cycles_per_sample: power-trace decimation (paper: 20).
+        mem: cache hierarchy.
+        name: human-readable label for reports.
+    """
+
+    kind: str = "inorder"
+    issue_width: int = 2
+    pipeline_depth: int = 8
+    rob_size: int = 64
+    clock_hz: float = 1.008e9
+    cycles_per_sample: int = 20
+    mem: MemoryConfig = field(default_factory=MemoryConfig)
+    name: str = "core"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("inorder", "ooo"):
+            raise ConfigurationError(f"unknown core kind {self.kind!r}")
+        if self.issue_width < 1 or self.issue_width > 16:
+            raise ConfigurationError(f"issue width {self.issue_width} out of range")
+        if self.pipeline_depth < 3:
+            raise ConfigurationError("pipeline depth must be >= 3")
+        if self.kind == "ooo" and self.rob_size < self.issue_width:
+            raise ConfigurationError("ROB must hold at least one issue group")
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock must be positive")
+        if self.cycles_per_sample < 1:
+            raise ConfigurationError("cycles_per_sample must be >= 1")
+
+    @property
+    def is_ooo(self) -> bool:
+        return self.kind == "ooo"
+
+    @property
+    def sample_rate(self) -> float:
+        """Power-trace sample rate in samples/second."""
+        return self.clock_hz / self.cycles_per_sample
+
+    @property
+    def mispredict_penalty(self) -> int:
+        """Branch mispredict penalty in cycles (front-end refill)."""
+        return self.pipeline_depth
+
+    def scaled(self, clock_hz: float) -> "CoreConfig":
+        """A copy with a different clock (experiment scaling knob)."""
+        return replace(self, clock_hz=clock_hz)
+
+    # -- the paper's two setups ------------------------------------------------
+
+    @classmethod
+    def iot_inorder(cls, clock_hz: float = 1.008e9) -> "CoreConfig":
+        """The real-IoT setup: Cortex-A8-like 2-issue in-order (Sec. 5.1)."""
+        return cls(
+            kind="inorder",
+            issue_width=2,
+            pipeline_depth=13,
+            clock_hz=clock_hz,
+            mem=MemoryConfig(
+                l1=CacheConfig(32 * 1024, 4, hit_latency=2),
+                l2=CacheConfig(256 * 1024, 8, hit_latency=12),
+            ),
+            name="iot-a8",
+        )
+
+    @classmethod
+    def sim_ooo(cls, clock_hz: float = 1.8e9) -> "CoreConfig":
+        """The SESC setup: 1.8 GHz 4-issue OOO, 32 kB L1, 64 MB L2 (Sec. 5.3)."""
+        return cls(
+            kind="ooo",
+            issue_width=4,
+            pipeline_depth=12,
+            rob_size=128,
+            clock_hz=clock_hz,
+            cycles_per_sample=20,
+            mem=MemoryConfig(
+                l1=CacheConfig(32 * 1024, 4, hit_latency=2),
+                l2=CacheConfig(64 * 1024 * 1024, 16, hit_latency=14),
+            ),
+            name="sesc-ooo",
+        )
+
+
+def architecture_sweep(clock_hz: float = 1.8e9) -> List[CoreConfig]:
+    """The 51 configurations of the paper's §5.3 ANOVA study.
+
+    In-order: 3 issue widths x 2 pipeline depths (6 configs).
+    Out-of-order: 3 issue widths x 3 pipeline depths x 5 ROB sizes (45).
+    """
+    configs: List[CoreConfig] = []
+    for width in (1, 2, 4):
+        for depth in (8, 14):
+            configs.append(
+                CoreConfig(
+                    kind="inorder",
+                    issue_width=width,
+                    pipeline_depth=depth,
+                    clock_hz=clock_hz,
+                    name=f"io-w{width}-d{depth}",
+                )
+            )
+    for width in (1, 2, 4):
+        for depth in (8, 14, 20):
+            for rob in (16, 32, 64, 128, 256):
+                configs.append(
+                    CoreConfig(
+                        kind="ooo",
+                        issue_width=width,
+                        pipeline_depth=depth,
+                        rob_size=rob,
+                        clock_hz=clock_hz,
+                        name=f"ooo-w{width}-d{depth}-r{rob}",
+                    )
+                )
+    assert len(configs) == 51
+    return configs

@@ -1,0 +1,110 @@
+"""WATTCH-style activity-based power model.
+
+Each scheduled instruction contributes front-end energy at its fetch cycle
+and execution energy spread over its latency at its functional unit; every
+cycle carries static power. The absolute unit is arbitrary (EDDIE only sees
+the signal's *shape*); values are relative magnitudes in the spirit of
+WATTCH's per-structure activity energies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.arch.config import CoreConfig
+from repro.arch.pipeline import PathSchedule
+from repro.programs.ir import OpClass
+
+__all__ = ["PowerParams", "PowerModel"]
+
+
+def _default_op_energy() -> Dict[OpClass, float]:
+    return {
+        OpClass.IADD: 0.08,
+        OpClass.LOGIC: 0.07,
+        OpClass.SHIFT: 0.07,
+        OpClass.CMP: 0.06,
+        OpClass.NOP: 0.02,
+        OpClass.IMUL: 0.30,
+        OpClass.IDIV: 0.90,
+        OpClass.FADD: 0.20,
+        OpClass.FMUL: 0.35,
+        OpClass.FDIV: 0.80,
+        OpClass.LOAD: 0.10,   # address generation; cache energy added separately
+        OpClass.STORE: 0.10,
+        OpClass.BRANCH: 0.05,
+        OpClass.CALL: 0.10,
+        OpClass.RET: 0.10,
+        OpClass.SYSCALL: 1.50,
+    }
+
+
+@dataclass(frozen=True)
+class PowerParams:
+    """Per-event energies (arbitrary units) and per-cycle power levels."""
+
+    static_per_cycle: float = 0.10
+    frontend_per_instr: float = 0.05
+    ooo_window_per_instr: float = 0.03
+    stall_extra_per_cycle: float = 0.02
+    l1_access: float = 0.10
+    l2_access: float = 0.45
+    dram_access: float = 2.2
+    op_energy: Dict[OpClass, float] = field(default_factory=_default_op_energy)
+
+
+class PowerModel:
+    """Turns a :class:`PathSchedule` into a per-cycle power waveform."""
+
+    def __init__(self, core: CoreConfig, params: PowerParams = PowerParams()) -> None:
+        self.core = core
+        self.params = params
+
+    @property
+    def stall_power(self) -> float:
+        """Per-cycle power during a stall (miss/mispredict refill)."""
+        return self.params.static_per_cycle + self.params.stall_extra_per_cycle
+
+    @property
+    def idle_power(self) -> float:
+        """Per-cycle power with no instruction activity."""
+        return self.params.static_per_cycle
+
+    def miss_energy(self, to_dram: bool) -> float:
+        """Energy of one cache-miss refill (L2 access, plus DRAM if needed)."""
+        energy = self.params.l2_access
+        if to_dram:
+            energy += self.params.dram_access
+        return energy
+
+    def waveform(self, schedule: PathSchedule) -> np.ndarray:
+        """Per-cycle power of one scheduled path (assuming L1 hits).
+
+        Cache-miss and mispredict energy/stalls are added per dynamic
+        iteration by the composition engine, not here.
+        """
+        params = self.params
+        n_cycles = schedule.cycles
+        power = np.full(n_cycles, params.static_per_cycle)
+        if not schedule.instrs:
+            return power
+
+        per_instr_front = params.frontend_per_instr
+        if self.core.is_ooo:
+            per_instr_front += params.ooo_window_per_instr
+
+        fetch = np.minimum(schedule.fetch, n_cycles - 1)
+        np.add.at(power, fetch, per_instr_front)
+
+        for i, instr in enumerate(schedule.instrs):
+            start = schedule.issue[i]
+            end = schedule.complete[i]
+            total = params.op_energy[instr.op]
+            if instr.op.is_memory:
+                total += params.l1_access
+            span = max(1, end - start)
+            power[start:min(end, n_cycles)] += total / span
+        return power

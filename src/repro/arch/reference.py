@@ -1,0 +1,222 @@
+"""Reference interpreter: slow, direct execution for engine validation.
+
+The fast path (:mod:`repro.arch.engine`) memoizes path schedules and
+samples microarchitectural events from *analytic* models (steady-state
+cache miss rates, stationary mispredict probabilities). This module is the
+independent implementation it is validated against: it walks the program
+block by block, schedules every dynamic block traversal afresh, resolves
+every memory access through the *functional* LRU cache hierarchy with real
+addresses, and drives every conditional branch through a *functional*
+two-bit predictor.
+
+It is O(dynamic instructions) in Python and therefore only suitable for
+small programs — which is exactly its job: tests assert that, on programs
+both can run, the fast engine and this interpreter agree on instruction
+counts exactly and on timing and spectral content within tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.arch.cache import CacheHierarchy
+from repro.arch.branch import TwoBitPredictor
+from repro.arch.config import CoreConfig
+from repro.arch.pipeline import schedule_path
+from repro.arch.power import PowerModel
+from repro.errors import SimulationError
+from repro.programs.ir import (
+    Branch,
+    Halt,
+    Instr,
+    Jump,
+    LoopBack,
+    MemRef,
+    OpClass,
+    Program,
+)
+from repro.types import RegionInterval, RegionTimeline, Signal
+
+__all__ = ["ReferenceResult", "ReferenceInterpreter"]
+
+_MAX_DYNAMIC_INSTRS = 5_000_000
+
+
+@dataclass
+class ReferenceResult:
+    """Output of one reference-interpreted run."""
+
+    power: Signal
+    cycles: int
+    instr_count: int
+    timeline: RegionTimeline
+    l1_miss_rate: float
+    mispredict_rate: float
+
+
+class _StreamWalker:
+    """Generates concrete byte addresses for a MemRef stream.
+
+    On the first touch of a stream its lines are walked once through the
+    hierarchy ("warm-up"): real programs write their data before the hot
+    loops read it, so steady-state behaviour -- which is what the analytic
+    model in :mod:`repro.arch.cache` predicts -- starts with the data
+    resident in whatever levels it fits in.
+    """
+
+    def __init__(self, rng: np.random.Generator, hierarchy: CacheHierarchy) -> None:
+        self._positions: Dict[str, int] = {}
+        self._bases: Dict[str, int] = {}
+        self._next_base = 0
+        self._rng = rng
+        self._hierarchy = hierarchy
+
+    def address(self, ref: MemRef) -> int:
+        base = self._bases.get(ref.stream)
+        if base is None:
+            # Give each stream its own non-overlapping address range and
+            # warm the hierarchy with one pass over it.
+            base = self._next_base
+            self._bases[ref.stream] = base
+            self._next_base += 2 * ref.footprint + (1 << 20)
+            line = self._hierarchy.mem.l1.line_size
+            for addr in range(base, base + ref.footprint, line):
+                self._hierarchy.access(addr)
+        if ref.pattern == "rand":
+            return base + int(self._rng.integers(0, ref.footprint))
+        pos = self._positions.get(ref.stream, 0)
+        self._positions[ref.stream] = (pos + ref.stride) % ref.footprint
+        return base + pos
+
+
+class ReferenceInterpreter:
+    """Direct block-by-block execution of a program on a core model."""
+
+    def __init__(self, program: Program, core: CoreConfig) -> None:
+        self.program = program
+        self.core = core
+        self.power_model = PowerModel(core)
+
+    def run(
+        self,
+        seed: Optional[int] = None,
+        inputs: Optional[Mapping[str, float]] = None,
+    ) -> ReferenceResult:
+        rng = np.random.default_rng(seed)
+        resolved = dict(inputs) if inputs is not None else self.program.sample_input(rng)
+
+        hierarchy = CacheHierarchy(self.core.mem)
+        predictors: Dict[str, TwoBitPredictor] = {}
+        streams = _StreamWalker(rng, hierarchy)
+        loop_counters: Dict[str, int] = {}
+
+        chunks: List[np.ndarray] = []
+        timeline = RegionTimeline()
+        cycle = 0
+        instr_count = 0
+        mem_accesses = 0
+        l1_misses = 0
+        branch_count = 0
+        mispredicts = 0
+
+        block_name = self.program.entry
+        current_region: Optional[str] = None
+        region_start_cycle = 0
+        clock = self.core.clock_hz
+
+        while True:
+            if instr_count > _MAX_DYNAMIC_INSTRS:
+                raise SimulationError(
+                    "reference interpreter budget exceeded "
+                    f"({_MAX_DYNAMIC_INSTRS} dynamic instructions); use the "
+                    "fast engine for programs this large"
+                )
+            block = self.program.block(block_name)
+            term = block.terminator
+            instrs = list(block.instrs)
+            if not isinstance(term, Halt):
+                instrs.append(Instr(OpClass.BRANCH))
+
+            if instrs:
+                schedule = schedule_path(instrs, self.core)
+                waveform = np.array(self.power_model.waveform(schedule))
+                extra_cycles = 0
+                extra_energy = 0.0
+                for instr in block.instrs:
+                    if instr.mem is None:
+                        continue
+                    mem_accesses += 1
+                    access = hierarchy.access(streams.address(instr.mem))
+                    if access.level != "l1":
+                        l1_misses += 1
+                        exposure = 0.45 if self.core.is_ooo else 1.0
+                        extra_cycles += int(
+                            round((access.latency - self.core.mem.l1.hit_latency)
+                                  * exposure)
+                        )
+                        extra_energy += self.power_model.miss_energy(
+                            to_dram=access.level == "dram"
+                        )
+                if extra_cycles > 0:
+                    tail = np.full(extra_cycles, self.power_model.stall_power)
+                    tail[0] += extra_energy
+                    waveform = np.concatenate([waveform, tail])
+
+                instr_count += len(instrs)
+                chunks.append(waveform)
+                cycle += len(waveform)
+
+            # Resolve the terminator (with the functional predictor for
+            # conditional branches).
+            if isinstance(term, Halt):
+                next_block = None
+            elif isinstance(term, Jump):
+                next_block = term.target
+            elif isinstance(term, LoopBack):
+                trips = self.program.resolve_trips(term.trips, resolved)
+                count = loop_counters.get(block_name, 0) + 1
+                if count < trips:
+                    loop_counters[block_name] = count
+                    next_block = term.header
+                else:
+                    loop_counters[block_name] = 0
+                    next_block = term.exit
+            elif isinstance(term, Branch):
+                p_taken = self.program.resolve_prob(term.taken_prob, resolved)
+                taken = bool(rng.random() < p_taken)
+                predictor = predictors.setdefault(block_name, TwoBitPredictor())
+                branch_count += 1
+                if not predictor.update(taken):
+                    mispredicts += 1
+                    penalty = self.core.mispredict_penalty
+                    chunks.append(np.full(penalty, self.power_model.stall_power))
+                    cycle += penalty
+                next_block = term.taken if taken else term.not_taken
+            else:
+                raise SimulationError(f"unhandled terminator {term!r}")
+
+            # Region bookkeeping at loop-header granularity: attribute time
+            # to 'loop:<header>' while inside a LoopBack-counted loop.
+            if next_block is None:
+                break
+            block_name = next_block
+
+        if current_region is None:
+            timeline.append(RegionInterval("run", 0.0, cycle / clock))
+
+        power_cycles = np.concatenate(chunks) if chunks else np.empty(0)
+        cps = self.core.cycles_per_sample
+        n_full = len(power_cycles) // cps
+        samples = power_cycles[: n_full * cps].reshape(n_full, cps).mean(axis=1)
+
+        return ReferenceResult(
+            power=Signal(samples, self.core.sample_rate),
+            cycles=cycle,
+            instr_count=instr_count,
+            timeline=timeline,
+            l1_miss_rate=l1_misses / mem_accesses if mem_accesses else 0.0,
+            mispredict_rate=mispredicts / branch_count if branch_count else 0.0,
+        )

@@ -1,0 +1,39 @@
+"""Static analysis substrate: CFG, dominators, loops, region state machine.
+
+The paper derives a *region-level state machine* from each program with an
+LLVM pass: every top-level loop nest becomes one state ("loop region"),
+every inter-loop code stretch becomes an edge ("inter-loop region"). This
+package reimplements that analysis over :mod:`repro.programs.ir`:
+
+- :mod:`repro.cfg.graph` -- control-flow graph container and traversals,
+- :mod:`repro.cfg.dominators` -- dominator tree (Cooper-Harvey-Kennedy),
+- :mod:`repro.cfg.loops` -- back edges, natural loops, loop-nest forest,
+- :mod:`repro.cfg.regions` -- the region-level state machine itself.
+"""
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.dominators import DominatorTree, compute_dominators
+from repro.cfg.loops import Loop, LoopForest, find_loops
+from repro.cfg.regions import (
+    ENTRY,
+    EXIT,
+    InterLoopRegion,
+    LoopRegion,
+    RegionMachine,
+    build_region_machine,
+)
+
+__all__ = [
+    "ControlFlowGraph",
+    "DominatorTree",
+    "compute_dominators",
+    "Loop",
+    "LoopForest",
+    "find_loops",
+    "RegionMachine",
+    "LoopRegion",
+    "InterLoopRegion",
+    "build_region_machine",
+    "ENTRY",
+    "EXIT",
+]

@@ -1,0 +1,92 @@
+"""Dominator computation (Cooper-Harvey-Kennedy iterative algorithm).
+
+A node D dominates node N if every path from the entry to N passes through
+D. Dominators are the textbook prerequisite for natural-loop detection:
+an edge U -> V is a loop back edge exactly when V dominates U.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.cfg.graph import ControlFlowGraph
+
+__all__ = ["DominatorTree", "compute_dominators"]
+
+
+class DominatorTree:
+    """Immediate-dominator mapping with convenience queries."""
+
+    def __init__(self, idom: Dict[str, Optional[str]], entry: str, rpo_index: Dict[str, int]) -> None:
+        self._idom = idom
+        self.entry = entry
+        self._rpo_index = rpo_index
+
+    def idom(self, node: str) -> Optional[str]:
+        """Immediate dominator of ``node`` (None for the entry)."""
+        return self._idom[node]
+
+    def dominates(self, dom: str, node: str) -> bool:
+        """Whether ``dom`` dominates ``node`` (every node dominates itself)."""
+        current: Optional[str] = node
+        while current is not None:
+            if current == dom:
+                return True
+            current = self._idom[current]
+        return False
+
+    def strictly_dominates(self, dom: str, node: str) -> bool:
+        return dom != node and self.dominates(dom, node)
+
+    def dominators_of(self, node: str) -> List[str]:
+        """All dominators of ``node``, from the node up to the entry."""
+        result = []
+        current: Optional[str] = node
+        while current is not None:
+            result.append(current)
+            current = self._idom[current]
+        return result
+
+    def children(self, node: str) -> Set[str]:
+        """Nodes whose immediate dominator is ``node``."""
+        return {n for n, d in self._idom.items() if d == node}
+
+
+def compute_dominators(cfg: ControlFlowGraph) -> DominatorTree:
+    """Compute the dominator tree of ``cfg``.
+
+    Implements Cooper, Harvey & Kennedy, "A Simple, Fast Dominance
+    Algorithm": iterate to a fixed point over reverse postorder, meeting
+    predecessor dominators via the two-finger intersection on RPO numbers.
+    """
+    rpo = cfg.reverse_postorder()
+    index = {node: i for i, node in enumerate(rpo)}
+    idom: Dict[str, Optional[str]] = {node: None for node in rpo}
+    idom[cfg.entry] = cfg.entry
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == cfg.entry:
+                continue
+            processed = [p for p in cfg.preds[node] if idom.get(p) is not None and p in index]
+            if not processed:
+                continue
+            new_idom = processed[0]
+            for pred in processed[1:]:
+                new_idom = intersect(new_idom, pred)
+            if idom[node] != new_idom:
+                idom[node] = new_idom
+                changed = True
+
+    idom[cfg.entry] = None
+    return DominatorTree(idom, cfg.entry, index)

@@ -1,0 +1,100 @@
+"""Control-flow graph container and basic traversals."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.errors import AnalysisError
+from repro.programs.ir import Program
+
+__all__ = ["ControlFlowGraph"]
+
+
+class ControlFlowGraph:
+    """A directed graph over basic-block names.
+
+    Nodes are block names; an edge A -> B means execution of A can be
+    immediately followed by B. Construct from a :class:`Program` with
+    :meth:`from_program`, or directly from an edge list (useful in tests).
+    """
+
+    def __init__(self, nodes: Iterable[str], edges: Iterable[Tuple[str, str]], entry: str) -> None:
+        self.nodes: List[str] = list(dict.fromkeys(nodes))
+        node_set = set(self.nodes)
+        if entry not in node_set:
+            raise AnalysisError(f"entry node {entry!r} not among nodes")
+        self.entry = entry
+        self.succs: Dict[str, List[str]] = {n: [] for n in self.nodes}
+        self.preds: Dict[str, List[str]] = {n: [] for n in self.nodes}
+        seen: Set[Tuple[str, str]] = set()
+        for src, dst in edges:
+            if src not in node_set or dst not in node_set:
+                raise AnalysisError(f"edge ({src!r}, {dst!r}) references unknown node")
+            if (src, dst) in seen:
+                continue
+            seen.add((src, dst))
+            self.succs[src].append(dst)
+            self.preds[dst].append(src)
+
+    @classmethod
+    def from_program(cls, program: Program) -> "ControlFlowGraph":
+        """Build the CFG of a program, restricted to reachable blocks."""
+        edges = []
+        for block in program.blocks.values():
+            for succ in block.successors():
+                edges.append((block.name, succ))
+        cfg = cls(program.block_names(), edges, program.entry)
+        reachable = cfg.reachable_from_entry()
+        if reachable != set(cfg.nodes):
+            keep = [n for n in cfg.nodes if n in reachable]
+            kept_edges = [(s, d) for s, d in edges if s in reachable and d in reachable]
+            cfg = cls(keep, kept_edges, program.entry)
+        return cfg
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return [(src, dst) for src in self.nodes for dst in self.succs[src]]
+
+    def reachable_from_entry(self) -> Set[str]:
+        """Nodes reachable from the entry node."""
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            node = stack.pop()
+            for succ in self.succs[node]:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def reverse_postorder(self) -> List[str]:
+        """Reverse postorder from the entry (a topological-ish order)."""
+        visited: Set[str] = set()
+        order: List[str] = []
+
+        # Iterative DFS with an explicit stack to avoid recursion limits on
+        # long block chains.
+        stack: List[Tuple[str, int]] = [(self.entry, 0)]
+        visited.add(self.entry)
+        while stack:
+            node, idx = stack[-1]
+            succs = self.succs[node]
+            if idx < len(succs):
+                stack[-1] = (node, idx + 1)
+                succ = succs[idx]
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, 0))
+            else:
+                order.append(node)
+                stack.pop()
+        order.reverse()
+        return order
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.succs
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"ControlFlowGraph(nodes={len(self.nodes)}, edges={len(self.edges())})"

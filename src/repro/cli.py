@@ -1,0 +1,299 @@
+"""Command-line interface: ``eddie <subcommand>``.
+
+Subcommands:
+
+- ``train``      train a detector on a built-in benchmark, save the model
+- ``monitor``    run clean/injected monitoring runs against a saved model
+- ``experiment`` regenerate one of the paper's tables/figures
+- ``list``       list benchmarks and experiments
+
+Examples::
+
+    eddie train bitcount -o bitcount.npz --runs 8
+    eddie monitor bitcount bitcount.npz --inject-loop --seed 7
+    eddie experiment table1 --scale quick
+    eddie list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.arch.config import CoreConfig
+from repro.core.detector import Eddie, TrainedDetector
+from repro.em.scenario import EmScenario
+from repro.errors import ReproError
+from repro.experiments.runner import Scale
+from repro.programs.mibench import BENCHMARKS, INJECTION_LOOPS
+from repro.programs.workloads import injection_mix
+from repro.serialize import load_model, save_model
+
+__all__ = ["main"]
+
+_EXPERIMENTS: Dict[str, str] = {
+    "fig1": "repro.experiments.fig1_spectrum",
+    "fig2": "repro.experiments.fig2_distribution",
+    "fig3": "repro.experiments.fig3_buffer_size",
+    "table1": "repro.experiments.table1_iot",
+    "table2": "repro.experiments.table2_sim",
+    "fig4": "repro.experiments.fig4_inorder_ooo",
+    "anova": "repro.experiments.anova_architecture",
+    "fig5": "repro.experiments.fig5_contamination",
+    "fig6": "repro.experiments.fig6_injection_size",
+    "fig7": "repro.experiments.fig7_contamination_latency",
+    "fig8": "repro.experiments.fig8_burst_size",
+    "fig9": "repro.experiments.fig9_confidence",
+    "fig10": "repro.experiments.fig10_instruction_type",
+}
+
+_SCALES: Dict[str, Callable[[], Scale]] = {
+    "quick": Scale.quick,
+    "default": Scale.default,
+    "paper": Scale.paper,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="eddie",
+        description="EDDIE (ISCA 2017) reproduction: EM-based detection of "
+                    "deviations in program execution.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a detector on a benchmark")
+    train.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    train.add_argument("-o", "--output", required=True, help="model file (.npz)")
+    train.add_argument("--runs", type=int, default=8)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--source", choices=("em", "power"), default="em")
+    train.add_argument("--clock", type=float, default=1e8,
+                       help="core clock in Hz (scaled-down default)")
+
+    monitor = sub.add_parser("monitor", help="monitor runs against a model")
+    monitor.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    monitor.add_argument("model", help="model file from `eddie train`")
+    monitor.add_argument("--runs", type=int, default=3)
+    monitor.add_argument("--seed", type=int, default=1000)
+    monitor.add_argument("--source", choices=("em", "power"), default="em")
+    monitor.add_argument("--clock", type=float, default=1e8)
+    monitor.add_argument("--inject-loop", action="store_true",
+                         help="inject 4 int + 4 mem instructions into the "
+                              "benchmark's hot loop")
+    monitor.add_argument("--contamination", type=float, default=1.0)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a table/figure of the paper"
+    )
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+
+    capture = sub.add_parser(
+        "capture", help="capture EM traces of a benchmark to .npz files"
+    )
+    capture.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    capture.add_argument("-o", "--output-prefix", required=True,
+                         help="trace files are written as <prefix><seed>.npz")
+    capture.add_argument("--runs", type=int, default=1)
+    capture.add_argument("--seed", type=int, default=0)
+    capture.add_argument("--clock", type=float, default=1e8)
+    capture.add_argument("--inject-loop", action="store_true")
+    capture.add_argument("--contamination", type=float, default=1.0)
+
+    monitor_trace = sub.add_parser(
+        "monitor-trace", help="monitor previously captured trace files"
+    )
+    monitor_trace.add_argument("model", help="model file from `eddie train`")
+    monitor_trace.add_argument("traces", nargs="+", help="trace .npz files")
+
+    inspect = sub.add_parser(
+        "inspect", help="show a benchmark's region-level state machine"
+    )
+    inspect.add_argument("benchmark", choices=sorted(BENCHMARKS))
+
+    sub.add_parser("list", help="list benchmarks and experiments")
+    return parser
+
+
+def _make_source(benchmark: str, source: str, clock: float):
+    program = BENCHMARKS[benchmark]()
+    if source == "em":
+        return EmScenario.build(program, core=CoreConfig.iot_inorder(clock))
+    from repro.arch.simulator import Simulator
+
+    return Simulator(program, CoreConfig.sim_ooo(clock))
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    program = BENCHMARKS[args.benchmark]()
+    core = (
+        CoreConfig.iot_inorder(args.clock)
+        if args.source == "em"
+        else CoreConfig.sim_ooo(args.clock)
+    )
+    detector = Eddie().train(
+        program, core=core, runs=args.runs, seed=args.seed, source=args.source
+    )
+    save_model(detector.model, args.output)
+    print(f"trained {args.benchmark} on {args.runs} runs -> {args.output}")
+    for name, profile in detector.model.profiles.items():
+        print(
+            f"  {name:32s} refs={profile.n_reference:5d} "
+            f"peaks={profile.num_peaks:2d} n={profile.group_size}"
+        )
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    if model.program_name != args.benchmark:
+        print(
+            f"warning: model was trained on {model.program_name!r}, "
+            f"monitoring {args.benchmark!r}",
+            file=sys.stderr,
+        )
+    source = _make_source(args.benchmark, args.source, args.clock)
+    detector = TrainedDetector(model, source=source)
+    simulator = source.simulator if isinstance(source, EmScenario) else source
+    if args.inject_loop:
+        simulator.set_loop_injection(
+            INJECTION_LOOPS[args.benchmark], injection_mix(4, 4),
+            args.contamination,
+        )
+    for k in range(args.runs):
+        report = detector.monitor_program(seed=args.seed + k)
+        metrics = report.metrics
+        latency = (
+            f"{metrics.detection_latency * 1e3:.2f} ms"
+            if metrics.detection_latency is not None
+            else "-"
+        )
+        print(
+            f"run {k}: reports={len(report.result.reports)} "
+            f"detected={metrics.detected} latency={latency} "
+            f"FP={metrics.false_positive_rate:.2f}% "
+            f"coverage={metrics.coverage:.1f}%"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(_EXPERIMENTS[args.name])
+    scale = _SCALES[args.scale]()
+    result = module.run(scale)
+    print(module.format(result))
+    return 0
+
+
+def _cmd_capture(args: argparse.Namespace) -> int:
+    from repro.serialize import save_trace
+
+    scenario = EmScenario.build(
+        BENCHMARKS[args.benchmark](), core=CoreConfig.iot_inorder(args.clock)
+    )
+    if args.inject_loop:
+        scenario.simulator.set_loop_injection(
+            INJECTION_LOOPS[args.benchmark], injection_mix(4, 4),
+            args.contamination,
+        )
+    for k in range(args.runs):
+        seed = args.seed + k
+        trace = scenario.capture(seed=seed)
+        path = f"{args.output_prefix}{seed}.npz"
+        save_trace(trace, path)
+        print(
+            f"captured seed {seed}: {trace.iq.duration * 1e3:.2f} ms, "
+            f"{len(trace.iq)} IQ samples, "
+            f"{trace.injected_instr_count} injected instrs -> {path}"
+        )
+    return 0
+
+
+def _cmd_monitor_trace(args: argparse.Namespace) -> int:
+    from repro.serialize import load_trace
+
+    model = load_model(args.model)
+    detector = TrainedDetector(model, source=None)
+    for path in args.traces:
+        trace = load_trace(path)
+        report = detector.monitor_trace(trace)
+        metrics = report.metrics
+        latency = (
+            f"{metrics.detection_latency * 1e3:.2f} ms"
+            if metrics.detection_latency is not None
+            else "-"
+        )
+        print(
+            f"{path}: reports={len(report.result.reports)} "
+            f"detected={metrics.detected} latency={latency} "
+            f"FP={metrics.false_positive_rate:.2f}%"
+        )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.cfg.graph import ControlFlowGraph
+    from repro.cfg.loops import find_loops
+    from repro.cfg.regions import build_region_machine
+
+    program = BENCHMARKS[args.benchmark]()
+    cfg = ControlFlowGraph.from_program(program)
+    forest = find_loops(cfg)
+    machine = build_region_machine(program, cfg, forest)
+
+    print(f"{program.name}: {len(cfg)} basic blocks, "
+          f"{program.static_size} static instructions, "
+          f"{len(program.params)} input parameters")
+    print(f"\nloop regions ({len(machine.loop_regions)}):")
+    for name, region in machine.loop_regions.items():
+        nest = forest.by_header(region.header)
+        depth = max((lp.depth for lp in forest if lp.blocks <= nest.blocks),
+                    default=1)
+        print(f"  {name:28s} blocks={len(region.blocks)} nest-depth={depth}")
+    print(f"\ninter-loop regions ({len(machine.inter_regions)}):")
+    for name, inter in machine.inter_regions.items():
+        print(f"  {name:44s} via {len(inter.blocks)} block(s)")
+    print("\nregion state machine:")
+    for region in machine.region_names():
+        successors = machine.successors(region)
+        if successors:
+            print(f"  {region} -> {', '.join(successors)}")
+    print(f"\ndefault injection target: {INJECTION_LOOPS[args.benchmark]}")
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("benchmarks:")
+    for name in BENCHMARKS:
+        print(f"  {name} (injection target: {INJECTION_LOOPS[name]})")
+    print("experiments:")
+    for name, module in _EXPERIMENTS.items():
+        print(f"  {name:8s} -> {module}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "train": _cmd_train,
+        "monitor": _cmd_monitor,
+        "experiment": _cmd_experiment,
+        "capture": _cmd_capture,
+        "monitor-trace": _cmd_monitor_trace,
+        "inspect": _cmd_inspect,
+        "list": _cmd_list,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""EDDIE's core: spectral analysis, statistics, training, and monitoring.
+
+The pipeline mirrors Section 4 of the paper:
+
+1. :mod:`repro.core.stft` turns the received signal into a sequence of
+   Short-Term Spectra (STSs).
+2. :mod:`repro.core.peaks` extracts each STS's spectral peaks (frequencies
+   concentrating at least 1% of the window energy).
+3. :mod:`repro.core.training` builds, for every region of the program's
+   region-level state machine, a reference set of peak observations and
+   selects the per-region K-S group size n (the paper's Figure 3 trade-off
+   between detection accuracy and latency).
+4. :mod:`repro.core.monitor` implements Algorithm 1: per-peak two-sample
+   Kolmogorov-Smirnov tests of the recent STSs against the current region's
+   reference, with region-transition tracking and anomaly reporting.
+5. :mod:`repro.core.metrics` scores runs by the paper's Section 5.2
+   definitions (detection latency, false positives, accuracy, coverage).
+
+:class:`repro.core.detector.Eddie` wires all of it together.
+"""
+
+from repro.core.detector import Eddie, MonitorReport, TrainedDetector
+from repro.core.model import EddieConfig, EddieModel, RegionProfile
+from repro.core.stft import SpectrumSequence, stft
+
+__all__ = [
+    "Eddie",
+    "TrainedDetector",
+    "MonitorReport",
+    "EddieModel",
+    "EddieConfig",
+    "RegionProfile",
+    "SpectrumSequence",
+    "stft",
+]

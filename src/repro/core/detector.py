@@ -1,0 +1,215 @@
+"""High-level EDDIE facade.
+
+Typical use::
+
+    from repro import Eddie
+    from repro.programs.mibench import bitcount
+    from repro.arch.config import CoreConfig
+
+    eddie = Eddie()
+    detector = eddie.train(bitcount(), core=CoreConfig.iot_inorder(1e8),
+                           runs=10, seed=0)
+
+    # Monitor a clean run:
+    report = detector.monitor_program(seed=100)
+    assert not report.metrics.detected
+
+    # Monitor an attacked run:
+    detector.source.simulator.set_loop_injection("count_bits", injected, 1.0)
+    report = detector.monitor_program(seed=101)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.arch.config import CoreConfig
+from repro.arch.simulator import SimulationResult, Simulator
+from repro.core.metrics import RunMetrics, evaluate_run
+from repro.core.model import EddieConfig, EddieModel
+from repro.core.monitor import Monitor, MonitorResult
+from repro.core.training import Trainer
+from repro.em.scenario import EmScenario, EmTrace
+from repro.errors import ConfigurationError, MonitoringError
+from repro.programs.ir import Program
+from repro.types import RegionTimeline, Signal
+
+__all__ = ["Eddie", "TrainedDetector", "MonitorReport"]
+
+TraceLike = Union[EmTrace, SimulationResult]
+
+
+def _signal_of(trace: TraceLike) -> Signal:
+    """The monitored signal of a trace: EM IQ or simulator power."""
+    if isinstance(trace, EmTrace):
+        return trace.iq
+    if isinstance(trace, SimulationResult):
+        return trace.power
+    raise MonitoringError(f"unsupported trace type {type(trace).__name__}")
+
+
+@dataclass
+class MonitorReport:
+    """Result of monitoring one run with ground truth attached."""
+
+    result: MonitorResult
+    metrics: RunMetrics
+    trace: TraceLike
+
+    @property
+    def anomalies(self) -> List[float]:
+        """Times of reported anomalies."""
+        return [r.time for r in self.result.reports]
+
+    @property
+    def detected(self) -> bool:
+        return self.metrics.detected
+
+
+class TrainedDetector:
+    """A trained EDDIE model bound to the source it was trained on."""
+
+    def __init__(
+        self,
+        model: EddieModel,
+        source: Optional[Union[EmScenario, Simulator]] = None,
+    ) -> None:
+        self.model = model
+        self.source = source
+
+    # -- monitoring -------------------------------------------------------------
+
+    def monitor_signal(self, signal: Signal) -> MonitorResult:
+        """Run Algorithm 1 over a raw signal (no ground truth needed)."""
+        return Monitor(self.model).run_signal(signal)
+
+    def monitor_trace(self, trace: TraceLike) -> MonitorReport:
+        """Monitor a captured trace and score it against its ground truth."""
+        result = self.monitor_signal(_signal_of(trace))
+        cfg = self.model.config
+        hop = self.model.hop_duration
+        metrics = evaluate_run(
+            result,
+            trace.timeline,
+            trace.injected_spans,
+            window_duration=cfg.window_samples / self.model.sample_rate,
+            hop_duration=hop,
+            report_linger=self.model.max_group_size * hop,
+        )
+        return MonitorReport(result=result, metrics=metrics, trace=trace)
+
+    def monitor_program(
+        self, seed: Optional[int] = None, inputs=None
+    ) -> MonitorReport:
+        """Capture a fresh run from the bound source and monitor it.
+
+        Injections configured on the source's simulator apply, so this is
+        the one-call way to run an attack experiment.
+        """
+        if self.source is None:
+            raise MonitoringError(
+                "detector has no bound source; use monitor_trace/monitor_signal"
+            )
+        trace = _capture(self.source, seed=seed, inputs=inputs)
+        return self.monitor_trace(trace)
+
+    # -- model tweaking (experiment knobs) -----------------------------------------
+
+    def with_group_size(self, group_size: int) -> "TrainedDetector":
+        """A detector variant with a forced K-S group size (latency sweeps)."""
+        return TrainedDetector(self.model.with_group_size(group_size), self.source)
+
+    def with_alpha(self, alpha: float) -> "TrainedDetector":
+        """A detector variant with a different K-S confidence (Figure 9)."""
+        return TrainedDetector(self.model.with_alpha(alpha), self.source)
+
+
+def _capture(
+    source: Union[EmScenario, Simulator], seed: Optional[int], inputs
+) -> TraceLike:
+    if isinstance(source, EmScenario):
+        return source.capture(seed=seed, inputs=inputs)
+    if isinstance(source, Simulator):
+        return source.run(seed=seed, inputs=inputs)
+    raise MonitoringError(f"unsupported source type {type(source).__name__}")
+
+
+class Eddie:
+    """Trainer/factory for EDDIE detectors."""
+
+    def __init__(self, config: Optional[EddieConfig] = None) -> None:
+        self.config = config or EddieConfig()
+
+    def train(
+        self,
+        program: Program,
+        core: Optional[CoreConfig] = None,
+        runs: int = 10,
+        seed: int = 0,
+        source: str = "em",
+        scenario: Optional[EmScenario] = None,
+        build_seed: int = 0,
+    ) -> TrainedDetector:
+        """Train on freshly simulated, injection-free runs of ``program``.
+
+        Args:
+            program: the application to model.
+            core: processor model (defaults to the paper's IoT in-order
+                core for ``source='em'`` and the SESC OOO core otherwise).
+            runs: number of training runs, each with freshly sampled
+                inputs (the paper uses 25 for the IoT setup, 10 for
+                simulation).
+            seed: base RNG seed; run k uses ``seed + k``.
+            source: ``'em'`` (EM IQ capture through the channel model) or
+                ``'power'`` (the simulator's power signal, as in Table 2).
+            scenario: a pre-built :class:`EmScenario` to train on (takes
+                precedence over ``core``/``source``).
+        """
+        if scenario is not None:
+            bound: Union[EmScenario, Simulator] = scenario
+        elif source == "em":
+            bound = EmScenario.build(program, core=core or CoreConfig.iot_inorder())
+        elif source == "power":
+            bound = Simulator(program, core or CoreConfig.sim_ooo())
+        else:
+            raise ConfigurationError(f"unknown source {source!r}")
+
+        machine = (
+            bound.machine if isinstance(bound, EmScenario) else bound.machine
+        )
+        trainer = Trainer(
+            program_name=program.name,
+            successors={r: machine.successors(r) for r in machine.region_names()},
+            initial_regions=machine.initial_regions(),
+            config=self.config,
+        )
+        for k in range(runs):
+            trace = _capture(bound, seed=seed + k, inputs=None)
+            if trace.injected_instr_count:
+                raise ConfigurationError(
+                    "training source has injections configured; train on "
+                    "clean runs only"
+                )
+            trainer.add_run(_signal_of(trace), trace.timeline)
+        model = trainer.build(seed=build_seed)
+        return TrainedDetector(model, source=bound)
+
+    def train_from_runs(
+        self,
+        program_name: str,
+        runs: Sequence[Tuple[Signal, RegionTimeline]],
+        successors: dict,
+        initial_regions: Sequence[str],
+        build_seed: int = 0,
+    ) -> TrainedDetector:
+        """Train from pre-captured (signal, timeline) pairs."""
+        trainer = Trainer(
+            program_name=program_name,
+            successors=successors,
+            initial_regions=initial_regions,
+            config=self.config,
+        )
+        for signal, timeline in runs:
+            trainer.add_run(signal, timeline)
+        return TrainedDetector(trainer.build(seed=build_seed), source=None)

@@ -1,0 +1,278 @@
+"""Scoring of monitoring runs by the paper's Section 5.2 definitions.
+
+- *Detection latency*: among reported injections, the mean time from the
+  start of injected execution to EDDIE's report.
+- *False positives*: STS groups reported anomalous that contain no injected
+  execution, as a percentage of all STS groups.
+- *Accuracy*: per region, the share of STS groups with a correct outcome
+  (injection-containing and reported, or clean and unreported); a
+  benchmark's accuracy is the mean of its per-region accuracies.
+- *Coverage*: share of time the monitor attributes the STS to the region
+  that actually produced it.
+- *False-negative rate* (Figure 5): injection-containing STS groups that
+  are not reported, as a share of injection-containing groups.
+- *True-positive rate* (Figures 6, 8, 10): the complement, reported
+  injection-containing groups over injection-containing groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.monitor import MonitorResult
+from repro.types import RegionTimeline
+
+__all__ = [
+    "RunMetrics",
+    "evaluate_run",
+    "aggregate_metrics",
+    "injected_group_mask",
+    "rejection_false_negative_rate",
+]
+
+
+@dataclass
+class RunMetrics:
+    """Metrics of one monitored run."""
+
+    detection_latency: Optional[float]
+    false_positive_rate: float
+    false_negative_rate: Optional[float]
+    true_positive_rate: Optional[float]
+    accuracy: float
+    coverage: float
+    per_region_accuracy: Dict[str, float] = field(default_factory=dict)
+    n_groups: int = 0
+    n_injected_groups: int = 0
+    n_reports: int = 0
+    detected: bool = False
+
+
+def evaluate_run(
+    result: MonitorResult,
+    timeline: RegionTimeline,
+    injected_spans: Sequence[Tuple[float, float]],
+    window_duration: float,
+    hop_duration: float,
+    report_linger: float = 0.0,
+) -> RunMetrics:
+    """Score one monitoring pass against ground truth.
+
+    Each STS index i corresponds to a *group*: the ``group_sizes[i]`` most
+    recent STSs the K-S test considered at that point. A group "contains
+    injection" when its time span overlaps an injected span.
+
+    ``report_linger`` extends the credit window after an injection ends:
+    a report fired within that many seconds after an injected group still
+    counts as a true positive (the K-S group keeps containing injected
+    STSs for up to n hops after the injection stops).
+    """
+    times = result.times
+    n = len(times)
+    if n == 0:
+        return RunMetrics(
+            detection_latency=None,
+            false_positive_rate=0.0,
+            false_negative_rate=None,
+            true_positive_rate=None,
+            accuracy=1.0,
+            coverage=0.0,
+        )
+
+    group_start = (
+        times - result.group_sizes * hop_duration - window_duration / 2.0
+    )
+    group_end = times + window_duration / 2.0
+    contains = np.zeros(n, dtype=bool)
+    for span_start, span_end in injected_spans:
+        contains |= (group_start < span_end) & (span_start < group_end)
+
+    reported = result.reported_mask
+
+    clean = ~contains
+    n_false_pos = int((reported & clean).sum())
+    false_positive_rate = 100.0 * n_false_pos / n
+
+    n_injected = int(contains.sum())
+    if n_injected:
+        # A report anywhere in the injected stretch (or just after it)
+        # covers the whole streak the anomaly counter was building over.
+        tp_groups = _credited_groups(times, contains, reported, report_linger)
+        true_positive_rate = 100.0 * tp_groups / n_injected
+        false_negative_rate = 100.0 - true_positive_rate
+    else:
+        true_positive_rate = None
+        false_negative_rate = None
+
+    # Detection latency: first report at/after each injected span's start.
+    latencies: List[float] = []
+    report_times = np.array([r.time for r in result.reports])
+    for span_start, span_end in injected_spans:
+        if len(report_times) == 0:
+            continue
+        eligible = report_times[
+            (report_times >= span_start)
+            & (report_times <= span_end + report_linger + window_duration)
+        ]
+        if len(eligible):
+            latencies.append(float(eligible.min() - span_start))
+    detection_latency = float(np.mean(latencies)) if latencies else None
+
+    # Per-region accuracy over ground-truth window attribution.
+    truth = [
+        timeline.dominant_region(t - window_duration / 2.0, t + window_duration / 2.0)
+        for t in times
+    ]
+    correct = reported == contains  # both bool arrays
+    if len(report_times):
+        # Reports are sparse single firings covering a streak: treat an
+        # injected group as correctly handled if ANY report credited it.
+        credited = _credit_mask(times, contains, reported, report_linger)
+        correct = np.where(contains, credited, ~reported)
+
+    per_region: Dict[str, float] = {}
+    for region in {r for r in truth if r is not None}:
+        mask = np.array([r == region for r in truth])
+        if mask.any():
+            per_region[region] = 100.0 * float(correct[mask].mean())
+    accuracy = float(np.mean(list(per_region.values()))) if per_region else 100.0
+
+    tracked = np.array(result.tracked)
+    truth_arr = np.array([r if r is not None else "<none>" for r in truth])
+    valid = truth_arr != "<none>"
+    coverage = (
+        100.0 * float((tracked[valid] == truth_arr[valid]).mean())
+        if valid.any()
+        else 0.0
+    )
+
+    return RunMetrics(
+        detection_latency=detection_latency,
+        false_positive_rate=false_positive_rate,
+        false_negative_rate=false_negative_rate,
+        true_positive_rate=true_positive_rate,
+        accuracy=accuracy,
+        coverage=coverage,
+        per_region_accuracy=per_region,
+        n_groups=n,
+        n_injected_groups=n_injected,
+        n_reports=len(result.reports),
+        detected=bool(latencies),
+    )
+
+
+def injected_group_mask(
+    result: MonitorResult,
+    injected_spans: Sequence[Tuple[float, float]],
+    window_duration: float,
+    hop_duration: float,
+) -> np.ndarray:
+    """Boolean per-STS mask: does the group at each index contain injection?"""
+    times = result.times
+    group_start = (
+        times - result.group_sizes * hop_duration - window_duration / 2.0
+    )
+    group_end = times + window_duration / 2.0
+    contains = np.zeros(len(times), dtype=bool)
+    for span_start, span_end in injected_spans:
+        contains |= (group_start < span_end) & (span_start < group_end)
+    return contains
+
+
+def rejection_false_negative_rate(
+    result: MonitorResult,
+    injected_spans: Sequence[Tuple[float, float]],
+    window_duration: float,
+    hop_duration: float,
+) -> Optional[float]:
+    """Test-level FN: % of injection-containing groups the K-S test accepted.
+
+    This is the quantity in the paper's Figure 5 ("the percentage of
+    injection-containing STSs that are not reported"): graded per group,
+    unlike report events which are sparse by design (reportThreshold).
+    """
+    contains = injected_group_mask(
+        result, injected_spans, window_duration, hop_duration
+    )
+    n_injected = int(contains.sum())
+    if n_injected == 0:
+        return None
+    missed = int((~result.rejection_flags[contains]).sum())
+    return 100.0 * missed / n_injected
+
+
+def _credit_mask(
+    times: np.ndarray,
+    contains: np.ndarray,
+    reported: np.ndarray,
+    linger: float,
+) -> np.ndarray:
+    """Per-group credit: injected groups covered by a report in their stretch.
+
+    Contiguous runs of injection-containing groups form stretches; every
+    group in a stretch is credited if any report fires within the stretch
+    (or within ``linger`` seconds after it).
+    """
+    credit = np.zeros(len(times), dtype=bool)
+    report_times = times[reported]
+    i = 0
+    n = len(times)
+    while i < n:
+        if not contains[i]:
+            i += 1
+            continue
+        j = i
+        while j + 1 < n and contains[j + 1]:
+            j += 1
+        start, end = times[i], times[j] + linger
+        if len(report_times) and np.any(
+            (report_times >= start) & (report_times <= end)
+        ):
+            credit[i: j + 1] = True
+        i = j + 1
+    return credit
+
+
+def _credited_groups(
+    times: np.ndarray,
+    contains: np.ndarray,
+    reported: np.ndarray,
+    linger: float,
+) -> int:
+    return int(_credit_mask(times, contains, reported, linger)[contains].sum())
+
+
+def aggregate_metrics(metrics: Sequence[RunMetrics]) -> RunMetrics:
+    """Average a set of run metrics (for multi-run experiments)."""
+    if not metrics:
+        raise ValueError("no metrics to aggregate")
+
+    def mean_of(values: List[Optional[float]]) -> Optional[float]:
+        present = [v for v in values if v is not None]
+        return float(np.mean(present)) if present else None
+
+    per_region: Dict[str, List[float]] = {}
+    for m in metrics:
+        for region, acc in m.per_region_accuracy.items():
+            per_region.setdefault(region, []).append(acc)
+
+    return RunMetrics(
+        detection_latency=mean_of([m.detection_latency for m in metrics]),
+        false_positive_rate=float(
+            np.mean([m.false_positive_rate for m in metrics])
+        ),
+        false_negative_rate=mean_of([m.false_negative_rate for m in metrics]),
+        true_positive_rate=mean_of([m.true_positive_rate for m in metrics]),
+        accuracy=float(np.mean([m.accuracy for m in metrics])),
+        coverage=float(np.mean([m.coverage for m in metrics])),
+        per_region_accuracy={
+            region: float(np.mean(vals)) for region, vals in per_region.items()
+        },
+        n_groups=sum(m.n_groups for m in metrics),
+        n_injected_groups=sum(m.n_injected_groups for m in metrics),
+        n_reports=sum(m.n_reports for m in metrics),
+        detected=any(m.detected for m in metrics),
+    )

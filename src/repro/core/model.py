@@ -1,0 +1,266 @@
+"""EDDIE's trained model and its configuration.
+
+Training (Section 4.1) produces, per region of the region-level state
+machine: a reference set of peak-frequency observations (one row per
+training STS, strongest peak first), the number of peak dimensions to test,
+and the K-S group size n selected for the accuracy/latency trade-off
+(Section 4.3). The model also carries the state machine's successor
+relation, which Algorithm 1 consults on rejections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TrainingError
+
+__all__ = ["EddieConfig", "RegionProfile", "EddieModel"]
+
+
+@dataclass(frozen=True)
+class EddieConfig:
+    """All tunables of the EDDIE pipeline.
+
+    Attributes:
+        window_samples: STFT window length in samples.
+        overlap: STFT window overlap (paper: 50%).
+        energy_fraction: minimum share of window energy for a peak (paper: 1%).
+        peak_prominence: minimum ratio of a peak bin to the median bin
+            power (noise-floor criterion; see repro.core.peaks).
+        max_peaks: cap on tracked peak dimensions per region.
+        alpha: K-S significance level (paper: 99% confidence = 0.01).
+        statistic: the two-sample test: 'ks' (the paper's choice) or
+            'utest' (the alternative it was compared against, Sec. 4.2).
+        diffuse_features: also track each window's spectral centroid and
+            bandwidth as two extra tested dimensions (the paper's
+            suggested "consideration of diffuse spectral features"); makes
+            even peak-less regions testable.
+        report_threshold: tolerated consecutive K-S rejections; an anomaly
+            is reported on a longer streak (paper: 3).
+        change_fraction: fraction of the rejecting peak dimensions a
+            successor region must explain in one step to earn a change
+            vote.
+        change_steps: change votes a successor needs before the monitor
+            transitions to it.
+        group_sizes: candidate values of the K-S group size n evaluated
+            during training (Figure 3 sweep).
+        reference_cap: maximum reference windows stored per region.
+        min_mon_values: minimum non-NaN observations needed to run a test.
+    """
+
+    window_samples: int = 512
+    overlap: float = 0.5
+    energy_fraction: float = 0.01
+    peak_prominence: float = 15.0
+    max_peaks: int = 12
+    alpha: float = 0.01
+    statistic: str = "ks"
+    diffuse_features: bool = False
+    report_threshold: int = 3
+    change_fraction: float = 0.5
+    change_steps: int = 3
+    group_sizes: Tuple[int, ...] = (8, 12, 16, 24, 32, 48, 64, 96, 128)
+    reference_cap: int = 1200
+    min_mon_values: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha < 1:
+            raise ConfigurationError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.statistic not in ("ks", "utest"):
+            raise ConfigurationError(f"unknown statistic {self.statistic!r}")
+        if self.report_threshold < 0:
+            raise ConfigurationError("report_threshold must be >= 0")
+        if not 0 < self.change_fraction <= 1:
+            raise ConfigurationError("change_fraction must be in (0, 1]")
+        if self.change_steps < 1:
+            raise ConfigurationError("change_steps must be >= 1")
+        if not self.group_sizes or any(n < 2 for n in self.group_sizes):
+            raise ConfigurationError("group_sizes must be >= 2")
+        if self.max_peaks < 1:
+            raise ConfigurationError("max_peaks must be >= 1")
+
+
+class RegionProfile:
+    """Reference data for one region.
+
+    Attributes:
+        name: region name (``loop:...`` or ``inter:...``).
+        reference: array (n_windows, max_peaks [+2]) of training peak
+            frequencies, strongest first, NaN-padded -- plus the spectral
+            centroid/bandwidth columns when diffuse features are enabled.
+        num_peaks: peak dimensions tested for this region.
+        group_size: the K-S group size n chosen for this region.
+        descriptor_dims: column indices of the diffuse-feature descriptors
+            tested in addition to the peaks (empty when disabled).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        reference: np.ndarray,
+        num_peaks: int,
+        group_size: int,
+        descriptor_dims: Tuple[int, ...] = (),
+    ) -> None:
+        reference = np.asarray(reference, dtype=float)
+        if reference.ndim != 2:
+            raise TrainingError(
+                f"region {name!r}: reference must be 2-D, got shape "
+                f"{reference.shape}"
+            )
+        if num_peaks > reference.shape[1]:
+            raise TrainingError(
+                f"region {name!r}: num_peaks {num_peaks} exceeds reference "
+                f"width {reference.shape[1]}"
+            )
+        if any(d >= reference.shape[1] for d in descriptor_dims):
+            raise TrainingError(
+                f"region {name!r}: descriptor dims {descriptor_dims} exceed "
+                f"reference width {reference.shape[1]}"
+            )
+        if group_size < 2:
+            raise TrainingError(f"region {name!r}: group_size must be >= 2")
+        self.name = name
+        self.reference = reference
+        self.num_peaks = int(num_peaks)
+        self.group_size = int(group_size)
+        self.descriptor_dims = tuple(int(d) for d in descriptor_dims)
+        self._sorted_dims: Dict[int, np.ndarray] = {}
+
+    @property
+    def n_reference(self) -> int:
+        return self.reference.shape[0]
+
+    @property
+    def test_dims(self) -> Tuple[int, ...]:
+        """Column indices tested for this region: peaks, then descriptors."""
+        return tuple(range(self.num_peaks)) + self.descriptor_dims
+
+    def reference_dim(self, dim: int) -> np.ndarray:
+        """Sorted, NaN-free reference values of peak dimension ``dim``."""
+        cached = self._sorted_dims.get(dim)
+        if cached is None:
+            column = self.reference[:, dim]
+            cached = np.sort(column[~np.isnan(column)])
+            self._sorted_dims[dim] = cached
+        return cached
+
+    def testable(self) -> bool:
+        """Whether this region has any usable tested dimension.
+
+        Regions whose loops produce no spectral peaks (the paper's GSM
+        example) are untestable -- unless diffuse features are enabled;
+        they are the source of imperfect coverage.
+        """
+        return any(len(self.reference_dim(d)) > 0 for d in self.test_dims)
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionProfile({self.name!r}, refs={self.n_reference}, "
+            f"peaks={self.num_peaks}, n={self.group_size})"
+        )
+
+
+class EddieModel:
+    """The full trained model for one program."""
+
+    def __init__(
+        self,
+        program_name: str,
+        config: EddieConfig,
+        profiles: Dict[str, RegionProfile],
+        successors: Dict[str, List[str]],
+        initial_regions: Sequence[str],
+        sample_rate: float,
+    ) -> None:
+        if not profiles:
+            raise TrainingError("model has no region profiles")
+        unknown = set(successors) - set(profiles)
+        # Successor lists may mention regions never observed in training;
+        # keep them (monitoring simply cannot transition into them).
+        self.program_name = program_name
+        self.config = config
+        self.profiles = profiles
+        self.successors = {k: list(v) for k, v in successors.items()}
+        self.initial_regions = [r for r in initial_regions if r in profiles] or list(
+            profiles
+        )[:1]
+        self.sample_rate = float(sample_rate)
+        del unknown
+
+    def profile(self, region: str) -> RegionProfile:
+        try:
+            return self.profiles[region]
+        except KeyError:
+            raise ConfigurationError(f"model has no profile for {region!r}") from None
+
+    def candidate_regions(self, current: str) -> List[str]:
+        """Regions execution may plausibly be in after leaving ``current``.
+
+        Direct successors plus their successors (two steps), because
+        inter-loop regions can be too brief to yield a full STS group --
+        the execution may already be in the *next* loop by the time the
+        K-S test notices the change.
+        """
+        seen: Dict[str, None] = {}
+        for succ in self.successors.get(current, []):
+            if succ in self.profiles and succ != current:
+                seen.setdefault(succ, None)
+            for succ2 in self.successors.get(succ, []):
+                if succ2 in self.profiles and succ2 != current:
+                    seen.setdefault(succ2, None)
+        return list(seen)
+
+    @property
+    def max_group_size(self) -> int:
+        return max(p.group_size for p in self.profiles.values())
+
+    @property
+    def hop_duration(self) -> float:
+        """Time between consecutive STSs, in seconds."""
+        hop = int(round(self.config.window_samples * (1 - self.config.overlap)))
+        return max(1, hop) / self.sample_rate
+
+    def with_group_size(self, group_size: int) -> "EddieModel":
+        """A copy with every region forced to one group size.
+
+        Used by the latency sweeps (Figures 6-10): detection latency is
+        varied by varying n.
+        """
+        profiles = {
+            name: RegionProfile(
+                name=p.name,
+                reference=p.reference,
+                num_peaks=p.num_peaks,
+                group_size=group_size,
+                descriptor_dims=p.descriptor_dims,
+            )
+            for name, p in self.profiles.items()
+        }
+        return EddieModel(
+            self.program_name,
+            self.config,
+            profiles,
+            self.successors,
+            self.initial_regions,
+            self.sample_rate,
+        )
+
+    def with_alpha(self, alpha: float) -> "EddieModel":
+        """A copy with a different K-S significance level (Figure 9)."""
+        return EddieModel(
+            self.program_name,
+            replace(self.config, alpha=alpha),
+            self.profiles,
+            self.successors,
+            self.initial_regions,
+            self.sample_rate,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"EddieModel({self.program_name!r}, regions={len(self.profiles)})"
+        )

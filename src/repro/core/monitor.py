@@ -1,0 +1,320 @@
+"""EDDIE's monitoring algorithm (Algorithm 1 of the paper).
+
+The monitor consumes the stream of STS peak vectors. For each new STS it
+tests, per peak dimension, the last n observations against the current
+region's reference set with a two-sample K-S test. Rejections trigger the
+candidate check: if a successor region's reference explains the recent
+observations, the monitor transitions to it; if no candidate does, an
+anomaly counter grows, and a streak longer than ``report_threshold``
+produces an anomaly report. Acceptance of the current region resets both
+counters (tolerating isolated deviant STSs from interrupts and other
+system activity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.model import EddieModel, RegionProfile
+from repro.core.peaks import peak_matrix
+from repro.core.stats import two_sample_reject
+from repro.core.stft import stft
+from repro.errors import MonitoringError
+from repro.types import Signal
+
+__all__ = ["AnomalyReport", "MonitorResult", "Monitor"]
+
+
+@dataclass(frozen=True)
+class AnomalyReport:
+    """One anomaly reported to the user."""
+
+    time: float
+    region: str
+    streak: int
+
+
+@dataclass
+class MonitorResult:
+    """Everything one monitoring pass produces.
+
+    Attributes:
+        times: center time of every STS processed.
+        tracked: the monitor's current-region belief at every STS.
+        reports: anomaly reports, in time order.
+        rejection_flags: whether the current region's test rejected at
+            each STS (before candidate resolution).
+        group_sizes: group size in effect at each STS (for group-span
+            bookkeeping in metrics).
+    """
+
+    times: np.ndarray
+    tracked: List[str]
+    reports: List[AnomalyReport]
+    rejection_flags: np.ndarray
+    group_sizes: np.ndarray
+
+    @property
+    def reported_mask(self) -> np.ndarray:
+        """Boolean per-STS mask of report firings."""
+        mask = np.zeros(len(self.times), dtype=bool)
+        report_times = {r.time for r in self.reports}
+        for i, t in enumerate(self.times):
+            if t in report_times:
+                mask[i] = True
+        return mask
+
+
+class Monitor:
+    """A stateful Algorithm-1 monitor for one trained model."""
+
+    def __init__(self, model: EddieModel) -> None:
+        self.model = model
+        self._cfg = model.config
+        history_len = max(model.max_group_size, 2)
+        self._width = self._cfg.max_peaks + (
+            2 if self._cfg.diffuse_features else 0
+        )
+        self._history = np.full((history_len, self._width), np.nan)
+        self._filled = 0
+        self.current_region: str = model.initial_regions[0]
+        self._anomaly_count = 0
+        self._change_counts: Dict[str, int] = {}
+        self._streak = 0
+
+    # -- driving ------------------------------------------------------------
+
+    def run_signal(self, signal: Signal) -> MonitorResult:
+        """Monitor a raw captured signal end to end."""
+        cfg = self._cfg
+        spectra = stft(signal, cfg.window_samples, cfg.overlap)
+        peaks = peak_matrix(spectra, cfg.energy_fraction, cfg.max_peaks,
+                            cfg.peak_prominence, cfg.diffuse_features)
+        return self.run_peaks(peaks, spectra.times)
+
+    def run_peaks(self, peaks: np.ndarray, times: np.ndarray) -> MonitorResult:
+        """Monitor a pre-extracted peak matrix."""
+        if peaks.shape[0] != len(times):
+            raise MonitoringError(
+                f"{peaks.shape[0]} peak rows for {len(times)} timestamps"
+            )
+        if peaks.shape[1] < self._width:
+            raise MonitoringError(
+                f"peak matrix width {peaks.shape[1]} below the configured "
+                f"width {self._width} (max_peaks plus descriptor columns)"
+            )
+        tracked: List[str] = []
+        reports: List[AnomalyReport] = []
+        rejection_flags = np.zeros(len(times), dtype=bool)
+        group_sizes = np.zeros(len(times), dtype=int)
+        for i in range(len(times)):
+            report, rejected = self.step(peaks[i], float(times[i]))
+            tracked.append(self.current_region)
+            rejection_flags[i] = rejected
+            group_sizes[i] = self.model.profile(self.current_region).group_size
+            if report is not None:
+                reports.append(report)
+        return MonitorResult(
+            times=np.asarray(times, dtype=float),
+            tracked=tracked,
+            reports=reports,
+            rejection_flags=rejection_flags,
+            group_sizes=group_sizes,
+        )
+
+    # -- one step of Algorithm 1 ------------------------------------------------
+
+    def step(self, peak_row: np.ndarray, time: float):
+        """Process one STS; returns (report_or_None, current_test_rejected)."""
+        self._push(peak_row)
+
+        profile = self.model.profile(self.current_region)
+        candidates = self.model.candidate_regions(self.current_region)
+
+        if not profile.testable():
+            # Peak-less region (e.g. GSM's hot loop): there is no reference
+            # to test against, but the region *expects no peaks*. First try
+            # to recognize a legal move to a successor; failing that,
+            # persistent peaks that no successor explains are anomalous --
+            # otherwise any injection arriving while the monitor sits in a
+            # peak-less region would be invisible.
+            if self._maybe_switch_from_untestable(candidates):
+                return None, False
+            mon = self._recent(profile.group_size, 0)
+            if mon is None:
+                self._anomaly_count = 0
+                self._streak = 0
+                return None, False
+            self._anomaly_count += 1
+            self._streak += 1
+            if self._anomaly_count > self._cfg.report_threshold:
+                report = AnomalyReport(
+                    time=time, region=self.current_region, streak=self._streak
+                )
+                self._anomaly_count = 0
+                return report, True
+            return None, True
+
+        any_reject = False
+        rejecting_dims = 0
+        explained_dims: Dict[str, int] = {}
+        for dim in profile.test_dims:
+            mon = self._recent(profile.group_size, dim)
+            if mon is None:
+                if dim == 0 and profile.num_peaks > 0 and self._filled >= profile.group_size:
+                    # The history is full but the expected peaks are simply
+                    # absent. Injections whose cache misses smear the loop's
+                    # period erase its peaks entirely -- silence here would
+                    # let exactly the paper's "off-chip activity" injections
+                    # (Section 5.7) go unseen. A region legitimately without
+                    # peaks can still explain it (candidate with no peaks).
+                    any_reject = True
+                    peakless = [
+                        c for c in candidates
+                        if not self.model.profile(c).testable()
+                    ]
+                    if peakless:
+                        for cand_name in peakless:
+                            self._change_counts[cand_name] = (
+                                self._change_counts.get(cand_name, 0) + 1
+                            )
+                    else:
+                        self._anomaly_count += 1
+                continue
+            if not self._rejects(profile, dim, mon):
+                continue
+            any_reject = True
+            rejecting_dims += 1
+            explained = False
+            for cand_name in candidates:
+                cand = self.model.profile(cand_name)
+                if not cand.testable() or dim not in cand.test_dims:
+                    continue
+                # Probe the candidate with a group bounded by the current
+                # region's n: right after a transition the history still
+                # contains old-region STSs, and a full-size candidate group
+                # would keep rejecting long enough to fake an anomaly.
+                probe = min(cand.group_size, profile.group_size)
+                if self._candidate_accepts(cand, dim, probe):
+                    explained_dims[cand_name] = (
+                        explained_dims.get(cand_name, 0) + 1
+                    )
+                    explained = True
+            if not explained:
+                self._anomaly_count += 1
+
+        # A candidate earns one change "vote" per step in which it explains
+        # at least change_fraction of the rejecting dimensions. Requiring
+        # several such steps (below) keeps one stochastic rejection from
+        # flipping the tracked region.
+        if rejecting_dims:
+            need = max(1, int(np.ceil(self._cfg.change_fraction * rejecting_dims)))
+            for cand_name, explained_count in explained_dims.items():
+                if explained_count >= need:
+                    self._change_counts[cand_name] = (
+                        self._change_counts.get(cand_name, 0) + 1
+                    )
+
+        if not any_reject:
+            self._anomaly_count = 0
+            self._change_counts.clear()
+            self._streak = 0
+            return None, False
+
+        self._streak += 1
+
+        # Region transition once a candidate has explained the rejections
+        # for several consecutive-rejection steps.
+        if self._change_counts:
+            best = max(self._change_counts, key=self._change_counts.get)
+            if self._change_counts[best] >= self._cfg.change_steps:
+                self._transition_to(best)
+                return None, True
+
+        # Anomaly?
+        if self._anomaly_count > self._cfg.report_threshold:
+            report = AnomalyReport(
+                time=time, region=self.current_region, streak=self._streak
+            )
+            self._anomaly_count = 0
+            return report, True
+
+        return None, True
+
+    # -- internals ------------------------------------------------------------
+
+    def _push(self, peak_row: np.ndarray) -> None:
+        row = np.full(self._width, np.nan)
+        usable = min(len(peak_row), self._width)
+        row[:usable] = peak_row[:usable]
+        self._history = np.roll(self._history, -1, axis=0)
+        self._history[-1] = row
+        self._filled = min(self._filled + 1, self._history.shape[0])
+
+    def _recent(self, n: int, dim: int) -> Optional[np.ndarray]:
+        """Last up-to-n non-NaN observations of one peak dimension."""
+        if self._filled < n:
+            return None
+        values = self._history[-n:, dim]
+        values = values[~np.isnan(values)]
+        if len(values) < self._cfg.min_mon_values:
+            return None
+        return values
+
+    def _rejects(self, profile: RegionProfile, dim: int, mon: np.ndarray) -> bool:
+        ref = profile.reference_dim(dim)
+        if len(ref) == 0:
+            return False
+        return two_sample_reject(ref, mon, self._cfg.alpha, self._cfg.statistic)
+
+    def _candidate_accepts(self, cand: RegionProfile, dim: int, probe: int) -> bool:
+        """Whether a successor region's reference explains recent STSs.
+
+        Accepts if either the bounded probe group or its fresh suffix (the
+        most recent few STSs) passes -- the suffix covers the moment just
+        after a transition when older history is still mixed.
+        """
+        mon = self._recent(probe, dim)
+        if mon is not None and not self._rejects(cand, dim, mon):
+            return True
+        suffix = self._recent(max(2, self._cfg.min_mon_values), dim)
+        return suffix is not None and not self._rejects(cand, dim, suffix)
+
+    def _maybe_switch_from_untestable(self, candidates: Sequence[str]) -> bool:
+        """Try to recognize a successor region from a peak-less one.
+
+        Returns True when a transition happened.
+        """
+        for cand_name in candidates:
+            cand = self.model.profile(cand_name)
+            if not cand.testable():
+                continue
+            accepted = 0
+            tested = 0
+            for dim in cand.test_dims:
+                mon = self._recent(cand.group_size, dim)
+                if mon is None:
+                    continue
+                tested += 1
+                if not self._rejects(cand, dim, mon):
+                    accepted += 1
+            if tested and accepted >= max(
+                1, int(np.ceil(self._cfg.change_fraction * tested))
+            ):
+                self._transition_to(cand_name)
+                return True
+        return False
+
+    def _transition_to(self, region: str) -> None:
+        self.current_region = region
+        self._anomaly_count = 0
+        self._change_counts.clear()
+        self._streak = 0
+        # Most of the history was gathered in the previous region and is
+        # stale for the new region's tests -- but the newest few STSs are
+        # what triggered the transition, so keep those and re-fill the
+        # rest before testing resumes.
+        self._filled = min(self._filled, self._cfg.min_mon_values)

@@ -1,0 +1,34 @@
+"""Empirical distribution utilities."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ecdf", "ecdf_values"]
+
+
+def ecdf(data: np.ndarray) -> Callable[[np.ndarray], np.ndarray]:
+    """Return the empirical CDF of ``data`` as a callable.
+
+    The returned function evaluates F(x) = (number of samples <= x) / n.
+    """
+    sorted_data = np.sort(np.asarray(data, dtype=float))
+    n = len(sorted_data)
+    if n == 0:
+        raise ConfigurationError("cannot build an ECDF from an empty sample")
+
+    def evaluate(x: np.ndarray) -> np.ndarray:
+        return np.searchsorted(sorted_data, np.asarray(x), side="right") / n
+
+    return evaluate
+
+
+def ecdf_values(
+    sorted_sample: np.ndarray, at: np.ndarray
+) -> np.ndarray:
+    """Evaluate the ECDF of an already-sorted sample at the given points."""
+    return np.searchsorted(sorted_sample, at, side="right") / len(sorted_sample)

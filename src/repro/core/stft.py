@@ -1,0 +1,176 @@
+"""Short-Term Fourier Transform producing the paper's STS sequence.
+
+EDDIE converts the received signal into overlapping windows and each window
+into its spectrum -- a Short-Term Spectrum (STS). All training and
+monitoring operates on the resulting sequence (Section 3).
+
+Real signals (simulator power traces) use a one-sided spectrum; complex IQ
+(EM captures) use a two-sided, frequency-shifted spectrum so sidebands on
+both sides of the carrier are visible, as in the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.types import Signal
+
+__all__ = ["SpectrumSequence", "stft", "stft_seconds"]
+
+
+@dataclass(frozen=True)
+class SpectrumSequence:
+    """A sequence of Short-Term Spectra.
+
+    Attributes:
+        freqs: bin frequencies in Hz (two-sided and ascending for complex
+            input, one-sided for real input).
+        times: absolute center time of each window, in seconds.
+        power: power spectra, shape ``(n_windows, n_bins)``.
+        window_duration: length of each window in seconds.
+        hop_duration: time between consecutive window starts in seconds.
+    """
+
+    freqs: np.ndarray
+    times: np.ndarray
+    power: np.ndarray
+    window_duration: float
+    hop_duration: float
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.freqs)
+
+    def window_span(self, index: int) -> tuple:
+        """(t_start, t_end) of window ``index``."""
+        center = self.times[index]
+        half = self.window_duration / 2.0
+        return (center - half, center + half)
+
+    def slice(self, start: int, stop: int) -> "SpectrumSequence":
+        """A view of windows [start, stop)."""
+        return SpectrumSequence(
+            freqs=self.freqs,
+            times=self.times[start:stop],
+            power=self.power[start:stop],
+            window_duration=self.window_duration,
+            hop_duration=self.hop_duration,
+        )
+
+
+def stft(
+    signal: Signal,
+    window_samples: int = 1024,
+    overlap: float = 0.5,
+    window: str = "hann",
+    detrend: bool = True,
+    fold: bool = True,
+) -> SpectrumSequence:
+    """Compute the STS sequence of a signal.
+
+    Args:
+        signal: real power trace or complex IQ capture.
+        window_samples: samples per window.
+        overlap: fractional overlap between consecutive windows (the paper
+            uses 0.1 ms windows with 50% overlap).
+        window: ``'hann'``, ``'hamming'``, or ``'rect'``.
+        detrend: subtract each window's mean before transforming, removing
+            the (uninformative) DC component of power traces.
+        fold: for complex IQ input, add the power at -f onto +f and report
+            a one-sided spectrum. The AM envelope is real, so the baseband
+            spectrum is conjugate-symmetric and each physical sideband
+            appears as a +/-f pair; folding merges the pair into a single
+            peak so the K-S dimensions see one observation per sideband
+            instead of a randomly-ordered sign pair.
+    """
+    if window_samples < 8:
+        raise SignalError(f"window_samples must be >= 8, got {window_samples}")
+    if not 0.0 <= overlap < 1.0:
+        raise SignalError(f"overlap must be in [0, 1), got {overlap}")
+    samples = signal.samples
+    if len(samples) < window_samples:
+        raise SignalError(
+            f"signal has {len(samples)} samples, shorter than one window "
+            f"({window_samples})"
+        )
+
+    hop = max(1, int(round(window_samples * (1.0 - overlap))))
+    taper = _taper(window, window_samples)
+    is_complex = np.iscomplexobj(samples)
+
+    n_windows = 1 + (len(samples) - window_samples) // hop
+    starts = np.arange(n_windows) * hop
+    # Build a strided view [n_windows, window_samples] without copying.
+    frames = np.lib.stride_tricks.sliding_window_view(samples, window_samples)[starts]
+    if detrend:
+        # Remove each frame's mean BEFORE tapering: subtracting after
+        # tapering leaves a taper-shaped residual that leaks into the
+        # lowest bins and can outweigh genuine loop peaks.
+        frames = frames - frames.mean(axis=1, keepdims=True)
+    frames = frames * taper
+
+    if is_complex:
+        spectra = np.fft.fft(frames, axis=1)
+        power = np.abs(spectra) ** 2
+        if fold:
+            power, freqs = _fold_two_sided(power, window_samples, signal.sample_rate)
+        else:
+            power = np.fft.fftshift(power, axes=1)
+            freqs = np.fft.fftshift(
+                np.fft.fftfreq(window_samples, 1.0 / signal.sample_rate)
+            )
+    else:
+        spectra = np.fft.rfft(frames, axis=1)
+        freqs = np.fft.rfftfreq(window_samples, 1.0 / signal.sample_rate)
+        power = np.abs(spectra) ** 2
+    times = signal.t0 + (starts + window_samples / 2.0) / signal.sample_rate
+    return SpectrumSequence(
+        freqs=freqs,
+        times=times,
+        power=power,
+        window_duration=window_samples / signal.sample_rate,
+        hop_duration=hop / signal.sample_rate,
+    )
+
+
+def stft_seconds(
+    signal: Signal,
+    window_seconds: float,
+    overlap: float = 0.5,
+    window: str = "hann",
+    detrend: bool = True,
+) -> SpectrumSequence:
+    """Like :func:`stft` with the window given in seconds (paper: 0.1 ms)."""
+    window_samples = int(round(window_seconds * signal.sample_rate))
+    return stft(signal, window_samples, overlap, window, detrend)
+
+
+def _fold_two_sided(
+    power: np.ndarray, window_samples: int, sample_rate: float
+):
+    """Fold an unshifted two-sided power spectrum onto [0, Nyquist]."""
+    n = window_samples
+    half = n // 2
+    folded = np.empty((power.shape[0], half + 1))
+    folded[:, 0] = power[:, 0]
+    # Positive bins 1..half-1 pair with negative bins n-1..half+1.
+    folded[:, 1:half] = power[:, 1:half] + power[:, n - 1: half: -1]
+    folded[:, half] = power[:, half]
+    freqs = np.arange(half + 1) * (sample_rate / n)
+    return folded, freqs
+
+
+def _taper(name: str, length: int) -> np.ndarray:
+    if name == "hann":
+        return np.hanning(length)
+    if name == "hamming":
+        return np.hamming(length)
+    if name == "rect":
+        return np.ones(length)
+    raise SignalError(f"unknown window {name!r}")

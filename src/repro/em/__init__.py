@@ -1,0 +1,25 @@
+"""EM emanation substrate: what the paper's antenna + oscilloscope measured.
+
+The paper's physical observation (Section 2) is that processor activity
+amplitude-modulates periodic signals -- above all the clock -- so a loop
+with per-iteration period T puts sidebands at ``f_clock +/- 1/T`` into the
+radiated spectrum (their Figure 1). Since we have no SDR hardware, this
+package synthesizes the equivalent received signal:
+
+- :mod:`repro.em.modulation` -- AM modulation of the clock carrier by the
+  simulated power waveform, generated directly at complex baseband
+  (DESIGN.md D2),
+- :mod:`repro.em.channel` -- AWGN, narrowband interferers, and antenna
+  coupling loss,
+- :mod:`repro.em.receiver` -- an SDR-like front end (gain, band-limiting,
+  decimation),
+- :mod:`repro.em.scenario` -- one-call pipeline: run a program on a core,
+  emanate, propagate, receive.
+"""
+
+from repro.em.channel import ChannelModel
+from repro.em.modulation import am_modulate
+from repro.em.receiver import Receiver
+from repro.em.scenario import EmScenario, EmTrace
+
+__all__ = ["am_modulate", "ChannelModel", "Receiver", "EmScenario", "EmTrace"]

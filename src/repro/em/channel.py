@@ -1,0 +1,81 @@
+"""Propagation channel: coupling loss, thermal noise, narrowband interference.
+
+The paper's probe sits directly above the processor package, so the channel
+is short-range near-field coupling: a flat gain, additive white Gaussian
+noise from the receive chain, and the narrowband interferers (radio
+stations, other clocks) that the authors call out as a source of STS
+variation the statistics must tolerate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.types import Signal
+
+__all__ = ["Interferer", "ChannelModel"]
+
+
+@dataclass(frozen=True)
+class Interferer:
+    """One narrowband (CW) interferer at a fixed baseband frequency."""
+
+    freq_hz: float
+    amplitude: float
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0:
+            raise SignalError(f"interferer amplitude must be >= 0, got {self.amplitude}")
+
+
+@dataclass(frozen=True)
+class ChannelModel:
+    """Near-field channel from the processor to the receiver input.
+
+    Attributes:
+        coupling_gain: flat amplitude gain of the antenna coupling.
+        snr_db: signal-to-noise ratio at the receiver input, measured
+            against the (post-coupling) signal power. ``None`` disables
+            noise (the paper's simulator setup "has no signal noise").
+        interferers: CW tones added to the received signal.
+    """
+
+    coupling_gain: float = 1.0
+    snr_db: Optional[float] = 25.0
+    interferers: Tuple[Interferer, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.coupling_gain <= 0:
+            raise SignalError(f"coupling gain must be positive, got {self.coupling_gain}")
+
+    def apply(self, signal: Signal, rng: np.random.Generator) -> Signal:
+        """Propagate ``signal`` through the channel."""
+        samples = signal.samples * self.coupling_gain
+        out = np.array(samples, dtype=complex)
+
+        if self.interferers:
+            t = signal.t0 + np.arange(len(out)) / signal.sample_rate
+            for interferer in self.interferers:
+                phase = rng.uniform(0, 2 * np.pi)
+                out += interferer.amplitude * np.exp(
+                    2j * np.pi * interferer.freq_hz * t + 1j * phase
+                )
+
+        if self.snr_db is not None:
+            signal_power = float(np.mean(np.abs(samples) ** 2))
+            noise_power = signal_power / (10.0 ** (self.snr_db / 10.0))
+            # Complex AWGN: half the power in each quadrature.
+            scale = np.sqrt(noise_power / 2.0)
+            noise = rng.normal(0, scale, len(out)) + 1j * rng.normal(0, scale, len(out))
+            out += noise
+
+        return Signal(out, signal.sample_rate, signal.t0)
+
+    @classmethod
+    def noiseless(cls) -> "ChannelModel":
+        """An ideal channel (used for simulator-power experiments)."""
+        return cls(snr_db=None)

@@ -1,0 +1,79 @@
+"""AM modulation of the clock carrier by processor activity.
+
+Physically, switching activity draws current whose magnitude follows the
+power waveform ``p(t)``; the resulting field near the clock frequency is
+``(A + m * p(t)) * cos(2 pi f_clock t)``. Mixed down to complex baseband
+(the receiver's view after tuning to the clock), this is simply
+``(A + m * p~(t)) * exp(2 pi j f_off t)``, where ``f_off`` is the small
+residual offset between the transmitter clock and the receiver's tuner,
+and ``p~`` is the normalized activity waveform.
+
+Generating directly at baseband avoids simulating a GHz passband waveform
+(DESIGN.md decision D2); the spectrum around the carrier -- the only thing
+EDDIE looks at -- is identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.types import Signal
+
+__all__ = ["am_modulate", "normalize_activity"]
+
+
+def normalize_activity(power: np.ndarray) -> np.ndarray:
+    """Scale a power waveform to zero mean and (robust) unit magnitude.
+
+    Scaling by the raw maximum would let rare spikes (cache-miss refills,
+    syscalls) squeeze the ordinary loop activity -- and with it the
+    sidebands EDDIE depends on -- down toward the noise floor. Instead the
+    waveform is scaled by the 99th percentile of its magnitude and clipped
+    to [-1, 1], which keeps typical loop modulation near full depth
+    regardless of outliers. Normalization affects only amplitudes; the
+    peak *frequencies* EDDIE tests are untouched.
+    """
+    centered = power - power.mean()
+    scale = float(np.percentile(np.abs(centered), 99.0))
+    if scale == 0:
+        return np.zeros_like(centered)
+    return np.clip(centered / scale, -1.0, 1.0)
+
+
+def am_modulate(
+    power: Signal,
+    carrier_amp: float = 1.0,
+    mod_depth: float = 0.5,
+    carrier_offset_hz: float = 0.0,
+) -> Signal:
+    """Amplitude-modulate the clock carrier with a power waveform.
+
+    Args:
+        power: the sampled processor power trace (real-valued).
+        carrier_amp: amplitude of the unmodulated carrier.
+        mod_depth: modulation index (0..1]; the activity contributes at
+            most ``mod_depth * carrier_amp`` of envelope swing.
+        carrier_offset_hz: residual tuning offset of the receiver; places
+            the carrier line at this baseband frequency (useful to keep the
+            carrier visibly distinct from DC, as in the paper's Figure 1).
+
+    Returns:
+        A complex baseband :class:`Signal` at the same sample rate.
+    """
+    if not 0.0 < mod_depth <= 1.0:
+        raise SignalError(f"mod_depth must be in (0, 1], got {mod_depth}")
+    if carrier_amp <= 0:
+        raise SignalError(f"carrier_amp must be positive, got {carrier_amp}")
+    if np.iscomplexobj(power.samples):
+        raise SignalError("power waveform must be real-valued")
+
+    activity = normalize_activity(np.asarray(power.samples, dtype=float))
+    envelope = carrier_amp * (1.0 + mod_depth * activity)
+    if carrier_offset_hz:
+        t = np.arange(len(envelope)) / power.sample_rate
+        carrier = np.exp(2j * np.pi * carrier_offset_hz * t)
+        samples = envelope * carrier
+    else:
+        samples = envelope.astype(complex)
+    return Signal(samples, power.sample_rate, power.t0)

@@ -1,0 +1,106 @@
+"""SDR-like receiver front end.
+
+Models the relevant behaviour of the paper's acquisition chain (Keysight
+scope or USRP B200-mini): front-end gain, optional band-limiting around the
+carrier with decimation, and quantization. The output is the IQ stream that
+EDDIE's STFT consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.errors import SignalError
+from repro.types import Signal
+
+__all__ = ["Receiver"]
+
+
+@dataclass(frozen=True)
+class Receiver:
+    """Receiver front-end configuration.
+
+    Attributes:
+        gain: linear front-end gain.
+        decimation: integer decimation factor; >1 band-limits the signal to
+            the inner ``1/decimation`` of the band with an anti-alias FIR
+            before downsampling.
+        adc_bits: quantizer resolution; ``None`` for ideal (float) capture.
+        adc_full_scale: full-scale amplitude of the quantizer.
+        dc_offset: additive DC at the mixer output (cheap direct-conversion
+            SDRs have a notorious DC spike).
+        iq_imbalance_db: gain imbalance between the I and Q chains in dB;
+            produces an image of every spectral component mirrored about
+            the tuning frequency.
+        lo_drift_hz_per_s: linear local-oscillator drift; slowly smears
+            every spectral line over the capture.
+
+    The impairment defaults are zero (ideal capture, the Keysight-scope
+    setting); nonzero values model the paper's <$800 USRP / <$100 custom
+    receiver claim (Section 5.1), exercised by
+    ``benchmarks/bench_receiver_robustness.py``.
+    """
+
+    gain: float = 1.0
+    decimation: int = 1
+    adc_bits: Optional[int] = None
+    adc_full_scale: float = 4.0
+    dc_offset: complex = 0.0
+    iq_imbalance_db: float = 0.0
+    lo_drift_hz_per_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise SignalError(f"gain must be positive, got {self.gain}")
+        if self.decimation < 1:
+            raise SignalError(f"decimation must be >= 1, got {self.decimation}")
+        if self.adc_bits is not None and not 2 <= self.adc_bits <= 24:
+            raise SignalError(f"adc_bits must be 2..24, got {self.adc_bits}")
+        if self.iq_imbalance_db < 0:
+            raise SignalError("iq_imbalance_db must be >= 0")
+
+    def capture(self, signal: Signal) -> Signal:
+        """Apply the front end to a received signal."""
+        samples = signal.samples * self.gain
+        rate = signal.sample_rate
+
+        if self.lo_drift_hz_per_s and np.iscomplexobj(samples):
+            t = signal.t0 + np.arange(len(samples)) / rate
+            # Instantaneous offset f(t) = drift * t; phase = pi * drift * t^2.
+            samples = samples * np.exp(1j * np.pi * self.lo_drift_hz_per_s * t**2)
+
+        if self.iq_imbalance_db and np.iscomplexobj(samples):
+            # Q-chain gain error epsilon: y = I + j*(1+eps)*Q, equivalently
+            # a scaled image of the conjugate signal.
+            epsilon = 10.0 ** (self.iq_imbalance_db / 20.0) - 1.0
+            samples = samples + 1j * epsilon * samples.imag
+
+        if self.dc_offset:
+            samples = samples + self.dc_offset
+
+        if self.decimation > 1:
+            # Anti-alias low-pass at the post-decimation Nyquist.
+            cutoff = 0.8 / self.decimation  # fraction of input Nyquist
+            taps = sp_signal.firwin(65, cutoff)
+            samples = sp_signal.lfilter(taps, 1.0, samples)
+            samples = samples[:: self.decimation]
+            rate = rate / self.decimation
+
+        if self.adc_bits is not None:
+            step = 2.0 * self.adc_full_scale / (1 << self.adc_bits)
+            if np.iscomplexobj(samples):
+                real = self._quantize(samples.real, step)
+                imag = self._quantize(samples.imag, step)
+                samples = real + 1j * imag
+            else:
+                samples = self._quantize(samples, step)
+
+        return Signal(samples, rate, signal.t0)
+
+    def _quantize(self, values: np.ndarray, step: float) -> np.ndarray:
+        clipped = np.clip(values, -self.adc_full_scale, self.adc_full_scale)
+        return np.round(clipped / step) * step

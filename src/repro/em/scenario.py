@@ -1,0 +1,109 @@
+"""One-call EM monitoring scenario: program -> core -> channel -> receiver.
+
+:class:`EmScenario` is the synthetic counterpart of the paper's real-IoT
+setup (Section 5.1): the program runs on the core model, its power waveform
+amplitude-modulates the clock carrier, the emission crosses the near-field
+channel, and the receiver captures IQ samples -- together with the
+ground-truth timeline the training instrumentation would record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.config import CoreConfig
+from repro.arch.simulator import SimulationResult, Simulator
+from repro.em.channel import ChannelModel
+from repro.em.modulation import am_modulate
+from repro.em.receiver import Receiver
+from repro.types import RegionTimeline, Signal
+
+__all__ = ["EmTrace", "EmScenario"]
+
+
+@dataclass
+class EmTrace:
+    """One captured EM monitoring trace with its ground truth."""
+
+    iq: Signal
+    timeline: RegionTimeline
+    injected_spans: List[Tuple[float, float]]
+    instr_count: int
+    injected_instr_count: int
+    inputs: Dict[str, float]
+
+    @property
+    def duration(self) -> float:
+        return self.iq.duration
+
+    def contains_injection(self, start: float, end: float) -> bool:
+        """Whether [start, end) overlaps any injected span."""
+        return any(s < end and start < e for s, e in self.injected_spans)
+
+
+@dataclass
+class EmScenario:
+    """A reusable program-on-device EM capture setup.
+
+    The underlying :class:`~repro.arch.simulator.Simulator` is exposed as
+    ``.simulator`` so injections can be configured exactly as for power
+    traces.
+    """
+
+    simulator: Simulator
+    channel: ChannelModel = field(default_factory=ChannelModel)
+    receiver: Receiver = field(default_factory=Receiver)
+    mod_depth: float = 0.5
+    carrier_offset_hz: float = 0.0
+
+    @classmethod
+    def build(
+        cls,
+        program,
+        core: Optional[CoreConfig] = None,
+        channel: Optional[ChannelModel] = None,
+        receiver: Optional[Receiver] = None,
+        mod_depth: float = 0.5,
+        carrier_offset_hz: float = 0.0,
+    ) -> "EmScenario":
+        """Construct a scenario from a program and a core config."""
+        core = core or CoreConfig.iot_inorder()
+        return cls(
+            simulator=Simulator(program, core),
+            channel=channel or ChannelModel(),
+            receiver=receiver or Receiver(),
+            mod_depth=mod_depth,
+            carrier_offset_hz=carrier_offset_hz,
+        )
+
+    @property
+    def machine(self):
+        """The program's region-level state machine."""
+        return self.simulator.machine
+
+    def capture(
+        self,
+        seed: Optional[int] = None,
+        inputs: Optional[Mapping[str, float]] = None,
+    ) -> EmTrace:
+        """Run the program once and capture its EM emanations."""
+        rng = np.random.default_rng(seed)
+        result: SimulationResult = self.simulator.run(rng=rng, inputs=inputs)
+        emission = am_modulate(
+            result.power,
+            mod_depth=self.mod_depth,
+            carrier_offset_hz=self.carrier_offset_hz,
+        )
+        received = self.channel.apply(emission, rng)
+        iq = self.receiver.capture(received)
+        return EmTrace(
+            iq=iq,
+            timeline=result.timeline,
+            injected_spans=result.injected_spans,
+            instr_count=result.instr_count,
+            injected_instr_count=result.injected_instr_count,
+            inputs=result.inputs,
+        )

@@ -1,0 +1,38 @@
+"""Exception hierarchy shared across the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class AnalysisError(ReproError):
+    """A static analysis (CFG, dominators, loops, regions) failed.
+
+    Typically the input program violates a structural assumption, e.g. the
+    entry block is unreachable or a loop is irreducible.
+    """
+
+
+class SimulationError(ReproError):
+    """The architectural simulator could not execute the program."""
+
+
+class SignalError(ReproError):
+    """A signal-processing step received malformed input."""
+
+
+class TrainingError(ReproError):
+    """EDDIE training could not build a usable model."""
+
+
+class MonitoringError(ReproError):
+    """EDDIE monitoring was invoked with an unusable model or trace."""

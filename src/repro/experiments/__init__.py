@@ -1,0 +1,28 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes ``run(scale: Scale) -> <Result>`` and a
+``format_*`` function that renders the result in the shape the paper
+reports (table rows or plotted series as aligned text). The bench suite
+(``benchmarks/``) calls these with a down-scaled :class:`Scale`;
+``Scale.paper()`` records the paper-faithful parameters.
+
+Index (see DESIGN.md section 3 for the full mapping):
+
+- :mod:`repro.experiments.fig1_spectrum` -- AM sideband geometry
+- :mod:`repro.experiments.fig2_distribution` -- parametric-fit failure
+- :mod:`repro.experiments.fig3_buffer_size` -- group-size selection
+- :mod:`repro.experiments.table1_iot` -- EM (IoT) headline results
+- :mod:`repro.experiments.table2_sim` -- simulator power-signal results
+- :mod:`repro.experiments.fig4_inorder_ooo` -- per-region latency, core kinds
+- :mod:`repro.experiments.anova_architecture` -- 51-config sensitivity study
+- :mod:`repro.experiments.fig5_contamination` -- FN rate vs contamination
+- :mod:`repro.experiments.fig7_contamination_latency` -- latency vs contamination
+- :mod:`repro.experiments.fig6_injection_size` -- TPR vs latency, 2-8 instrs
+- :mod:`repro.experiments.fig8_burst_size` -- TPR vs latency, 100k-500k bursts
+- :mod:`repro.experiments.fig9_confidence` -- FP vs latency, K-S confidence
+- :mod:`repro.experiments.fig10_instruction_type` -- on-chip vs off-chip
+"""
+
+from repro.experiments.runner import Scale
+
+__all__ = ["Scale"]

@@ -1,0 +1,253 @@
+"""Section 5.3's architecture-sensitivity study (N-way ANOVA, 51 configs).
+
+The paper simulates 51 core configurations (in-order: 3 issue widths x 2
+pipeline depths; OOO: 3 widths x 3 depths x 5 ROB sizes), runs 3
+benchmarks on each, and uses N-way ANOVA on EDDIE's results. Findings:
+
+- core kind matters: OOO needs significantly more latency;
+- for in-order cores, neither width nor depth is significant;
+- for OOO cores, width and ROB size are not significant, but pipeline
+  depth has a weak but significant effect on latency (deeper pipeline =>
+  bigger mispredict penalty => more timing variation in branchy loops);
+- the depth effect fades as the injection gets larger.
+
+Reproduction: response = mean selected group size per benchmark/config
+expressed as latency; three ANOVA tables (combined / in-order / OOO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.arch.config import CoreConfig, architecture_sweep
+from repro.core.stats.anova import AnovaResult, n_way_anova
+from repro.experiments.report import format_table
+from repro.experiments.runner import Scale, build_detector
+from repro.programs.mibench import BENCHMARKS
+
+__all__ = [
+    "AnovaStudyResult",
+    "DepthInteractionResult",
+    "run",
+    "run_depth_injection_interaction",
+    "format",
+    "format_depth_interaction",
+]
+
+_PROGRAMS = ("basicmath", "bitcount", "susan")
+
+
+@dataclass
+class Observation:
+    config: CoreConfig
+    benchmark: str
+    latency_ms: float
+
+
+@dataclass
+class AnovaStudyResult:
+    observations: List[Observation]
+    combined: AnovaResult
+    inorder: Optional[AnovaResult]
+    ooo: Optional[AnovaResult]
+
+
+def run(scale: Scale, configs: Optional[Sequence[CoreConfig]] = None) -> AnovaStudyResult:
+    """Run the study; pass ``configs`` to subsample the 51-point sweep."""
+    if configs is None:
+        configs = architecture_sweep(clock_hz=scale.clock_hz)
+
+    observations: List[Observation] = []
+    for config in configs:
+        for name in _PROGRAMS:
+            detector = build_detector(
+                BENCHMARKS[name](), scale, source="power", core=config
+            )
+            hop = detector.model.hop_duration
+            group_sizes = [
+                p.group_size
+                for region, p in detector.model.profiles.items()
+                if region.startswith("loop:")
+            ]
+            observations.append(
+                Observation(
+                    config=config,
+                    benchmark=name,
+                    latency_ms=float(np.mean(group_sizes)) * hop * 1e3,
+                )
+            )
+
+    y = [obs.latency_ms for obs in observations]
+    combined = n_way_anova(
+        {
+            "kind": [obs.config.kind for obs in observations],
+            "width": [obs.config.issue_width for obs in observations],
+            "depth": [obs.config.pipeline_depth for obs in observations],
+            "benchmark": [obs.benchmark for obs in observations],
+        },
+        y,
+    )
+
+    def subset(kind: str, factors: Dict[str, List]) -> Optional[AnovaResult]:
+        members = [obs for obs in observations if obs.config.kind == kind]
+        if len({obs.config.name for obs in members}) < 3:
+            return None
+        return n_way_anova(
+            {
+                name: [getter(obs) for obs in members]
+                for name, getter in factors.items()
+            },
+            [obs.latency_ms for obs in members],
+        )
+
+    inorder = subset(
+        "inorder",
+        {
+            "width": lambda o: o.config.issue_width,
+            "depth": lambda o: o.config.pipeline_depth,
+            "benchmark": lambda o: o.benchmark,
+        },
+    )
+    ooo = subset(
+        "ooo",
+        {
+            "width": lambda o: o.config.issue_width,
+            "depth": lambda o: o.config.pipeline_depth,
+            "rob": lambda o: o.config.rob_size,
+            "benchmark": lambda o: o.benchmark,
+        },
+    )
+    return AnovaStudyResult(
+        observations=observations, combined=combined, inorder=inorder, ooo=ooo
+    )
+
+
+@dataclass
+class DepthInteractionResult:
+    """Paper §5.3's last finding: the pipeline-depth effect on OOO
+    detection latency diminishes as the injection grows.
+
+    ``latencies[(depth, size)]`` is the mean measured detection latency in
+    ms over benchmarks and runs; ``spread(size)`` is the max-min across
+    depths at that injection size.
+    """
+
+    latencies: Dict[tuple, float]
+    depths: List[int]
+    sizes: List[int]
+
+    def spread(self, size: int) -> float:
+        values = [self.latencies[(d, size)] for d in self.depths
+                  if (d, size) in self.latencies]
+        return max(values) - min(values) if values else 0.0
+
+
+def run_depth_injection_interaction(
+    scale: Scale,
+    depths: Sequence[int] = (8, 14, 20),
+    sizes: Sequence[int] = (2, 16),
+) -> DepthInteractionResult:
+    """Measure detection latency across OOO pipeline depths for a small
+    and a large loop injection (paper §5.3, last paragraph)."""
+    from repro.core.metrics import aggregate_metrics
+    from repro.experiments.runner import capture_traces
+    from repro.programs.mibench import INJECTION_LOOPS
+    from repro.programs.workloads import injection_mix
+
+    benchmarks = ("bitcount", "susan")
+    latencies: Dict[tuple, List[float]] = {}
+    for depth in depths:
+        core = CoreConfig(
+            kind="ooo", issue_width=2, pipeline_depth=depth, rob_size=64,
+            clock_hz=scale.clock_hz, name=f"ooo-d{depth}",
+        )
+        for name in benchmarks:
+            detector = build_detector(
+                BENCHMARKS[name](), scale, source="power", core=core
+            )
+            simulator = detector.source
+            for size in sizes:
+                payload = injection_mix(size // 2, size - size // 2)
+                simulator.set_loop_injection(INJECTION_LOOPS[name], payload, 1.0)
+                traces = capture_traces(
+                    detector,
+                    [scale.injected_seed(size * 10 + k)
+                     for k in range(scale.injected_runs)],
+                )
+                simulator.clear_injections()
+                metrics = aggregate_metrics(
+                    [detector.monitor_trace(t).metrics for t in traces]
+                )
+                if metrics.detection_latency is not None:
+                    latencies.setdefault((depth, size), []).append(
+                        metrics.detection_latency * 1e3
+                    )
+    return DepthInteractionResult(
+        latencies={
+            key: float(np.mean(values)) for key, values in latencies.items()
+        },
+        depths=list(depths),
+        sizes=list(sizes),
+    )
+
+
+def format_depth_interaction(result: DepthInteractionResult) -> str:
+    rows = []
+    for depth in result.depths:
+        rows.append(
+            [str(depth)] + [
+                result.latencies.get((depth, size)) for size in result.sizes
+            ]
+        )
+    rows.append(
+        ["spread (max-min)"] + [result.spread(size) for size in result.sizes]
+    )
+    return format_table(
+        "Depth x injection-size interaction: OOO detection latency (ms)",
+        ["pipeline depth"] + [f"{size}-instr injection" for size in result.sizes],
+        rows,
+    )
+
+
+def _anova_rows(result: AnovaResult) -> List[List]:
+    rows = []
+    for name, effect in result.effects.items():
+        rows.append(
+            [name, effect.df, effect.f_stat, effect.pvalue,
+             "yes" if effect.significant() else "no"]
+        )
+    return rows
+
+
+def format(result: AnovaStudyResult) -> str:
+    parts = []
+    by_kind: Dict[str, List[float]] = {}
+    for obs in result.observations:
+        by_kind.setdefault(obs.config.kind, []).append(obs.latency_ms)
+    parts.append(
+        format_table(
+            "Mean detection latency by core kind (ms)",
+            ["Kind", "Mean latency (ms)", "Observations"],
+            [
+                [kind, float(np.mean(vals)), len(vals)]
+                for kind, vals in sorted(by_kind.items())
+            ],
+        )
+    )
+    tables = [("combined", result.combined), ("in-order subset", result.inorder),
+              ("OOO subset", result.ooo)]
+    for label, table in tables:
+        if table is None:
+            continue
+        parts.append(
+            format_table(
+                f"N-way ANOVA on detection latency ({label})",
+                ["Factor", "df", "F", "p-value", "significant (5%)"],
+                _anova_rows(table),
+                digits=4,
+            )
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,110 @@
+"""Figure 3: K-S group-size selection for three kinds of loops.
+
+The paper's Figure 3 plots false-rejection rate against detection latency
+(the group size n expressed in time) for three loops: one whose spectrum
+has a single sharp peak (left -- rate collapses to ~0 within ~2.5 ms),
+one with several peaks (middle -- needs ~25 ms), and one with poorly
+defined peaks (right -- stays high out to hundreds of ms). This motivates
+selecting n per region.
+
+Reproduction: the three loop shapes from :mod:`repro.programs.workloads`,
+trained and validated over EM captures; the per-n false-rejection rates
+come from the same routine training uses
+(:func:`repro.core.training.group_rejection_rates`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.arch.config import CoreConfig
+from repro.core.model import EddieConfig
+from repro.core.peaks import peak_matrix
+from repro.core.stft import stft
+from repro.core.training import group_rejection_rates, label_windows, _choose_num_peaks
+from repro.em.scenario import EmScenario
+from repro.experiments.report import format_series
+from repro.experiments.runner import Scale
+from repro.programs.workloads import (
+    diffuse_loop_program,
+    multi_peak_loop_program,
+    sharp_loop_program,
+)
+
+__all__ = ["Fig3Result", "run", "format"]
+
+
+@dataclass
+class Fig3Result:
+    # Loop kind -> [(latency_ms, false rejection %)]
+    curves: Dict[str, List[Tuple[float, float]]]
+    selected_n: Dict[str, int]
+    hop_ms: float
+
+
+def _region_windows(scenario: EmScenario, seeds, region: str, cfg: EddieConfig):
+    rows = []
+    for seed in seeds:
+        trace = scenario.capture(seed=seed)
+        spectra = stft(trace.iq, cfg.window_samples, cfg.overlap)
+        peaks = peak_matrix(
+            spectra, cfg.energy_fraction, cfg.max_peaks, cfg.peak_prominence
+        )
+        labels = label_windows(spectra, trace.timeline)
+        rows.append(peaks[[i for i, lbl in enumerate(labels) if lbl == region]])
+    return np.concatenate(rows, axis=0)
+
+
+def run(scale: Scale) -> Fig3Result:
+    cfg = EddieConfig()
+    core = CoreConfig.iot_inorder(clock_hz=scale.clock_hz)
+    programs = {
+        "sharp peak": sharp_loop_program(trips=12000),
+        "several peaks": multi_peak_loop_program(trips=12000),
+        "diffuse peaks": diffuse_loop_program(trips=9000),
+    }
+    hop_s = cfg.window_samples * (1 - cfg.overlap) / core.sample_rate
+
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    selected: Dict[str, int] = {}
+    for kind, program in programs.items():
+        scenario = EmScenario.build(program, core=core)
+        n_runs = max(2, scale.train_runs)
+        windows = _region_windows(
+            scenario, [scale.train_seed(k) for k in range(n_runs)],
+            "loop:L", cfg,
+        )
+        half = len(windows) // 2
+        reference, validation = windows[:half], windows[half:]
+        num_peaks = _choose_num_peaks(reference, cfg)
+        rates = group_rejection_rates(
+            reference, validation, num_peaks, cfg, scale.group_sizes
+        )
+        curves[kind] = [
+            (n * hop_s * 1e3, 100.0 * rate) for n, rate in sorted(rates.items())
+        ]
+        if rates:
+            best = min(rates.values())
+            selected[kind] = min(
+                n for n, r in rates.items() if r <= best + 0.005
+            )
+        else:
+            selected[kind] = min(scale.group_sizes)
+
+    return Fig3Result(curves=curves, selected_n=selected, hop_ms=hop_s * 1e3)
+
+
+def format(result: Fig3Result) -> str:
+    body = format_series(
+        "Figure 3: false-rejection rate vs detection latency (group size n)",
+        "latency (ms)",
+        {kind: points for kind, points in result.curves.items()},
+    )
+    picks = ", ".join(
+        f"{kind}: n={n} ({n * result.hop_ms:.2f} ms)"
+        for kind, n in result.selected_n.items()
+    )
+    return body + f"\n\nselected group sizes -> {picks}"

@@ -1,0 +1,88 @@
+"""Figure 4: detection latency per code region, in-order vs out-of-order.
+
+The paper simulates the same benchmarks (Basicmath, Bitcount, Susan) on
+in-order and out-of-order cores and finds EDDIE's detection latency --
+driven by the group size n each region needs -- is significantly higher on
+the OOO core, because dynamic scheduling adds variation among STSs and
+more STSs are needed to capture the distribution (Section 5.3, Figure 4).
+
+Reproduction: train on the simulator power signal for both core kinds and
+report each loop region's selected n expressed as latency, plus the
+average -- the paper's bar chart as a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.arch.config import CoreConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import Scale, build_detector
+from repro.programs.mibench import BENCHMARKS
+
+__all__ = ["Fig4Result", "run", "format"]
+
+_PROGRAMS = ("basicmath", "bitcount", "susan")
+
+
+@dataclass
+class Fig4Result:
+    # (benchmark, region) -> {kind: latency_ms}
+    latencies: Dict[Tuple[str, str], Dict[str, float]]
+
+    def mean_latency(self, kind: str) -> float:
+        return float(
+            np.mean([lat[kind] for lat in self.latencies.values() if kind in lat])
+        )
+
+
+def _core(kind: str, clock_hz: float) -> CoreConfig:
+    if kind == "inorder":
+        return CoreConfig(
+            kind="inorder", issue_width=2, pipeline_depth=12,
+            clock_hz=clock_hz, name="fig4-inorder",
+        )
+    return CoreConfig(
+        kind="ooo", issue_width=2, pipeline_depth=12, rob_size=64,
+        clock_hz=clock_hz, name="fig4-ooo",
+    )
+
+
+def run(scale: Scale) -> Fig4Result:
+    latencies: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for name in _PROGRAMS:
+        for kind in ("inorder", "ooo"):
+            detector = build_detector(
+                BENCHMARKS[name](), scale, source="power",
+                core=_core(kind, scale.clock_hz),
+            )
+            hop = detector.model.hop_duration
+            for region, profile in detector.model.profiles.items():
+                if not region.startswith("loop:"):
+                    continue
+                key = (name, region)
+                latencies.setdefault(key, {})[kind] = (
+                    profile.group_size * hop * 1e3
+                )
+    return Fig4Result(latencies=latencies)
+
+
+def format(result: Fig4Result) -> str:
+    rows: List[List] = []
+    for idx, ((bench, region), lats) in enumerate(
+        sorted(result.latencies.items()), start=1
+    ):
+        rows.append(
+            [str(idx), f"{bench}:{region}", lats.get("ooo"), lats.get("inorder")]
+        )
+    rows.append(
+        ["Avg", "", result.mean_latency("ooo"), result.mean_latency("inorder")]
+    )
+    return format_table(
+        "Figure 4: detection latency per region, OOO vs in-order (ms)",
+        ["#", "Region", "OOO", "In-order"],
+        rows,
+    )

@@ -1,0 +1,18 @@
+"""Figure 7: detection latency for variable injection (contamination) rates.
+
+Thin wrapper over :mod:`repro.experiments.contamination`; see there.
+"""
+
+from repro.experiments.contamination import ContaminationResult, format_fig7
+from repro.experiments.contamination import run as _run
+from repro.experiments.runner import Scale
+
+__all__ = ["run", "format"]
+
+
+def run(scale: Scale) -> ContaminationResult:
+    return _run(scale)
+
+
+def format(result: ContaminationResult) -> str:
+    return format_fig7(result)

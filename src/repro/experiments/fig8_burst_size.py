@@ -1,0 +1,82 @@
+"""Figure 8: accuracy vs number of instructions injected outside loops.
+
+Section 5.5: bursts of 100k-500k dynamic instructions (an empty loop whose
+iteration count varies) injected between loops 2 and 3 of Bitcount. Larger
+bursts are detected at shorter latency; all sizes reach high TPR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.arch.simulator import BurstSpec
+from repro.experiments.report import format_series
+from repro.experiments.runner import (
+    Scale,
+    build_detector,
+    capture_traces,
+    sweep_group_sizes,
+)
+from repro.programs.mibench import BENCHMARKS
+from repro.programs.workloads import int_kernel
+
+__all__ = ["Fig8Result", "run", "format"]
+
+def _sweep_sizes(scale: Scale):
+    """Group sizes swept; capped so n stays below the (scaled-down) region
+    dwell time -- a group spanning multiple regions is meaningless."""
+    sizes = [n for n in scale.group_sizes if n <= 32]
+    return sizes or [min(scale.group_sizes)]
+
+
+# The paper's burst sizes (dynamic instructions).
+_SIZES = (100_000, 187_000, 218_000, 315_000, 400_000, 500_000)
+
+
+@dataclass
+class Fig8Result:
+    # burst size -> [(latency_ms, TPR %)]
+    curves: Dict[int, List[Tuple[float, float]]]
+
+
+def run(scale: Scale) -> Fig8Result:
+    detector = build_detector(BENCHMARKS["bitcount"](), scale, source="em")
+    simulator = detector.source.simulator
+    hop = detector.model.hop_duration
+    body = tuple(int_kernel(50, "burst"))  # the "empty loop" body
+
+    curves: Dict[int, List[Tuple[float, float]]] = {}
+    for size in _SIZES:
+        simulator.clear_injections()
+        simulator.add_burst(
+            BurstSpec(
+                after_region="loop:count2",
+                body=body,
+                iterations=max(1, size // len(body)),
+            )
+        )
+        traces = capture_traces(
+            detector,
+            [scale.injected_seed(size // 1000 + k)
+             for k in range(scale.injected_runs)],
+        )
+        simulator.clear_injections()
+        by_n = sweep_group_sizes(detector, traces, _sweep_sizes(scale))
+        curves[size] = [
+            (n * hop * 1e3,
+             metrics.true_positive_rate
+             if metrics.true_positive_rate is not None else 0.0)
+            for n, metrics in sorted(by_n.items())
+        ]
+    return Fig8Result(curves=curves)
+
+
+def format(result: Fig8Result) -> str:
+    return format_series(
+        "Figure 8: TPR vs latency for bursts injected between bitcount "
+        "loops 2 and 3",
+        "latency (ms)",
+        {f"{size // 1000}k instr": pts for size, pts in sorted(result.curves.items())},
+        digits=1,
+    )

@@ -1,0 +1,73 @@
+"""Figure 9: false positives vs K-S confidence level.
+
+Section 5.6: the K-S confidence level trades false rejections against
+false acceptances. At 99% confidence the false-rejection rate practically
+vanishes at reasonable latency; at 95%/97% it stays substantial even at
+long latencies (the paper's curves reach 60%+ at small n). The paper uses
+99% everywhere else.
+
+Reproduction: per-group K-S false-rejection rates (the same quantity as
+Figure 3) on a multi-peak loop region, swept over group size n for each
+confidence level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.arch.config import CoreConfig
+from repro.core.model import EddieConfig
+from repro.core.training import _choose_num_peaks, group_rejection_rates
+from repro.em.scenario import EmScenario
+from repro.experiments.fig3_buffer_size import _region_windows
+from repro.experiments.report import format_series
+from repro.experiments.runner import Scale
+from repro.programs.workloads import multi_peak_loop_program
+
+__all__ = ["Fig9Result", "run", "format"]
+
+_CONFIDENCES = (0.95, 0.97, 0.99)
+
+
+@dataclass
+class Fig9Result:
+    # confidence -> [(latency_ms, false rejection %)]
+    curves: Dict[float, List[Tuple[float, float]]]
+
+
+def run(scale: Scale) -> Fig9Result:
+    core = CoreConfig.iot_inorder(clock_hz=scale.clock_hz)
+    scenario = EmScenario.build(
+        multi_peak_loop_program(trips=12000), core=core
+    )
+    base_cfg = EddieConfig()
+    windows = _region_windows(
+        scenario,
+        [scale.train_seed(k) for k in range(max(2, scale.train_runs))],
+        "loop:L",
+        base_cfg,
+    )
+    half = len(windows) // 2
+    reference, validation = windows[:half], windows[half:]
+    num_peaks = _choose_num_peaks(reference, base_cfg)
+    hop_s = base_cfg.window_samples * (1 - base_cfg.overlap) / core.sample_rate
+
+    curves: Dict[float, List[Tuple[float, float]]] = {}
+    for confidence in _CONFIDENCES:
+        cfg = replace(base_cfg, alpha=1.0 - confidence)
+        rates = group_rejection_rates(
+            reference, validation, num_peaks, cfg, scale.group_sizes
+        )
+        curves[confidence] = [
+            (n * hop_s * 1e3, 100.0 * rate) for n, rate in sorted(rates.items())
+        ]
+    return Fig9Result(curves=curves)
+
+
+def format(result: Fig9Result) -> str:
+    return format_series(
+        "Figure 9: K-S false-rejection rate vs latency at confidence levels",
+        "latency (ms)",
+        {f"{conf:.0%}": pts for conf, pts in sorted(result.curves.items())},
+    )

@@ -1,0 +1,77 @@
+"""Paper-shaped text rendering of experiment results.
+
+Tables render as aligned-column text; figure data renders as labelled
+series (x -> y per line), which is what the bench harness prints so a
+reader can compare against the paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+__all__ = ["format_table", "format_series", "fmt"]
+
+Number = Union[int, float, None]
+
+
+def fmt(value: Number, digits: int = 2) -> str:
+    """Format a possibly-missing number."""
+    if value is None:
+        return "-"
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Union[str, Number]]],
+    digits: int = 2,
+) -> str:
+    """Render an aligned-column table."""
+    text_rows = [
+        [cell if isinstance(cell, str) else fmt(cell, digits) for cell in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out = [title, "=" * len(title), line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in text_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    series: Dict[str, Sequence[Tuple[Number, Number]]],
+    digits: int = 2,
+) -> str:
+    """Render one or more (x, y) series as a compact text plot table.
+
+    All series are merged on their x values, one column per series --
+    the textual equivalent of the paper's multi-line figures.
+    """
+    xs: List[Number] = []
+    for points in series.values():
+        for x, _ in points:
+            if x not in xs:
+                xs.append(x)
+    xs.sort(key=lambda v: (v is None, v))
+
+    lookup = {
+        name: {x: y for x, y in points} for name, points in series.items()
+    }
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        rows.append([fmt(x, digits)] + [
+            fmt(lookup[name].get(x), digits) for name in series
+        ])
+    return format_table(title, headers, rows, digits)

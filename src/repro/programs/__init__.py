@@ -1,0 +1,37 @@
+"""Program substrate: a mini-IR and the MiBench-like benchmark programs.
+
+The paper evaluates EDDIE on 10 MiBench C programs compiled for an ARM
+Cortex-A8. We reproduce the *side-channel-relevant* structure of those
+programs -- loop nests, per-iteration instruction mixes, trip counts, and
+data-dependent control flow -- as hand-built CFGs over a small instruction
+set (:mod:`repro.programs.ir`). The arithmetic a benchmark performs is
+irrelevant to EDDIE; its loop periodicity is everything.
+"""
+
+from repro.programs.builder import ProgramBuilder
+from repro.programs.ir import (
+    BasicBlock,
+    Branch,
+    Halt,
+    Instr,
+    Jump,
+    LoopBack,
+    MemRef,
+    OpClass,
+    Program,
+    instruction_helpers,
+)
+
+__all__ = [
+    "OpClass",
+    "MemRef",
+    "Instr",
+    "Jump",
+    "Branch",
+    "LoopBack",
+    "Halt",
+    "BasicBlock",
+    "Program",
+    "ProgramBuilder",
+    "instruction_helpers",
+]

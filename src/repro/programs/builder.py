@@ -1,0 +1,215 @@
+"""Fluent construction of IR programs.
+
+Hand-writing :class:`~repro.programs.ir.BasicBlock` graphs is verbose; the
+builder provides the handful of shapes the MiBench-like benchmarks need:
+straight-line blocks, single-block counted loops, loops whose bodies choose
+among several control paths per iteration, and two-level loop nests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.programs.ir import (
+    BasicBlock,
+    Branch,
+    Halt,
+    Instr,
+    Jump,
+    LoopBack,
+    ParamSpec,
+    ProbSpec,
+    Program,
+    TripSpec,
+    resolve_spec,
+)
+
+__all__ = ["ProgramBuilder"]
+
+
+def _conditional_prob(probs: Sequence[ProbSpec], k: int) -> ProbSpec:
+    """P(path k | paths 0..k-1 not taken) for the selector cascade."""
+    earlier = list(probs[:k])
+    spec = probs[k]
+    if isinstance(spec, (int, float)) and all(
+        isinstance(p, (int, float)) for p in earlier
+    ):
+        remaining = 1.0 - sum(earlier)
+        return float(spec) / remaining if remaining > 0 else 1.0
+
+    def conditional(inputs) -> float:
+        remaining = 1.0 - sum(resolve_spec(p, inputs) for p in earlier)
+        if remaining <= 0:
+            return 1.0
+        return min(1.0, max(0.0, resolve_spec(spec, inputs) / remaining))
+
+    return conditional
+
+
+class ProgramBuilder:
+    """Accumulates blocks and parameters, then builds a validated Program.
+
+    Example::
+
+        b = ProgramBuilder("demo")
+        b.param("n", "int", 500, 1500)
+        b.block("init", [], next_block="L1")
+        b.counted_loop("L1", body=[...], trips="n", exit="done")
+        b.halt("done")
+        program = b.build(entry="init")
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._blocks: List[BasicBlock] = []
+        self._params: List[ParamSpec] = []
+
+    # -- parameters ---------------------------------------------------------
+
+    def param(
+        self,
+        name: str,
+        kind: str,
+        low: float = 0.0,
+        high: float = 1.0,
+        choices: Sequence[float] = (),
+    ) -> "ProgramBuilder":
+        """Declare an input parameter (sampled per run)."""
+        if any(p.name == name for p in self._params):
+            raise ConfigurationError(f"duplicate parameter {name!r}")
+        self._params.append(ParamSpec(name, kind, low, high, tuple(choices)))
+        return self
+
+    # -- primitive blocks ---------------------------------------------------
+
+    def add(self, block: BasicBlock) -> "ProgramBuilder":
+        """Add an explicitly constructed block."""
+        if any(b.name == block.name for b in self._blocks):
+            raise AnalysisError(f"duplicate block name {block.name!r}")
+        self._blocks.append(block)
+        return self
+
+    def block(
+        self,
+        name: str,
+        instrs: Sequence[Instr] = (),
+        next_block: Optional[str] = None,
+    ) -> "ProgramBuilder":
+        """A straight-line block ending in a jump (or Halt if no successor)."""
+        term = Jump(next_block) if next_block is not None else Halt()
+        return self.add(BasicBlock(name, list(instrs), term))
+
+    def halt(self, name: str, instrs: Sequence[Instr] = ()) -> "ProgramBuilder":
+        """A terminal block."""
+        return self.add(BasicBlock(name, list(instrs), Halt()))
+
+    def branch_block(
+        self,
+        name: str,
+        instrs: Sequence[Instr],
+        taken: str,
+        not_taken: str,
+        taken_prob: ProbSpec = 0.5,
+    ) -> "ProgramBuilder":
+        """A block ending in a two-way conditional branch."""
+        return self.add(BasicBlock(name, list(instrs), Branch(taken, not_taken, taken_prob)))
+
+    # -- loop shapes ---------------------------------------------------------
+
+    def counted_loop(
+        self,
+        name: str,
+        body: Sequence[Instr],
+        trips: TripSpec,
+        exit: str,
+    ) -> "ProgramBuilder":
+        """A single-block counted loop (self back-edge).
+
+        This is the canonical "sharp spectral peak" shape: every iteration
+        executes the same instructions, so per-iteration time is nearly
+        constant and the loop's spectral peak is narrow.
+        """
+        return self.add(BasicBlock(name, list(body), LoopBack(name, exit, trips)))
+
+    def branchy_loop(
+        self,
+        name: str,
+        paths: Sequence[Tuple[ProbSpec, Sequence[Instr]]],
+        trips: TripSpec,
+        exit: str,
+        pre: Sequence[Instr] = (),
+        post: Sequence[Instr] = (),
+    ) -> "ProgramBuilder":
+        """A loop whose body takes one of several control paths per iteration.
+
+        ``paths`` is a list of (probability, instructions); probabilities
+        may be literals, input-parameter names, or callables of the input
+        dict, and must sum to 1 (validated at build time for literals, at
+        run time otherwise). Path timing differences broaden/split the
+        loop's spectral peak -- the paper's "several peaks" and "diffuse
+        hump" loop shapes.
+
+        Blocks created: ``name`` (header with ``pre``), ``name.sel<k>``
+        selector blocks, ``name.p<k>`` path blocks, and ``name.latch`` with
+        ``post`` and the back-edge.
+        """
+        if len(paths) < 2:
+            raise ConfigurationError("branchy_loop needs at least two paths")
+        probs = [p for p, _ in paths]
+        all_literal = all(isinstance(p, (int, float)) for p in probs)
+        if all_literal and abs(sum(probs) - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"path probabilities sum to {sum(probs)}, not 1"
+            )
+        latch = f"{name}.latch"
+        # Selector cascade: header branches to path 0 with prob p0, else to
+        # the next selector, which branches to path 1 with renormalized
+        # probability p1/(1-p0), and so on.
+        current = name
+        pre_instrs: Sequence[Instr] = pre
+        for k in range(len(paths) - 1):
+            last_selector = k + 1 >= len(paths) - 1
+            next_sel = f"{name}.p{len(paths) - 1}" if last_selector else f"{name}.sel{k + 1}"
+            conditional = _conditional_prob(probs, k)
+            self.branch_block(
+                current, pre_instrs, taken=f"{name}.p{k}", not_taken=next_sel,
+                taken_prob=conditional,
+            )
+            current = next_sel
+            pre_instrs = ()
+        for k, (_, instrs) in enumerate(paths):
+            self.block(f"{name}.p{k}", instrs, next_block=latch)
+        self.add(BasicBlock(latch, list(post), LoopBack(name, exit, trips)))
+        return self
+
+    def nested_loop(
+        self,
+        name: str,
+        inner_body: Sequence[Instr],
+        inner_trips: TripSpec,
+        outer_trips: TripSpec,
+        exit: str,
+        outer_pre: Sequence[Instr] = (),
+        outer_post: Sequence[Instr] = (),
+    ) -> "ProgramBuilder":
+        """A two-level counted loop nest.
+
+        Blocks created: ``name`` (outer header with ``outer_pre``),
+        ``name.inner`` (inner self-loop), ``name.latch`` (``outer_post``
+        plus outer back-edge). The paper merges the entire nest into one
+        region; the inner loop's iteration frequency dominates the spectrum
+        with a lower-frequency component from the outer loop.
+        """
+        inner = f"{name}.inner"
+        latch = f"{name}.latch"
+        self.block(name, outer_pre, next_block=inner)
+        self.add(BasicBlock(inner, list(inner_body), LoopBack(inner, latch, inner_trips)))
+        self.add(BasicBlock(latch, list(outer_post), LoopBack(name, exit, outer_trips)))
+        return self
+
+    # -- build ----------------------------------------------------------------
+
+    def build(self, entry: str) -> Program:
+        """Validate and return the finished Program."""
+        return Program(self.name, self._blocks, entry, self._params)

@@ -1,0 +1,67 @@
+"""MiBench-like benchmark programs (the paper's 10 evaluation workloads).
+
+Each module builds one program whose *side-channel-relevant* structure
+follows the corresponding MiBench C benchmark: number and nesting of hot
+loops, per-iteration instruction mix, data-dependent control flow, and the
+published quirks (e.g. GSM's peak-less loop that costs it coverage, Susan's
+border-heavy regions that cost it accuracy).
+
+``BENCHMARKS`` maps benchmark name to its builder; ``INJECTION_LOOPS``
+names each benchmark's default loop-injection target (a hot loop header).
+"""
+
+from typing import Callable, Dict
+
+from repro.programs.ir import Program
+from repro.programs.mibench.basicmath import basicmath
+from repro.programs.mibench.bitcount import bitcount
+from repro.programs.mibench.dijkstra import dijkstra
+from repro.programs.mibench.fft import fft
+from repro.programs.mibench.gsm import gsm
+from repro.programs.mibench.patricia import patricia
+from repro.programs.mibench.rijndael import rijndael
+from repro.programs.mibench.sha import sha
+from repro.programs.mibench.stringsearch import stringsearch
+from repro.programs.mibench.susan import susan
+
+BENCHMARKS: Dict[str, Callable[[], Program]] = {
+    "bitcount": bitcount,
+    "basicmath": basicmath,
+    "susan": susan,
+    "dijkstra": dijkstra,
+    "patricia": patricia,
+    "gsm": gsm,
+    "fft": fft,
+    "sha": sha,
+    "rijndael": rijndael,
+    "stringsearch": stringsearch,
+}
+
+# Default loop-body injection target per benchmark (a hot loop header).
+INJECTION_LOOPS: Dict[str, str] = {
+    "bitcount": "count2",
+    "basicmath": "cubic",
+    "susan": "smooth.inner",
+    "dijkstra": "relax.inner",
+    "patricia": "lookup",
+    "gsm": "stf",
+    "fft": "butterfly.inner",
+    "sha": "rounds",
+    "rijndael": "encrypt",
+    "stringsearch": "scan",
+}
+
+__all__ = [
+    "BENCHMARKS",
+    "INJECTION_LOOPS",
+    "bitcount",
+    "basicmath",
+    "susan",
+    "dijkstra",
+    "patricia",
+    "gsm",
+    "fft",
+    "sha",
+    "rijndael",
+    "stringsearch",
+]

@@ -1,0 +1,37 @@
+"""basicmath: cubic roots, integer square roots, angle conversions.
+
+MiBench's ``basicmath`` loops over batches of cubic equations, isqrt
+calls, and degree/radian conversions -- three floating-point-heavy loop
+phases. FP latency chains give the loops longer, very stable periods, so
+the program is one of EDDIE's easiest targets (99.9% accuracy in both of
+the paper's tables).
+"""
+
+from __future__ import annotations
+
+from repro.programs.builder import ProgramBuilder
+from repro.programs.ir import Program
+from repro.programs.workloads import fp_kernel, int_kernel
+
+__all__ = ["basicmath"]
+
+
+def basicmath() -> Program:
+    b = ProgramBuilder("basicmath")
+    b.param("n_eq", "int", 900, 1500)
+    b.param("n_sqrt", "int", 1200, 2000)
+    b.param("n_angle", "int", 1500, 2400)
+
+    b.block("setup", int_kernel(30, "s"), next_block="cubic")
+    # solve_cubic(): heavy FP with divides per equation.
+    b.counted_loop(
+        "cubic", fp_kernel(140, "c", div_every=18), trips="n_eq", exit="mid1"
+    )
+    b.block("mid1", int_kernel(24, "m1"), next_block="isqrt")
+    # usqrt(): integer shift/add iterations.
+    b.counted_loop("isqrt", int_kernel(180, "q"), trips="n_sqrt", exit="mid2")
+    b.block("mid2", int_kernel(24, "m2"), next_block="angles")
+    # deg2rad/rad2deg: FP multiplies.
+    b.counted_loop("angles", fp_kernel(110, "g"), trips="n_angle", exit="done")
+    b.halt("done", int_kernel(16, "d"))
+    return b.build(entry="setup")

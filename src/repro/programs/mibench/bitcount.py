@@ -1,0 +1,46 @@
+"""bitcount: seven bit-counting algorithms run back to back.
+
+MiBench's ``bitcnts`` times a series of bit-counting kernels over the same
+random input array; each kernel is one tight integer loop, giving the
+program a chain of loop regions with sharp spectral peaks. We model five
+kernels (the paper instruments five loop nests for Susan and reports burst
+injection "between loop 2 and 3" of bitcount, which needs at least three).
+
+Regions: 5 counted loops (count1..count5) with distinct body sizes, so each
+has a distinct peak frequency.
+"""
+
+from __future__ import annotations
+
+from repro.programs.builder import ProgramBuilder
+from repro.programs.ir import Program
+from repro.programs.workloads import int_kernel, mem_kernel
+
+__all__ = ["bitcount"]
+
+
+def bitcount() -> Program:
+    b = ProgramBuilder("bitcount")
+    b.param("iters", "int", 1600, 2600)
+
+    b.block("setup", int_kernel(40, "s") + mem_kernel(8, "s", "input", 1 << 16),
+            next_block="count1")
+
+    # Five bit-counting kernels with different per-iteration work:
+    # table-lookup, shift-and-mask, Kernighan, nibble, and parallel counts.
+    bodies = {
+        "count1": int_kernel(120, "a") + mem_kernel(4, "a", "table", 2048),
+        "count2": int_kernel(160, "b"),
+        "count3": int_kernel(200, "c"),
+        "count4": int_kernel(250, "d") + mem_kernel(4, "d", "input", 1 << 16),
+        "count5": int_kernel(310, "e"),
+    }
+    names = list(bodies)
+    for i, name in enumerate(names):
+        nxt = f"mid{i + 1}" if i + 1 < len(names) else "report"
+        b.counted_loop(name, bodies[name], trips="iters", exit=nxt)
+        if i + 1 < len(names):
+            b.block(f"mid{i + 1}", int_kernel(30, f"m{i}"), next_block=names[i + 1])
+
+    b.halt("report", int_kernel(25, "r"))
+    return b.build(entry="setup")

@@ -1,0 +1,45 @@
+"""dijkstra: single-source shortest paths over an adjacency matrix.
+
+MiBench's ``dijkstra`` repeatedly scans the node array for the unvisited
+minimum and relaxes its neighbours -- an outer per-node loop around an
+inner scan loop, memory-bound over the adjacency matrix. The inner scan
+dominates and gives the program its spectral peak; the relaxation's
+data-dependent branch adds moderate timing spread.
+"""
+
+from __future__ import annotations
+
+from repro.programs.builder import ProgramBuilder
+from repro.programs.ir import Program
+from repro.programs.workloads import int_kernel, mem_kernel, mixed_kernel
+
+__all__ = ["dijkstra"]
+
+_MATRIX = 1 << 20  # 1 MiB adjacency matrix: misses in L1, hits in L2
+
+
+def dijkstra() -> Program:
+    b = ProgramBuilder("dijkstra")
+    b.param("nodes", "int", 26, 40)
+    b.param("scan_len", "int", 70, 110)
+    b.param("n_queries", "int", 900, 1500)
+
+    b.block("setup", int_kernel(36, "s") + mem_kernel(10, "s", "matrix", _MATRIX),
+            next_block="relax")
+
+    # Outer loop over nodes; inner loop scans distances + relaxes edges.
+    b.nested_loop(
+        "relax",
+        inner_body=mixed_kernel(80, 10, "rx", "matrix", _MATRIX),
+        inner_trips="scan_len",
+        outer_trips="nodes",
+        exit="mid1",
+        outer_pre=int_kernel(14, "rp"),
+        outer_post=int_kernel(12, "rq"),
+    )
+    b.block("mid1", int_kernel(22, "m1"), next_block="enqueue")
+
+    # Result/queue maintenance loop (lighter, integer-only).
+    b.counted_loop("enqueue", int_kernel(140, "q"), trips="n_queries", exit="done")
+    b.halt("done", int_kernel(18, "d"))
+    return b.build(entry="setup")

@@ -1,0 +1,58 @@
+"""fft: radix-2 FFT over synthetic waveforms.
+
+MiBench's ``fft`` runs bit-reversal permutation followed by log2(N) stages
+of butterfly loops -- a bit-twiddling integer loop and then an FP-heavy
+two-level nest. Butterflies' FP latency chains give long, stable
+iteration periods, so FFT detects quickly in the paper (17 ms IoT, 5 ms
+simulated) with 93-97.8% accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.programs.builder import ProgramBuilder
+from repro.programs.ir import Program
+from repro.programs.workloads import fp_kernel, int_kernel, mem_kernel, mixed_kernel
+
+__all__ = ["fft"]
+
+_WAVE = 1 << 17
+
+
+def fft() -> Program:
+    b = ProgramBuilder("fft")
+    b.param("n_rev", "int", 1300, 2100)
+    b.param("stages", "int", 9, 12)
+    b.param("butterflies", "int", 110, 170)
+    b.param("n_mag", "int", 900, 1400)
+
+    b.block("setup", int_kernel(34, "s") + mem_kernel(6, "s", "wave", _WAVE),
+            next_block="bitrev")
+
+    # Bit-reversal permutation: integer swaps over the sample array.
+    b.counted_loop(
+        "bitrev",
+        mixed_kernel(110, 8, "br", "wave", _WAVE),
+        trips="n_rev",
+        exit="mid1",
+    )
+    b.block("mid1", int_kernel(22, "m1"), next_block="butterfly")
+
+    # Butterfly stages: outer loop over stages, inner loop over pairs.
+    inner = fp_kernel(96, "bf") + mem_kernel(6, "bf", "wave", _WAVE)
+    b.nested_loop(
+        "butterfly",
+        inner_body=inner,
+        inner_trips="butterflies",
+        outer_trips="stages",
+        exit="mid2",
+        outer_pre=fp_kernel(16, "tw"),  # twiddle factor setup
+        outer_post=int_kernel(10, "st"),
+    )
+    b.block("mid2", int_kernel(22, "m2"), next_block="magnitude")
+
+    # Output magnitude computation: FP with square roots (divides).
+    b.counted_loop(
+        "magnitude", fp_kernel(120, "mg", div_every=15), trips="n_mag", exit="done"
+    )
+    b.halt("done", int_kernel(16, "d"))
+    return b.build(entry="setup")

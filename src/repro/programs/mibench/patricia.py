@@ -1,0 +1,55 @@
+"""patricia: PATRICIA trie insertion and lookup.
+
+MiBench's ``patricia`` walks a radix trie of network addresses: pointer
+chasing with data-dependent depth. Lookup iterations take one of several
+path lengths (hit at shallow node, deep traversal, insertion with
+backtrack), and the random node accesses miss caches -- together they give
+patricia relatively diffuse spectra and, in the paper, one of the lower
+accuracies (92.3% in Table 1).
+"""
+
+from __future__ import annotations
+
+from repro.programs.builder import ProgramBuilder
+from repro.programs.ir import Program
+from repro.programs.workloads import int_kernel, mem_kernel, mixed_kernel
+
+__all__ = ["patricia"]
+
+_TRIE = 160 * 1024  # trie nodes: miss L1, fit L2 (bounded, multimodal jitter)
+
+
+def patricia() -> Program:
+    b = ProgramBuilder("patricia")
+    b.param("n_lookups", "int", 1300, 2000)
+    b.param("n_inserts", "int", 500, 800)
+    b.param("shallow_p", "float", 0.45, 0.6)
+
+    b.block("setup", int_kernel(40, "s") + mem_kernel(8, "s", "trie", _TRIE, "rand"),
+            next_block="build")
+
+    # Trie construction: insertions with bit-twiddling and node writes.
+    b.counted_loop(
+        "build",
+        mixed_kernel(150, 8, "bu", "trie", _TRIE, pattern="rand"),
+        trips="n_inserts",
+        exit="mid1",
+    )
+    b.block("mid1", int_kernel(24, "m1"), next_block="lookup")
+
+    # Lookup loop: shallow hit / deep walk / insert-with-backtrack paths.
+    b.branchy_loop(
+        "lookup",
+        paths=[
+            ("shallow_p",
+             mixed_kernel(110, 5, "l1", "trie", _TRIE, pattern="rand")),
+            (lambda inp: (1 - inp["shallow_p"]) * 0.75,
+             mixed_kernel(150, 8, "l2", "trie", _TRIE, pattern="rand")),
+            (lambda inp: (1 - inp["shallow_p"]) * 0.25,
+             mixed_kernel(200, 11, "l3", "trie", _TRIE, pattern="rand")),
+        ],
+        trips="n_lookups",
+        exit="done",
+    )
+    b.halt("done", int_kernel(18, "d"))
+    return b.build(entry="setup")

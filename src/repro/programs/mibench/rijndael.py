@@ -1,0 +1,38 @@
+"""rijndael: AES-128 encryption of a file.
+
+MiBench's ``rijndael`` encrypts block after block with 10 rounds of
+S-box/table lookups and XORs. The T-tables fit in L1, so iterations are
+regular; the paper reports 99.9% / 97.1% accuracy and fast detection
+(12 ms IoT, 0.6 ms simulated).
+"""
+
+from __future__ import annotations
+
+from repro.programs.builder import ProgramBuilder
+from repro.programs.ir import Program
+from repro.programs.workloads import crypto_kernel, int_kernel, mem_kernel
+
+__all__ = ["rijndael"]
+
+_FILE = 1 << 20
+
+
+def rijndael() -> Program:
+    b = ProgramBuilder("rijndael")
+    b.param("n_blocks", "int", 1800, 2800)
+    b.param("n_sched", "int", 600, 900)
+
+    b.block("setup", int_kernel(28, "s"), next_block="keysched")
+
+    # Key schedule expansion: short, regular.
+    b.counted_loop("keysched", crypto_kernel(30, "k", "sbox", 1024),
+                   trips="n_sched", exit="mid1")
+    b.block("mid1", int_kernel(18, "m1"), next_block="encrypt")
+
+    # Block encryption: 10 rounds of T-table lookups + XOR per block,
+    # streaming the input file through.
+    body = crypto_kernel(44, "e", "ttables", table_size=4096)
+    body += mem_kernel(8, "e", "file", _FILE)
+    b.counted_loop("encrypt", body, trips="n_blocks", exit="done")
+    b.halt("done", int_kernel(14, "d"))
+    return b.build(entry="setup")

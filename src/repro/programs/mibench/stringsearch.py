@@ -1,0 +1,46 @@
+"""stringsearch: Boyer-Moore-Horspool search over text.
+
+MiBench's ``stringsearch`` scans text with the bad-character skip table:
+a very tight scan loop (mostly skipping) with an occasional comparison
+path on candidate matches. Its iterations are the shortest of the suite,
+making it the fastest to detect in the paper (11 ms IoT, 0.2 ms
+simulated, 99.9%/100% accuracy).
+"""
+
+from __future__ import annotations
+
+from repro.programs.builder import ProgramBuilder
+from repro.programs.ir import Program
+from repro.programs.workloads import int_kernel, mixed_kernel
+
+__all__ = ["stringsearch"]
+
+_TEXT = 1 << 18
+
+
+def stringsearch() -> Program:
+    b = ProgramBuilder("stringsearch")
+    b.param("n_tables", "int", 900, 1400)
+    b.param("n_scan", "int", 2600, 4000)
+    b.param("match_p", "float", 0.06, 0.14)
+
+    b.block("setup", int_kernel(26, "s"), next_block="tables")
+
+    # Bad-character table construction per pattern.
+    b.counted_loop("tables", int_kernel(120, "t"), trips="n_tables", exit="mid1")
+    b.block("mid1", int_kernel(16, "m1"), next_block="scan")
+
+    # The scan loop: skip path (common) vs. verify path (candidate match).
+    b.branchy_loop(
+        "scan",
+        paths=[
+            (lambda inp: 1 - inp["match_p"],
+             mixed_kernel(85, 6, "sk", "text", _TEXT)),
+            ("match_p",
+             mixed_kernel(190, 10, "vf", "text", _TEXT)),
+        ],
+        trips="n_scan",
+        exit="done",
+    )
+    b.halt("done", int_kernel(14, "d"))
+    return b.build(entry="setup")

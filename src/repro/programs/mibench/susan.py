@@ -1,0 +1,83 @@
+"""susan: image smoothing / edge & corner detection.
+
+MiBench's ``susan`` scans an image with a circular mask. The paper
+instruments five loop nests in it and uses it as the running example:
+its brightness-threshold control flow produces multi-modal per-iteration
+timing (their Figure 2), and region borders are its accuracy weak spot
+(92.1% in Table 1, the lowest of the ten).
+
+Regions: smooth (a two-level nest over pixels), edges (branchy body with
+three paths from the brightness test), corners (branchy, rarer long path),
+plus setup/threshold loops -- five nests total.
+"""
+
+from __future__ import annotations
+
+from repro.programs.builder import ProgramBuilder
+from repro.programs.ir import Program
+from repro.programs.workloads import int_kernel, mem_kernel, mixed_kernel
+
+__all__ = ["susan"]
+
+_IMG = 1 << 18  # ~256 KiB image: streams through L1, mostly fits L2
+
+
+def susan() -> Program:
+    b = ProgramBuilder("susan")
+    b.param("rows", "int", 48, 68)
+    b.param("cols", "int", 80, 120)
+    b.param("n_edge", "int", 3200, 4800)
+    b.param("n_corner", "int", 2400, 3600)
+    b.param("bright_p", "float", 0.55, 0.75)
+
+    b.block("setup", int_kernel(40, "s") + mem_kernel(6, "s", "image", _IMG),
+            next_block="lut")
+    # Brightness look-up-table construction.
+    b.counted_loop("lut", int_kernel(130, "t"), trips=2200, exit="midA")
+    b.block("midA", int_kernel(20, "mA"), next_block="hist")
+    # Threshold/histogram pass over the image (5th instrumented nest).
+    b.counted_loop(
+        "hist", mixed_kernel(170, 3, "h", "image", _IMG), trips=2000, exit="mid0"
+    )
+    b.block("mid0", int_kernel(20, "m0"), next_block="smooth")
+
+    # Smoothing: row x column nest over the image with the mask kernel.
+    b.nested_loop(
+        "smooth",
+        inner_body=mixed_kernel(90, 8, "sm", "image", _IMG),
+        inner_trips="cols",
+        outer_trips="rows",
+        exit="mid1",
+        outer_pre=int_kernel(12, "sp"),
+        outer_post=int_kernel(10, "sq"),
+    )
+    b.block("mid1", int_kernel(26, "m1"), next_block="edges")
+
+    # Edge response: the brightness threshold splits iteration timing into
+    # modes (the paper's Figure 2 bimodality).
+    b.branchy_loop(
+        "edges",
+        paths=[
+            ("bright_p", mixed_kernel(70, 4, "e1", "image", _IMG)),
+            (lambda inp: (1 - inp["bright_p"]) * 0.7,
+             mixed_kernel(130, 6, "e2", "image", _IMG)),
+            (lambda inp: (1 - inp["bright_p"]) * 0.3,
+             mixed_kernel(210, 8, "e3", "image", _IMG)),
+        ],
+        trips="n_edge",
+        exit="mid2",
+    )
+    b.block("mid2", int_kernel(26, "m2"), next_block="corners")
+
+    # Corner detection: mostly-short path with a rare expensive one.
+    b.branchy_loop(
+        "corners",
+        paths=[
+            (0.85, int_kernel(110, "c1")),
+            (0.15, mixed_kernel(240, 10, "c2", "image", _IMG)),
+        ],
+        trips="n_corner",
+        exit="done",
+    )
+    b.halt("done", int_kernel(20, "d"))
+    return b.build(entry="setup")

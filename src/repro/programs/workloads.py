@@ -1,0 +1,233 @@
+"""Reusable instruction kernels and parametric loop shapes.
+
+These are the building blocks of the MiBench-like programs and of the
+figure-specific workloads:
+
+- kernels: straight-line instruction sequences with a chosen mix (integer,
+  floating-point, memory-bound, mixed), sized so loop iteration periods
+  land in the window-resolvable range (period of ~100-2000 cycles);
+- the three loop shapes of the paper's Figure 3: a loop whose spectrum has
+  one *sharp* peak (uniform body), one with *several* peaks (a few control
+  paths with distinct timings), and one with *diffuse*, poorly defined
+  peaks (many paths with widely spread timings).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.programs.builder import ProgramBuilder
+from repro.programs.ir import Instr, MemRef, OpClass, Program
+
+__all__ = [
+    "int_kernel",
+    "fp_kernel",
+    "mem_kernel",
+    "mixed_kernel",
+    "crypto_kernel",
+    "injection_mix",
+    "sharp_loop_program",
+    "multi_peak_loop_program",
+    "diffuse_loop_program",
+]
+
+
+def int_kernel(n: int, tag: str, dense_fraction: float = 0.6) -> List[Instr]:
+    """``n`` integer ALU instructions laid out in two power phases.
+
+    The first ``dense_fraction`` of the body is independent work (full
+    issue width, high instantaneous power); the rest is a serial
+    dependency chain (IPC ~1, stalls, low power). Real loop bodies have
+    exactly this phase structure (gather, compute, reduce), and the
+    resulting within-iteration power contrast is what produces the strong
+    per-iteration spectral line the paper observes. A body without such
+    contrast barely modulates the carrier and yields a peak-less loop.
+    """
+    out: List[Instr] = []
+    n_dense = int(n * dense_fraction)
+    for i in range(n_dense):
+        op = (OpClass.IADD, OpClass.LOGIC, OpClass.SHIFT, OpClass.CMP)[i % 4]
+        out.append(Instr(op, dst=f"{tag}{i % 8}", srcs=(f"{tag}{(i + 3) % 8}",)))
+    for i in range(n - n_dense):
+        out.append(Instr(OpClass.IADD, dst=f"{tag}acc", srcs=(f"{tag}acc",)))
+    return out
+
+
+def fp_kernel(n: int, tag: str, div_every: int = 0, dense_fraction: float = 0.6) -> List[Instr]:
+    """``n`` floating-point instructions in two power phases.
+
+    A dense FADD/FMUL phase followed by a serial accumulation chain (and
+    optional divides), mirroring :func:`int_kernel`'s contrast structure.
+    """
+    out: List[Instr] = []
+    n_dense = int(n * dense_fraction)
+    for i in range(n_dense):
+        if div_every and i % div_every == div_every - 1:
+            out.append(Instr(OpClass.FDIV, dst=f"{tag}d", srcs=(f"{tag}d",)))
+        elif i % 2 == 0:
+            out.append(Instr(OpClass.FADD, dst=f"{tag}{i % 6}", srcs=(f"{tag}{(i + 1) % 6}",)))
+        else:
+            out.append(Instr(OpClass.FMUL, dst=f"{tag}{i % 6}", srcs=(f"{tag}{(i + 2) % 6}",)))
+    for i in range(n - n_dense):
+        out.append(Instr(OpClass.FADD, dst=f"{tag}acc", srcs=(f"{tag}acc",)))
+    return out
+
+
+def mem_kernel(
+    n_loads: int,
+    tag: str,
+    stream: str,
+    footprint: int,
+    pattern: str = "seq",
+    stride: int = 4,
+    n_stores: int = 0,
+) -> List[Instr]:
+    """Memory-access kernel over one data stream."""
+    ref = MemRef(stream, footprint=footprint, stride=stride, pattern=pattern)
+    out: List[Instr] = []
+    for i in range(n_loads):
+        out.append(Instr(OpClass.LOAD, dst=f"{tag}v{i % 4}", srcs=(f"{tag}p",), mem=ref))
+        out.append(Instr(OpClass.IADD, dst=f"{tag}s", srcs=(f"{tag}s", f"{tag}v{i % 4}")))
+    for i in range(n_stores):
+        out.append(Instr(OpClass.STORE, dst=None, srcs=(f"{tag}s",), mem=ref))
+    return out
+
+
+def mixed_kernel(
+    n_int: int, n_loads: int, tag: str, stream: str, footprint: int,
+    pattern: str = "seq",
+) -> List[Instr]:
+    """Interleaved integer + memory kernel (the common loop body shape)."""
+    ints = int_kernel(n_int, tag)
+    mems = mem_kernel(n_loads, tag, stream, footprint, pattern)
+    out: List[Instr] = []
+    step = max(1, len(ints) // max(1, len(mems)))
+    mem_iter = iter(mems)
+    for i, instr in enumerate(ints):
+        out.append(instr)
+        if i % step == step - 1:
+            out.extend(x for x in [next(mem_iter, None)] if x is not None)
+    out.extend(mem_iter)
+    return out
+
+
+def crypto_kernel(n_rounds: int, tag: str, table: str, table_size: int = 4096) -> List[Instr]:
+    """Shift/logic/table-lookup rounds (SHA/Rijndael-style).
+
+    The first ~60% of the rounds operate on four independent state lanes
+    (message-schedule-style parallel work, high IPC/power); the rest is
+    the serial compression chain (low IPC/power). As with
+    :func:`int_kernel`, the phase contrast is what gives these loops their
+    razor-sharp spectral line.
+    """
+    ref = MemRef(table, footprint=table_size, pattern="rand")
+    out: List[Instr] = []
+    n_dense = int(n_rounds * 0.6)
+    for i in range(n_dense):
+        lane = i % 4
+        out.append(Instr(OpClass.SHIFT, dst=f"{tag}a{lane}", srcs=(f"{tag}a{lane}",)))
+        out.append(Instr(OpClass.LOGIC, dst=f"{tag}b{lane}", srcs=(f"{tag}b{(lane + 1) % 4}",)))
+        out.append(Instr(OpClass.IADD, dst=f"{tag}c{lane}", srcs=(f"{tag}b{lane}",)))
+        if i % 4 == 3:
+            out.append(Instr(OpClass.LOAD, dst=f"{tag}t", srcs=(f"{tag}c{lane}",), mem=ref))
+        out.append(Instr(OpClass.LOGIC, dst=f"{tag}d{lane}", srcs=(f"{tag}c{lane}",)))
+    for i in range(n_rounds - n_dense):
+        out.append(Instr(OpClass.SHIFT, dst=f"{tag}a", srcs=(f"{tag}a",)))
+        out.append(Instr(OpClass.LOGIC, dst=f"{tag}b", srcs=(f"{tag}a", f"{tag}b")))
+        out.append(Instr(OpClass.IADD, dst=f"{tag}a", srcs=(f"{tag}b", f"{tag}a")))
+        if i % 4 == 3:
+            out.append(Instr(OpClass.LOAD, dst=f"{tag}t", srcs=(f"{tag}a",), mem=ref))
+    return out
+
+
+def injection_mix(n_int: int, n_mem: int, footprint: int = 1 << 18) -> List[Instr]:
+    """The paper's loop injection payload: integer ops + memory accesses.
+
+    Section 5.2 injects "an 8-instruction code that consists of 4 integer
+    operations and 4 memory accesses"; Section 5.7 varies the mix. The
+    default footprint misses L1 but fits L2; pass a footprint larger than
+    L2 for the paper's Section-5.7 "off-chip" variant ("randomly access a
+    relatively large array so they often experience cache misses").
+    """
+    out: List[Instr] = [
+        Instr(OpClass.IADD, dst="inj_a", srcs=("inj_a",)) for _ in range(n_int)
+    ]
+    if n_mem:
+        ref = MemRef("inj_stream", footprint=footprint, pattern="rand")
+        for i in range(n_mem):
+            out.append(Instr(OpClass.STORE, dst=None, srcs=("inj_a",), mem=ref))
+    return out
+
+
+# --- The three Figure-3 loop shapes -----------------------------------------
+
+
+def sharp_loop_program(trips: int = 12000, body_size: int = 150) -> Program:
+    """A loop whose spectrum has one sharp peak and its harmonics.
+
+    Every iteration executes the identical instruction sequence, so the
+    per-iteration period is essentially constant.
+    """
+    b = ProgramBuilder("sharp-loop")
+    b.block("init", int_kernel(20, "i"), next_block="L")
+    b.counted_loop("L", int_kernel(body_size, "x"), trips=trips, exit="done")
+    b.halt("done")
+    return b.build(entry="init")
+
+
+def multi_peak_loop_program(trips: int = 12000, body_size: int = 150) -> Program:
+    """A loop with several peaks: three control paths of distinct lengths."""
+    b = ProgramBuilder("multi-peak-loop")
+    b.block("init", int_kernel(20, "i"), next_block="L")
+    b.branchy_loop(
+        "L",
+        paths=[
+            (0.5, int_kernel(body_size, "p")),
+            (0.3, int_kernel(int(body_size * 1.4), "q")),
+            (0.2, int_kernel(int(body_size * 1.9), "r")),
+        ],
+        trips=trips,
+        exit="done",
+    )
+    b.halt("done")
+    return b.build(entry="init")
+
+
+def diffuse_loop_program(trips: int = 12000, body_size: int = 150) -> Program:
+    """A loop with poorly defined (diffuse) peaks.
+
+    Five control paths with *closely spaced* lengths plus cache-missing
+    accesses: per-iteration timing wanders continuously, so the spectral
+    line smears into a hump whose maximum drifts from window to window --
+    peaks exist (unlike a flat/peak-less loop) but are unstable, which is
+    the paper's "poorly defined peaks" right panel of Figure 3.
+    """
+    n_paths = 5
+
+    def path_prob(k: int):
+        # Input-dependent path mix: the "skew" input tilts probability
+        # toward short or long paths, so the hump's centroid wanders from
+        # run to run -- the nonstationarity that keeps the false-rejection
+        # rate of this loop high at every group size (Figure 3, right).
+        def prob(inputs) -> float:
+            weights = [1.0 + inputs.get("skew", 0.0) * (j - (n_paths - 1) / 2)
+                       for j in range(n_paths)]
+            weights = [max(w, 0.05) for w in weights]
+            return weights[k] / sum(weights)
+
+        return prob
+
+    paths: List[Tuple[object, Sequence[Instr]]] = []
+    for k in range(n_paths):
+        scale = 0.86 + 0.07 * k  # lengths spread ~0.86x .. 1.14x
+        body = int_kernel(int(body_size * scale), f"v{k}")
+        body += mem_kernel(
+            4, f"v{k}", "spill", footprint=1 << 19, pattern="rand"
+        )
+        paths.append((path_prob(k), body))
+    b = ProgramBuilder("diffuse-loop")
+    b.param("skew", "float", -0.9, 0.9)
+    b.block("init", int_kernel(20, "i"), next_block="L")
+    b.branchy_loop("L", paths=paths, trips=trips, exit="done")
+    b.halt("done")
+    return b.build(entry="init")

@@ -1,0 +1,156 @@
+"""Persistence for trained EDDIE models.
+
+A deployed EDDIE monitor (the paper envisions a <$100 dedicated receiver
+with "some flash for storing the model from training") needs the model as
+an artifact. Models serialize to a single ``.npz`` file: JSON metadata
+plus one reference array per region.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.model import EddieConfig, EddieModel, RegionProfile
+from repro.em.scenario import EmTrace
+from repro.errors import ConfigurationError
+from repro.types import RegionInterval, RegionTimeline, Signal
+
+__all__ = ["save_model", "load_model", "save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: EddieModel, path: Union[str, Path]) -> None:
+    """Write a trained model to ``path`` (.npz)."""
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "program_name": model.program_name,
+        "sample_rate": model.sample_rate,
+        "initial_regions": model.initial_regions,
+        "successors": model.successors,
+        "config": {
+            "window_samples": model.config.window_samples,
+            "overlap": model.config.overlap,
+            "energy_fraction": model.config.energy_fraction,
+            "peak_prominence": model.config.peak_prominence,
+            "max_peaks": model.config.max_peaks,
+            "alpha": model.config.alpha,
+            "statistic": model.config.statistic,
+            "diffuse_features": model.config.diffuse_features,
+            "change_steps": model.config.change_steps,
+            "report_threshold": model.config.report_threshold,
+            "change_fraction": model.config.change_fraction,
+            "group_sizes": list(model.config.group_sizes),
+            "reference_cap": model.config.reference_cap,
+            "min_mon_values": model.config.min_mon_values,
+        },
+        "regions": [
+            {
+                "name": profile.name,
+                "num_peaks": profile.num_peaks,
+                "group_size": profile.group_size,
+                "descriptor_dims": list(profile.descriptor_dims),
+            }
+            for profile in model.profiles.values()
+        ],
+    }
+    arrays = {
+        f"reference_{i}": profile.reference
+        for i, profile in enumerate(model.profiles.values())
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, meta=json.dumps(meta), **arrays)
+
+
+def load_model(path: Union[str, Path]) -> EddieModel:
+    """Load a model previously written by :func:`save_model`."""
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            meta = json.loads(str(data["meta"]))
+        except KeyError:
+            raise ConfigurationError(f"{path}: not an EDDIE model file") from None
+        version = meta.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"{path}: unsupported model format version {version!r}"
+            )
+        cfg_dict = dict(meta["config"])
+        cfg_dict["group_sizes"] = tuple(cfg_dict["group_sizes"])
+        config = EddieConfig(**cfg_dict)
+        profiles = {}
+        for i, region_meta in enumerate(meta["regions"]):
+            profiles[region_meta["name"]] = RegionProfile(
+                name=region_meta["name"],
+                reference=data[f"reference_{i}"],
+                num_peaks=region_meta["num_peaks"],
+                group_size=region_meta["group_size"],
+                descriptor_dims=tuple(region_meta.get("descriptor_dims", ())),
+            )
+    return EddieModel(
+        program_name=meta["program_name"],
+        config=config,
+        profiles=profiles,
+        successors={k: list(v) for k, v in meta["successors"].items()},
+        initial_regions=list(meta["initial_regions"]),
+        sample_rate=float(meta["sample_rate"]),
+    )
+
+
+def save_trace(trace: EmTrace, path: Union[str, Path]) -> None:
+    """Write one captured EM trace (IQ + ground truth) to ``path`` (.npz).
+
+    Enables the capture-once / analyze-offline workflow: a deployed
+    receiver records traces in the field, training and monitoring run
+    elsewhere.
+    """
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "trace",
+        "sample_rate": trace.iq.sample_rate,
+        "t0": trace.iq.t0,
+        "timeline": [
+            [iv.region, iv.t_start, iv.t_end] for iv in trace.timeline
+        ],
+        "injected_spans": [list(span) for span in trace.injected_spans],
+        "instr_count": trace.instr_count,
+        "injected_instr_count": trace.injected_instr_count,
+        "inputs": trace.inputs,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, meta=json.dumps(meta), iq=trace.iq.samples)
+
+
+def load_trace(path: Union[str, Path]) -> EmTrace:
+    """Load a trace previously written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            meta = json.loads(str(data["meta"]))
+        except KeyError:
+            raise ConfigurationError(f"{path}: not an EDDIE trace file") from None
+        if meta.get("kind") != "trace":
+            raise ConfigurationError(f"{path}: not an EDDIE trace file")
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"{path}: unsupported trace format version "
+                f"{meta.get('format_version')!r}"
+            )
+        iq = Signal(data["iq"], float(meta["sample_rate"]), float(meta["t0"]))
+    timeline = RegionTimeline(
+        [RegionInterval(region, t0, t1) for region, t0, t1 in meta["timeline"]]
+    )
+    return EmTrace(
+        iq=iq,
+        timeline=timeline,
+        injected_spans=[tuple(span) for span in meta["injected_spans"]],
+        instr_count=int(meta["instr_count"]),
+        injected_instr_count=int(meta["injected_instr_count"]),
+        inputs=dict(meta["inputs"]),
+    )

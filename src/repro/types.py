@@ -1,0 +1,199 @@
+"""Small shared value types used throughout the library.
+
+These are deliberately dependency-light (numpy only) so every subpackage can
+import them without cycles.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SignalError
+
+__all__ = ["Signal", "RegionInterval", "RegionTimeline"]
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A uniformly sampled signal.
+
+    Attributes:
+        samples: 1-D array of real (power) or complex (IQ) samples.
+        sample_rate: samples per second.
+        t0: absolute time of ``samples[0]`` in seconds.
+    """
+
+    samples: np.ndarray
+    sample_rate: float
+    t0: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise SignalError(f"sample_rate must be positive, got {self.sample_rate}")
+        samples = np.asarray(self.samples)
+        if samples.ndim != 1:
+            raise SignalError(f"samples must be 1-D, got shape {samples.shape}")
+        object.__setattr__(self, "samples", samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def duration(self) -> float:
+        """Duration of the signal in seconds."""
+        return len(self.samples) / self.sample_rate
+
+    @property
+    def t_end(self) -> float:
+        """Absolute time just past the final sample."""
+        return self.t0 + self.duration
+
+    def time_axis(self) -> np.ndarray:
+        """Absolute time of each sample."""
+        return self.t0 + np.arange(len(self.samples)) / self.sample_rate
+
+    def slice_time(self, start: float, end: float) -> "Signal":
+        """Return the part of the signal between absolute times ``start`` and ``end``."""
+        if end < start:
+            raise SignalError(f"end ({end}) precedes start ({start})")
+        i0 = max(0, int(np.ceil((start - self.t0) * self.sample_rate)))
+        i1 = min(len(self.samples), int(np.floor((end - self.t0) * self.sample_rate)))
+        i1 = max(i0, i1)
+        return Signal(self.samples[i0:i1], self.sample_rate, self.t0 + i0 / self.sample_rate)
+
+    def concat(self, other: "Signal") -> "Signal":
+        """Concatenate a signal that continues immediately after this one."""
+        if other.sample_rate != self.sample_rate:
+            raise SignalError(
+                f"sample-rate mismatch: {self.sample_rate} vs {other.sample_rate}"
+            )
+        return Signal(
+            np.concatenate([self.samples, other.samples]), self.sample_rate, self.t0
+        )
+
+
+@dataclass(frozen=True)
+class RegionInterval:
+    """One contiguous stretch of execution attributed to a program region."""
+
+    region: str
+    t_start: float
+    t_end: float
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise SignalError(
+                f"interval for {self.region!r} ends ({self.t_end}) before it "
+                f"starts ({self.t_start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def contains(self, t: float) -> bool:
+        """Whether absolute time ``t`` falls inside this interval."""
+        return self.t_start <= t < self.t_end
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """Whether [start, end) intersects this interval."""
+        return self.t_start < end and start < self.t_end
+
+
+@dataclass
+class RegionTimeline:
+    """Ground-truth record of which region executed when.
+
+    This is the paper's lightweight instrumentation output: an ordered,
+    non-overlapping list of :class:`RegionInterval`.
+    """
+
+    intervals: List[RegionInterval] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for prev, cur in zip(self.intervals, self.intervals[1:]):
+            if cur.t_start < prev.t_end - 1e-12:
+                raise SignalError(
+                    f"timeline intervals overlap: {prev.region!r} ends at "
+                    f"{prev.t_end}, {cur.region!r} starts at {cur.t_start}"
+                )
+        self._starts = [iv.t_start for iv in self.intervals]
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def __iter__(self) -> Iterator[RegionInterval]:
+        return iter(self.intervals)
+
+    def append(self, interval: RegionInterval) -> None:
+        """Append an interval that starts at or after the last one ends."""
+        if self.intervals and interval.t_start < self.intervals[-1].t_end - 1e-12:
+            raise SignalError(
+                f"appended interval for {interval.region!r} starts at "
+                f"{interval.t_start}, before previous end "
+                f"{self.intervals[-1].t_end}"
+            )
+        self.intervals.append(interval)
+        self._starts.append(interval.t_start)
+
+    @property
+    def t_start(self) -> float:
+        if not self.intervals:
+            return 0.0
+        return self.intervals[0].t_start
+
+    @property
+    def t_end(self) -> float:
+        if not self.intervals:
+            return 0.0
+        return self.intervals[-1].t_end
+
+    def region_at(self, t: float) -> Optional[str]:
+        """The region executing at absolute time ``t``, or None if in a gap."""
+        idx = bisect.bisect_right(self._starts, t) - 1
+        if idx < 0:
+            return None
+        interval = self.intervals[idx]
+        return interval.region if interval.contains(t) else None
+
+    def dominant_region(self, start: float, end: float) -> Optional[str]:
+        """The region covering the largest share of [start, end), or None.
+
+        Used to label STFT windows with ground truth; matches the paper's
+        practice of attributing a window to the region that produced (most
+        of) it.
+        """
+        if end <= start:
+            return self.region_at(start)
+        coverage: dict = {}
+        lo = max(0, bisect.bisect_right(self._starts, start) - 1)
+        for interval in self.intervals[lo:]:
+            if interval.t_start >= end:
+                break
+            if interval.overlaps(start, end):
+                overlap = min(end, interval.t_end) - max(start, interval.t_start)
+                coverage[interval.region] = coverage.get(interval.region, 0.0) + overlap
+        if not coverage:
+            return None
+        return max(coverage.items(), key=lambda item: item[1])[0]
+
+    def regions(self) -> Sequence[str]:
+        """Distinct region names, in first-appearance order."""
+        seen: dict = {}
+        for interval in self.intervals:
+            seen.setdefault(interval.region, None)
+        return list(seen)
+
+    def total_time(self, region: str) -> float:
+        """Total time attributed to ``region``."""
+        return sum(iv.duration for iv in self.intervals if iv.region == region)
+
+    def shifted(self, dt: float) -> "RegionTimeline":
+        """A copy of the timeline with all times shifted by ``dt``."""
+        return RegionTimeline(
+            [RegionInterval(iv.region, iv.t_start + dt, iv.t_end + dt) for iv in self.intervals]
+        )

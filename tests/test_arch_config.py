@@ -1,0 +1,105 @@
+"""Unit tests for repro.arch.config."""
+
+import pytest
+
+from repro.arch.config import (
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    architecture_sweep,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cache = CacheConfig(size=32 * 1024, assoc=4, line_size=64)
+        assert cache.num_sets == 128
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size=1000, assoc=3, line_size=64)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size=0, assoc=1)
+
+    def test_rejects_zero_hit_latency(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size=1024, assoc=1, line_size=64, hit_latency=0)
+
+
+class TestMemoryConfig:
+    def test_defaults_valid(self):
+        mem = MemoryConfig()
+        assert mem.l1.size < mem.l2.size
+
+    def test_l2_smaller_than_l1_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryConfig(
+                l1=CacheConfig(64 * 1024, 4),
+                l2=CacheConfig(32 * 1024, 4),
+            )
+
+    def test_dram_latency_must_exceed_l2(self):
+        with pytest.raises(ConfigurationError):
+            MemoryConfig(dram_latency=5)
+
+
+class TestCoreConfig:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(kind="vliw")
+
+    def test_sample_rate(self):
+        core = CoreConfig(clock_hz=2e9, cycles_per_sample=20)
+        assert core.sample_rate == 1e8
+
+    def test_mispredict_penalty_is_depth(self):
+        core = CoreConfig(pipeline_depth=14)
+        assert core.mispredict_penalty == 14
+
+    def test_rob_must_fit_issue_group(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(kind="ooo", issue_width=8, rob_size=4)
+
+    def test_scaled_changes_only_clock(self):
+        core = CoreConfig.sim_ooo()
+        slow = core.scaled(1e8)
+        assert slow.clock_hz == 1e8
+        assert slow.issue_width == core.issue_width
+        assert slow.mem == core.mem
+
+    def test_iot_preset_matches_paper(self):
+        core = CoreConfig.iot_inorder()
+        assert core.kind == "inorder"
+        assert core.issue_width == 2
+        assert core.mem.l1.size == 32 * 1024
+        assert core.mem.l2.size == 256 * 1024
+
+    def test_sim_preset_matches_paper(self):
+        core = CoreConfig.sim_ooo()
+        assert core.kind == "ooo"
+        assert core.issue_width == 4
+        assert core.cycles_per_sample == 20
+        assert core.clock_hz == 1.8e9
+
+
+class TestArchitectureSweep:
+    def test_exactly_51_configs(self):
+        assert len(architecture_sweep()) == 51
+
+    def test_breakdown(self):
+        configs = architecture_sweep()
+        inorder = [c for c in configs if c.kind == "inorder"]
+        ooo = [c for c in configs if c.kind == "ooo"]
+        assert len(inorder) == 6  # 3 widths x 2 depths
+        assert len(ooo) == 45  # 3 widths x 3 depths x 5 ROBs
+
+    def test_names_unique(self):
+        names = [c.name for c in architecture_sweep()]
+        assert len(names) == len(set(names))
+
+    def test_issue_widths_as_paper(self):
+        widths = {c.issue_width for c in architecture_sweep()}
+        assert widths == {1, 2, 4}

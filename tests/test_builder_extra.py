@@ -1,0 +1,93 @@
+"""Additional builder tests: parametric path probabilities and validation."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import CoreConfig
+from repro.arch.simulator import Simulator
+from repro.errors import AnalysisError, ConfigurationError
+from repro.programs.builder import ProgramBuilder, _conditional_prob
+from repro.programs.ir import Instr, OpClass
+
+
+def adds(n):
+    return [Instr(OpClass.IADD, dst=f"r{i % 4}") for i in range(n)]
+
+
+class TestConditionalProb:
+    def test_literal_cascade(self):
+        probs = [0.5, 0.3, 0.2]
+        assert _conditional_prob(probs, 0) == pytest.approx(0.5)
+        assert _conditional_prob(probs, 1) == pytest.approx(0.3 / 0.5)
+
+    def test_callable_cascade(self):
+        probs = ["p", lambda inp: 1 - inp["p"]]
+        cond0 = _conditional_prob(probs, 0)
+        cond1 = _conditional_prob(probs, 1)
+        inputs = {"p": 0.25}
+        assert cond0(inputs) == pytest.approx(0.25)
+        assert cond1(inputs) == pytest.approx(1.0)  # renormalized remainder
+
+    def test_degenerate_remainder(self):
+        assert _conditional_prob([1.0, 0.0], 1) == 1.0
+
+
+class TestParametricBranchyLoop:
+    def test_param_probs_affect_path_mix(self):
+        b = ProgramBuilder("p")
+        b.param("heavy_p", "choice", choices=(0.05, 0.95))
+        b.block("init", [], next_block="L")
+        b.branchy_loop(
+            "L",
+            paths=[
+                ("heavy_p", adds(200)),
+                (lambda inp: 1 - inp["heavy_p"], adds(40)),
+            ],
+            trips=2000,
+            exit="done",
+        )
+        b.halt("done")
+        program = b.build(entry="init")
+        simulator = Simulator(program, CoreConfig(clock_hz=1e8))
+        light = simulator.run(seed=0, inputs={"heavy_p": 0.05})
+        heavy = simulator.run(seed=0, inputs={"heavy_p": 0.95})
+        # Mostly-heavy path mix must run substantially longer.
+        assert heavy.cycles > 1.5 * light.cycles
+
+    def test_literal_probs_must_sum_to_one(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ConfigurationError):
+            b.branchy_loop(
+                "L", paths=[(0.5, adds(4)), (0.4, adds(4))], trips=5, exit="x"
+            )
+
+    def test_single_path_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ConfigurationError):
+            b.branchy_loop("L", paths=[(1.0, adds(4))], trips=5, exit="x")
+
+
+class TestBuilderValidation:
+    def test_duplicate_block(self):
+        b = ProgramBuilder("p")
+        b.block("a", [], next_block=None)
+        with pytest.raises(AnalysisError):
+            b.block("a", [])
+
+    def test_duplicate_param(self):
+        b = ProgramBuilder("p")
+        b.param("n", "int", 1, 2)
+        with pytest.raises(ConfigurationError):
+            b.param("n", "int", 3, 4)
+
+    def test_fluent_chaining(self):
+        program = (
+            ProgramBuilder("p")
+            .param("n", "int", 10, 20)
+            .block("init", [], next_block="L")
+            .counted_loop("L", adds(5), trips="n", exit="done")
+            .halt("done")
+            .build(entry="init")
+        )
+        assert program.name == "p"
+        assert set(program.block_names()) == {"init", "L", "done"}

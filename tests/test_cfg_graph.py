@@ -1,0 +1,122 @@
+"""Unit tests for repro.cfg.graph and repro.cfg.dominators."""
+
+import pytest
+
+from repro.cfg.dominators import compute_dominators
+from repro.cfg.graph import ControlFlowGraph
+from repro.errors import AnalysisError
+from repro.programs.builder import ProgramBuilder
+
+
+def diamond() -> ControlFlowGraph:
+    """entry -> a|b -> join."""
+    return ControlFlowGraph(
+        nodes=["entry", "a", "b", "join"],
+        edges=[("entry", "a"), ("entry", "b"), ("a", "join"), ("b", "join")],
+        entry="entry",
+    )
+
+
+class TestControlFlowGraph:
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(AnalysisError):
+            ControlFlowGraph(["a"], [], entry="b")
+
+    def test_edge_to_unknown_node_rejected(self):
+        with pytest.raises(AnalysisError):
+            ControlFlowGraph(["a"], [("a", "ghost")], entry="a")
+
+    def test_duplicate_edges_collapsed(self):
+        cfg = ControlFlowGraph(["a", "b"], [("a", "b"), ("a", "b")], entry="a")
+        assert cfg.succs["a"] == ["b"]
+        assert cfg.preds["b"] == ["a"]
+
+    def test_preds_and_succs(self):
+        cfg = diamond()
+        assert set(cfg.succs["entry"]) == {"a", "b"}
+        assert set(cfg.preds["join"]) == {"a", "b"}
+
+    def test_reachable_from_entry(self):
+        cfg = ControlFlowGraph(
+            ["a", "b", "island"], [("a", "b")], entry="a"
+        )
+        assert cfg.reachable_from_entry() == {"a", "b"}
+
+    def test_from_program_drops_unreachable(self):
+        b = ProgramBuilder("p")
+        b.block("main", [], next_block="done")
+        b.halt("done")
+        b.halt("dead")  # never referenced
+        cfg = ControlFlowGraph.from_program(b.build(entry="main"))
+        assert set(cfg.nodes) == {"main", "done"}
+
+    def test_reverse_postorder_entry_first(self):
+        order = diamond().reverse_postorder()
+        assert order[0] == "entry"
+        assert order[-1] == "join"
+        assert set(order) == {"entry", "a", "b", "join"}
+
+    def test_rpo_respects_topology_on_dag(self):
+        cfg = ControlFlowGraph(
+            ["a", "b", "c", "d"],
+            [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")],
+            entry="a",
+        )
+        order = cfg.reverse_postorder()
+        pos = {n: i for i, n in enumerate(order)}
+        assert pos["a"] < pos["b"] < pos["c"] < pos["d"]
+
+    def test_rpo_on_deep_chain_no_recursion_error(self):
+        n = 5000
+        names = [f"n{i}" for i in range(n)]
+        edges = [(names[i], names[i + 1]) for i in range(n - 1)]
+        cfg = ControlFlowGraph(names, edges, entry=names[0])
+        order = cfg.reverse_postorder()
+        assert order == names
+
+
+class TestDominators:
+    def test_diamond(self):
+        cfg = diamond()
+        dom = compute_dominators(cfg)
+        assert dom.idom("entry") is None
+        assert dom.idom("a") == "entry"
+        assert dom.idom("b") == "entry"
+        assert dom.idom("join") == "entry"
+
+    def test_chain(self):
+        cfg = ControlFlowGraph(
+            ["a", "b", "c"], [("a", "b"), ("b", "c")], entry="a"
+        )
+        dom = compute_dominators(cfg)
+        assert dom.idom("c") == "b"
+        assert dom.dominates("a", "c")
+        assert dom.strictly_dominates("a", "c")
+        assert not dom.strictly_dominates("c", "c")
+
+    def test_loop_header_dominates_latch(self):
+        cfg = ControlFlowGraph(
+            ["entry", "head", "body", "out"],
+            [("entry", "head"), ("head", "body"), ("body", "head"), ("head", "out")],
+            entry="entry",
+        )
+        dom = compute_dominators(cfg)
+        assert dom.dominates("head", "body")
+        assert dom.idom("body") == "head"
+        assert dom.idom("out") == "head"
+
+    def test_dominators_of_lists_chain_to_entry(self):
+        cfg = diamond()
+        dom = compute_dominators(cfg)
+        assert dom.dominators_of("join") == ["join", "entry"]
+
+    def test_children(self):
+        cfg = diamond()
+        dom = compute_dominators(cfg)
+        assert dom.children("entry") == {"a", "b", "join"}
+
+    def test_branch_does_not_dominate_join(self):
+        cfg = diamond()
+        dom = compute_dominators(cfg)
+        assert not dom.dominates("a", "join")
+        assert not dom.dominates("b", "join")

@@ -1,0 +1,123 @@
+"""Tests for the diffuse-spectral-features extension (DESIGN.md D13).
+
+The paper suggests (Section 5.2) that "better consideration of diffuse
+spectral features may improve EDDIE's accuracy". With
+``EddieConfig(diffuse_features=True)``, every STS contributes two extra
+tested dimensions -- spectral centroid and bandwidth -- which make even
+peak-less regions testable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import EddieConfig, RegionProfile
+from repro.core.peaks import peak_matrix, spectral_descriptors
+from repro.core.stft import stft
+from repro.errors import TrainingError
+from repro.experiments.runner import Scale, build_detector
+from repro.programs.mibench import gsm
+from repro.types import Signal
+
+
+class TestSpectralDescriptors:
+    def test_single_tone_centroid(self):
+        power = np.zeros(100)
+        power[30] = 10.0
+        freqs = np.arange(100.0)
+        centroid, spread = spectral_descriptors(power, freqs)
+        assert centroid == pytest.approx(30.0)
+        assert spread == pytest.approx(0.0)
+
+    def test_two_tone_centroid_between(self):
+        power = np.zeros(100)
+        power[20] = 1.0
+        power[60] = 1.0
+        freqs = np.arange(100.0)
+        centroid, spread = spectral_descriptors(power, freqs)
+        assert centroid == pytest.approx(40.0)
+        assert spread == pytest.approx(20.0)
+
+    def test_wider_spectrum_larger_spread(self):
+        freqs = np.arange(200.0)
+        narrow = np.exp(-0.5 * ((freqs - 100) / 3) ** 2)
+        wide = np.exp(-0.5 * ((freqs - 100) / 30) ** 2)
+        _, s_narrow = spectral_descriptors(narrow, freqs)
+        _, s_wide = spectral_descriptors(wide, freqs)
+        assert s_wide > 5 * s_narrow
+
+    def test_zero_power(self):
+        centroid, spread = spectral_descriptors(np.zeros(10), np.arange(10.0))
+        assert np.isnan(centroid) and np.isnan(spread)
+
+
+class TestPeakMatrixDescriptors:
+    def test_shape_and_values(self):
+        fs = 1e5
+        t = np.arange(4096) / fs
+        sig = Signal(np.sin(2 * np.pi * 1e4 * t), fs)
+        seq = stft(sig, window_samples=512)
+        matrix = peak_matrix(seq, max_peaks=4, descriptors=True)
+        assert matrix.shape == (len(seq), 6)
+        # Descriptor columns are never NaN for nonzero windows, and the
+        # centroid sits at the tone.
+        assert np.all(~np.isnan(matrix[:, 4]))
+        assert np.allclose(matrix[:, 4], 1e4, rtol=0.1)
+
+    def test_off_by_default(self):
+        fs = 1e5
+        sig = Signal(np.sin(np.arange(2048)), fs)
+        seq = stft(sig, window_samples=512)
+        assert peak_matrix(seq, max_peaks=4).shape[1] == 4
+
+
+class TestRegionProfileDescriptorDims:
+    def test_test_dims_combines(self):
+        ref = np.full((20, 6), np.nan)
+        ref[:, 0] = 1.0
+        ref[:, 4] = 2.0
+        ref[:, 5] = 3.0
+        profile = RegionProfile("r", ref, 1, 8, descriptor_dims=(4, 5))
+        assert profile.test_dims == (0, 4, 5)
+        assert profile.testable()
+
+    def test_peakless_region_testable_via_descriptors(self):
+        ref = np.full((20, 6), np.nan)
+        ref[:, 4] = 2.0
+        ref[:, 5] = 3.0
+        profile = RegionProfile("r", ref, 0, 8, descriptor_dims=(4, 5))
+        assert profile.testable()
+        without = RegionProfile("r", ref[:, :4], 0, 8)
+        assert not without.testable()
+
+    def test_descriptor_dims_validated(self):
+        ref = np.zeros((10, 4))
+        with pytest.raises(TrainingError):
+            RegionProfile("r", ref, 1, 8, descriptor_dims=(9,))
+
+
+class TestEndToEnd:
+    def test_gsm_lpc_becomes_testable(self):
+        scale = Scale(train_runs=3, clean_runs=1, injected_runs=1)
+        detector = build_detector(
+            gsm(), scale, source="em",
+            config=EddieConfig(diffuse_features=True),
+        )
+        lpc = detector.model.profiles["loop:lpc"]
+        assert lpc.num_peaks == 0  # still peak-less
+        assert lpc.descriptor_dims  # but testable via descriptors
+        assert lpc.testable()
+
+    def test_model_round_trip_preserves_descriptors(self, tmp_path):
+        from repro.serialize import load_model, save_model
+
+        scale = Scale(train_runs=3, clean_runs=1, injected_runs=1)
+        detector = build_detector(
+            gsm(), scale, source="em",
+            config=EddieConfig(diffuse_features=True),
+        )
+        path = tmp_path / "m.npz"
+        save_model(detector.model, path)
+        loaded = load_model(path)
+        assert loaded.config.diffuse_features
+        for name, profile in detector.model.profiles.items():
+            assert loaded.profiles[name].descriptor_dims == profile.descriptor_dims

@@ -1,0 +1,147 @@
+"""Tests for the experiment layer: Scale, report formatting, runner helpers,
+and a smoke run of each fast experiment at a tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import fmt, format_series, format_table
+from repro.experiments.runner import (
+    Scale,
+    build_detector,
+    capture_traces,
+    monitor_traces,
+    sweep_group_sizes,
+)
+from repro.experiments.tables_common import shellcode_burst
+from repro.programs.workloads import sharp_loop_program
+
+
+class TestScale:
+    def test_presets_ordering(self):
+        quick, default, paper = Scale.quick(), Scale.default(), Scale.paper()
+        assert quick.train_runs < default.train_runs < paper.train_runs
+        assert paper.clock_hz == 1.008e9
+
+    def test_seed_namespaces_disjoint(self):
+        scale = Scale.default()
+        train = {scale.train_seed(k) for k in range(100)}
+        monitor = {scale.monitor_seed(k) for k in range(100)}
+        injected = {scale.injected_seed(k) for k in range(100)}
+        assert not (train & monitor)
+        assert not (train & injected)
+        assert not (monitor & injected)
+
+
+class TestReportFormatting:
+    def test_fmt(self):
+        assert fmt(None) == "-"
+        assert fmt(3) == "3"
+        assert fmt(3.14159, 2) == "3.14"
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            "T", ["name", "value"], [["a", 1.5], ["longer", None]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert "-" in lines[-1]  # the None cell
+        # Column alignment: all data rows equal width or less.
+        assert "longer" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table("Empty", ["a", "b"], [])
+        assert "Empty" in text
+
+    def test_format_series_merges_x(self):
+        text = format_series(
+            "S", "x",
+            {"one": [(1.0, 10.0), (2.0, 20.0)], "two": [(2.0, 99.0)]},
+        )
+        lines = text.splitlines()
+        assert "one" in lines[2] and "two" in lines[2]
+        # x=1 row: series 'two' missing -> "-"
+        row1 = next(line for line in lines if line.startswith("1.00"))
+        assert "-" in row1
+
+
+class TestRunnerHelpers:
+    @pytest.fixture(scope="class")
+    def detector(self):
+        scale = Scale(train_runs=3, clean_runs=1, injected_runs=1)
+        return build_detector(sharp_loop_program(trips=6000), scale, source="em")
+
+    def test_capture_and_monitor(self, detector):
+        traces = capture_traces(detector, [1000, 1001])
+        assert len(traces) == 2
+        metrics = monitor_traces(detector, traces)
+        assert metrics.n_groups > 0
+        assert metrics.false_positive_rate < 20.0
+
+    def test_sweep_group_sizes(self, detector):
+        traces = capture_traces(detector, [1002])
+        by_n = sweep_group_sizes(detector, traces, (8, 16))
+        assert set(by_n) == {8, 16}
+        for metrics in by_n.values():
+            assert metrics.n_groups > 0
+
+
+class TestShellcodeBurst:
+    def test_instruction_budget(self):
+        burst = shellcode_burst("loop:X")
+        # The paper's empty shellcode executes ~476k instructions.
+        assert burst.instr_count == pytest.approx(476_000, rel=0.02)
+        assert burst.after_region == "loop:X"
+
+    def test_contains_syscall(self):
+        from repro.programs.ir import OpClass
+
+        burst = shellcode_burst("loop:X")
+        assert any(i.op is OpClass.SYSCALL for i in burst.body)
+
+
+class TestExperimentSmoke:
+    """Each fast experiment runs end to end at a tiny scale."""
+
+    TINY = Scale(train_runs=2, clean_runs=1, injected_runs=1,
+                 group_sizes=(8, 16))
+
+    def test_fig1(self):
+        from repro.experiments import fig1_spectrum
+
+        result = fig1_spectrum.run(self.TINY)
+        assert result.left_offset == pytest.approx(
+            result.iteration_freq_hz, rel=0.1
+        )
+        assert "Fclock" in fig1_spectrum.format(result)
+
+    def test_fig3(self):
+        from repro.experiments import fig3_buffer_size
+
+        result = fig3_buffer_size.run(self.TINY)
+        assert set(result.curves) == {
+            "sharp peak", "several peaks", "diffuse peaks"
+        }
+        assert "Figure 3" in fig3_buffer_size.format(result)
+
+    def test_fig9(self):
+        from repro.experiments import fig9_confidence
+
+        result = fig9_confidence.run(self.TINY)
+        assert set(result.curves) == {0.95, 0.97, 0.99}
+        assert "confidence" in fig9_confidence.format(result)
+
+    def test_fig10(self):
+        from repro.experiments import fig10_instruction_type
+
+        result = fig10_instruction_type.run(self.TINY)
+        assert len(result.curves) == 2
+        assert "Figure 10" in fig10_instruction_type.format(result)
+
+    def test_table_row(self):
+        from repro.experiments.tables_common import evaluate_benchmark
+
+        row = evaluate_benchmark("stringsearch", self.TINY, "em")
+        assert row.name == "stringsearch"
+        assert 0 <= row.coverage <= 100
+        assert 0 <= row.accuracy <= 100

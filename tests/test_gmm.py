@@ -1,0 +1,80 @@
+"""Unit tests for the 1-D Gaussian mixture fit (repro.core.stats.gmm)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats.gmm import GaussianMixture1D, fit_gmm
+from repro.errors import ConfigurationError
+
+
+class TestFitGmm:
+    def test_recovers_two_well_separated_modes(self):
+        rng = np.random.default_rng(0)
+        data = np.concatenate(
+            [rng.normal(0.0, 0.5, 600), rng.normal(10.0, 0.8, 400)]
+        )
+        gmm = fit_gmm(data, 2)
+        assert gmm.means[0] == pytest.approx(0.0, abs=0.2)
+        assert gmm.means[1] == pytest.approx(10.0, abs=0.2)
+        assert gmm.weights[0] == pytest.approx(0.6, abs=0.05)
+        assert gmm.stds[0] == pytest.approx(0.5, abs=0.1)
+
+    def test_means_sorted(self):
+        rng = np.random.default_rng(1)
+        data = np.concatenate([rng.normal(5, 1, 100), rng.normal(-5, 1, 100)])
+        gmm = fit_gmm(data, 2)
+        assert gmm.means[0] < gmm.means[1]
+
+    def test_weights_sum_to_one(self):
+        rng = np.random.default_rng(2)
+        gmm = fit_gmm(rng.normal(0, 1, 200), 3)
+        assert sum(gmm.weights) == pytest.approx(1.0)
+
+    def test_single_component_is_sample_stats(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(2.0, 3.0, 2000)
+        gmm = fit_gmm(data, 1)
+        assert gmm.means[0] == pytest.approx(data.mean(), abs=1e-6)
+        assert gmm.stds[0] == pytest.approx(data.std(), rel=1e-3)
+
+    def test_nan_filtered(self):
+        data = np.array([1.0, np.nan, 2.0, 3.0, np.nan, 4.0, 5.0, 6.0])
+        gmm = fit_gmm(data, 2)
+        assert np.isfinite(gmm.means).all()
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            fit_gmm(np.array([1.0, 2.0]), 2)
+
+
+class TestGmmQueries:
+    def make(self):
+        return GaussianMixture1D(
+            weights=(0.5, 0.5), means=(0.0, 10.0), stds=(1.0, 1.0),
+            log_likelihood=0.0,
+        )
+
+    def test_pdf_integrates_to_one(self):
+        gmm = self.make()
+        x = np.linspace(-10, 20, 20000)
+        assert np.trapezoid(gmm.pdf(x), x) == pytest.approx(1.0, abs=1e-3)
+
+    def test_cdf_monotone(self):
+        gmm = self.make()
+        x = np.linspace(-10, 20, 100)
+        assert np.all(np.diff(gmm.cdf(x)) >= 0)
+        assert gmm.cdf(np.array([100.0]))[0] == pytest.approx(1.0)
+
+    def test_within_k_sigma(self):
+        gmm = self.make()
+        inside = np.array([0.0, 2.9, 10.0, 7.1])
+        outside = np.array([5.0, -4.0, 14.0])
+        assert gmm.within_k_sigma(inside).all()
+        assert not gmm.within_k_sigma(outside).any()
+
+    def test_sample_distribution(self):
+        gmm = self.make()
+        rng = np.random.default_rng(0)
+        draws = gmm.sample(10000, rng)
+        near_zero = (np.abs(draws) < 5).mean()
+        assert near_zero == pytest.approx(0.5, abs=0.03)

@@ -1,0 +1,202 @@
+"""Unit tests for the mini-IR (repro.programs.ir)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.programs.ir import (
+    BasicBlock,
+    Branch,
+    Halt,
+    Instr,
+    Jump,
+    LoopBack,
+    MemRef,
+    OpClass,
+    ParamSpec,
+    Program,
+    instruction_helpers,
+)
+
+
+class TestMemRef:
+    def test_defaults(self):
+        ref = MemRef("array")
+        assert ref.pattern == "seq"
+        assert ref.footprint > 0
+
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(ConfigurationError):
+            MemRef("array", pattern="zigzag")
+
+    def test_rejects_nonpositive_footprint(self):
+        with pytest.raises(ConfigurationError):
+            MemRef("array", footprint=0)
+
+    def test_rejects_nonpositive_stride(self):
+        with pytest.raises(ConfigurationError):
+            MemRef("array", stride=-4)
+
+
+class TestInstr:
+    def test_memory_op_requires_memref(self):
+        with pytest.raises(ConfigurationError):
+            Instr(OpClass.LOAD, dst="r1")
+
+    def test_non_memory_op_rejects_memref(self):
+        with pytest.raises(ConfigurationError):
+            Instr(OpClass.IADD, dst="r1", mem=MemRef("a"))
+
+    def test_srcs_normalized_to_tuple(self):
+        instr = Instr(OpClass.IADD, dst="r1", srcs=["r2", "r3"])
+        assert instr.srcs == ("r2", "r3")
+
+    def test_str_is_readable(self):
+        instr = Instr(OpClass.LOAD, dst="r1", srcs=("r2",), mem=MemRef("buf"))
+        text = str(instr)
+        assert "load" in text and "buf" in text
+
+    def test_opclass_predicates(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.IADD.is_memory
+        assert OpClass.BRANCH.is_control
+        assert OpClass.SYSCALL.is_control
+        assert not OpClass.FMUL.is_control
+
+
+class TestInstructionHelpers:
+    def test_all_opclasses_have_helpers(self):
+        helpers = instruction_helpers()
+        assert set(helpers) == {op.value for op in OpClass}
+
+    def test_helper_builds_instr(self):
+        ops = instruction_helpers()
+        instr = ops["iadd"]("r1", "r2", "r3")
+        assert instr.op is OpClass.IADD
+        assert instr.dst == "r1"
+        assert instr.srcs == ("r2", "r3")
+
+    def test_memory_helper(self):
+        ops = instruction_helpers()
+        instr = ops["store"](None, "r1", mem=MemRef("out"))
+        assert instr.op is OpClass.STORE
+        assert instr.mem.stream == "out"
+
+
+class TestBasicBlock:
+    def test_successors_jump(self):
+        blk = BasicBlock("a", [], Jump("b"))
+        assert blk.successors() == ("b",)
+
+    def test_successors_branch(self):
+        blk = BasicBlock("a", [], Branch("t", "f", 0.3))
+        assert blk.successors() == ("t", "f")
+
+    def test_successors_loopback(self):
+        blk = BasicBlock("a", [], LoopBack("a", "out", 10))
+        assert set(blk.successors()) == {"a", "out"}
+
+    def test_successors_halt(self):
+        assert BasicBlock("a").successors() == ()
+
+    def test_size_counts_terminator(self):
+        body = [Instr(OpClass.IADD, dst="r1")]
+        assert BasicBlock("a", body, Jump("b")).size == 2
+        assert BasicBlock("a", body, Halt()).size == 1
+
+
+def two_block_program() -> Program:
+    blocks = [
+        BasicBlock("start", [Instr(OpClass.IADD, dst="r1")], Jump("end")),
+        BasicBlock("end", [], Halt()),
+    ]
+    return Program("p", blocks, entry="start")
+
+
+class TestProgram:
+    def test_duplicate_block_rejected(self):
+        blocks = [BasicBlock("a"), BasicBlock("a")]
+        with pytest.raises(AnalysisError):
+            Program("p", blocks, entry="a")
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(AnalysisError):
+            Program("p", [BasicBlock("a")], entry="nope")
+
+    def test_dangling_successor_rejected(self):
+        blocks = [BasicBlock("a", [], Jump("ghost"))]
+        with pytest.raises(AnalysisError):
+            Program("p", blocks, entry="a")
+
+    def test_loopback_header_equals_exit_rejected(self):
+        blocks = [
+            BasicBlock("a", [], LoopBack("b", "b", 5)),
+            BasicBlock("b", [], Halt()),
+        ]
+        with pytest.raises(AnalysisError):
+            Program("p", blocks, entry="a")
+
+    def test_static_size(self):
+        program = two_block_program()
+        assert program.static_size == 2  # iadd + jump
+
+    def test_block_lookup_error(self):
+        program = two_block_program()
+        with pytest.raises(AnalysisError):
+            program.block("nothere")
+
+    def test_sample_input_covers_params(self):
+        params = [
+            ParamSpec("n", "int", 5, 10),
+            ParamSpec("p", "float", 0.2, 0.8),
+            ParamSpec("mode", "choice", choices=(1.0, 2.0)),
+        ]
+        program = Program(
+            "p", [BasicBlock("a")], entry="a", params=params
+        )
+        rng = np.random.default_rng(0)
+        inputs = program.sample_input(rng)
+        assert set(inputs) == {"n", "p", "mode"}
+        assert 5 <= inputs["n"] <= 10
+        assert 0.2 <= inputs["p"] <= 0.8
+        assert inputs["mode"] in (1.0, 2.0)
+
+    def test_resolve_trips_literal_param_callable(self):
+        program = two_block_program()
+        assert program.resolve_trips(7, {}) == 7
+        assert program.resolve_trips("n", {"n": 12}) == 12
+        assert program.resolve_trips(lambda inp: inp["n"] * 2, {"n": 4}) == 8
+
+    def test_resolve_trips_rejects_nonpositive(self):
+        program = two_block_program()
+        with pytest.raises(ConfigurationError):
+            program.resolve_trips(0, {})
+
+    def test_resolve_prob_bounds(self):
+        program = two_block_program()
+        assert program.resolve_prob(0.25, {}) == 0.25
+        with pytest.raises(ConfigurationError):
+            program.resolve_prob(1.5, {})
+
+    def test_resolve_missing_param(self):
+        program = two_block_program()
+        with pytest.raises(ConfigurationError):
+            program.resolve_trips("missing", {})
+
+
+class TestParamSpec:
+    def test_int_inclusive_bounds(self):
+        rng = np.random.default_rng(1)
+        spec = ParamSpec("n", "int", 3, 3)
+        assert spec.sample(rng) == 3
+
+    def test_choice_requires_choices(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ConfigurationError):
+            ParamSpec("c", "choice").sample(rng)
+
+    def test_unknown_kind(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ConfigurationError):
+            ParamSpec("x", "gaussian").sample(rng)

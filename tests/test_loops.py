@@ -1,0 +1,210 @@
+"""Unit tests for natural-loop detection (repro.cfg.loops)."""
+
+import pytest
+
+from repro.cfg.dominators import compute_dominators
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.loops import find_loops
+from repro.errors import AnalysisError
+from repro.programs.builder import ProgramBuilder
+from repro.programs.ir import Instr, OpClass
+
+
+def simple_loop_cfg() -> ControlFlowGraph:
+    return ControlFlowGraph(
+        ["entry", "head", "body", "out"],
+        [("entry", "head"), ("head", "body"), ("body", "head"), ("head", "out")],
+        entry="entry",
+    )
+
+
+def nested_loop_cfg() -> ControlFlowGraph:
+    """outer: oh -> inner(ih<->ib) -> olatch -> oh."""
+    return ControlFlowGraph(
+        ["entry", "oh", "ih", "ib", "olatch", "out"],
+        [
+            ("entry", "oh"),
+            ("oh", "ih"),
+            ("ih", "ib"),
+            ("ib", "ih"),
+            ("ih", "olatch"),
+            ("olatch", "oh"),
+            ("oh", "out"),
+        ],
+        entry="entry",
+    )
+
+
+class TestFindLoops:
+    def test_single_loop(self):
+        forest = find_loops(simple_loop_cfg())
+        assert len(forest) == 1
+        loop = forest.by_header("head")
+        assert loop.blocks == frozenset({"head", "body"})
+        assert loop.back_edges == (("body", "head"),)
+        assert loop.is_top_level
+        assert loop.depth == 1
+
+    def test_self_loop(self):
+        cfg = ControlFlowGraph(
+            ["entry", "l", "out"],
+            [("entry", "l"), ("l", "l"), ("l", "out")],
+            entry="entry",
+        )
+        forest = find_loops(cfg)
+        loop = forest.by_header("l")
+        assert loop.blocks == frozenset({"l"})
+        assert loop.back_edges == (("l", "l"),)
+
+    def test_nested_loops(self):
+        forest = find_loops(nested_loop_cfg())
+        assert len(forest) == 2
+        outer = forest.by_header("oh")
+        inner = forest.by_header("ih")
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert outer.depth == 1
+        assert inner.depth == 2
+        assert inner.blocks < outer.blocks
+        assert forest.top_level() == [outer]
+
+    def test_innermost_containing(self):
+        forest = find_loops(nested_loop_cfg())
+        assert forest.innermost_containing("ib").header == "ih"
+        assert forest.innermost_containing("olatch").header == "oh"
+        assert forest.innermost_containing("entry") is None
+
+    def test_top_level_containing(self):
+        forest = find_loops(nested_loop_cfg())
+        assert forest.top_level_containing("ib").header == "oh"
+        assert forest.top_level_containing("out") is None
+
+    def test_two_sibling_loops(self):
+        cfg = ControlFlowGraph(
+            ["e", "l1", "mid", "l2", "out"],
+            [
+                ("e", "l1"),
+                ("l1", "l1"),
+                ("l1", "mid"),
+                ("mid", "l2"),
+                ("l2", "l2"),
+                ("l2", "out"),
+            ],
+            entry="e",
+        )
+        forest = find_loops(cfg)
+        assert len(forest.top_level()) == 2
+        assert {lp.header for lp in forest.top_level()} == {"l1", "l2"}
+
+    def test_loops_sharing_header_merged(self):
+        # Two back edges into the same header form one loop.
+        cfg = ControlFlowGraph(
+            ["e", "h", "a", "b", "out"],
+            [
+                ("e", "h"),
+                ("h", "a"),
+                ("h", "b"),
+                ("a", "h"),
+                ("b", "h"),
+                ("h", "out"),
+            ],
+            entry="e",
+        )
+        forest = find_loops(cfg)
+        assert len(forest) == 1
+        loop = forest.by_header("h")
+        assert loop.blocks == frozenset({"h", "a", "b"})
+        assert len(loop.back_edges) == 2
+
+    def test_irreducible_rejected(self):
+        # Classic irreducible shape: two entries into a cycle.
+        cfg = ControlFlowGraph(
+            ["e", "a", "b"],
+            [("e", "a"), ("e", "b"), ("a", "b"), ("b", "a")],
+            entry="e",
+        )
+        with pytest.raises(AnalysisError, match="irreducible"):
+            find_loops(cfg)
+
+    def test_exits(self):
+        cfg = simple_loop_cfg()
+        forest = find_loops(cfg)
+        loop = forest.by_header("head")
+        assert loop.exits(cfg) == [("head", "out")]
+
+    def test_accepts_precomputed_domtree(self):
+        cfg = simple_loop_cfg()
+        dom = compute_dominators(cfg)
+        forest = find_loops(cfg, dom)
+        assert len(forest) == 1
+
+    def test_by_header_missing(self):
+        forest = find_loops(simple_loop_cfg())
+        with pytest.raises(AnalysisError):
+            forest.by_header("nope")
+
+
+class TestBuilderShapesProduceExpectedLoops:
+    def test_counted_loop_is_self_loop(self):
+        b = ProgramBuilder("p")
+        b.block("init", [], next_block="L")
+        b.counted_loop("L", [Instr(OpClass.IADD, dst="r1")], trips=10, exit="done")
+        b.halt("done")
+        program = b.build(entry="init")
+        cfg = ControlFlowGraph.from_program(program)
+        forest = find_loops(cfg)
+        assert len(forest) == 1
+        assert forest.by_header("L").blocks == frozenset({"L"})
+
+    def test_branchy_loop_blocks(self):
+        b = ProgramBuilder("p")
+        b.block("init", [], next_block="L")
+        b.branchy_loop(
+            "L",
+            paths=[(0.5, [Instr(OpClass.IADD, dst="r1")]), (0.5, [Instr(OpClass.IMUL, dst="r2")])],
+            trips=10,
+            exit="done",
+        )
+        b.halt("done")
+        program = b.build(entry="init")
+        forest = find_loops(ControlFlowGraph.from_program(program))
+        loop = forest.by_header("L")
+        assert loop.blocks == frozenset({"L", "L.p0", "L.p1", "L.latch"})
+
+    def test_branchy_loop_three_paths(self):
+        b = ProgramBuilder("p")
+        b.block("init", [], next_block="L")
+        b.branchy_loop(
+            "L",
+            paths=[
+                (0.5, [Instr(OpClass.IADD, dst="r1")]),
+                (0.3, [Instr(OpClass.IMUL, dst="r2")]),
+                (0.2, [Instr(OpClass.IDIV, dst="r3")]),
+            ],
+            trips=10,
+            exit="done",
+        )
+        b.halt("done")
+        program = b.build(entry="init")
+        forest = find_loops(ControlFlowGraph.from_program(program))
+        loop = forest.by_header("L")
+        assert {"L", "L.sel1", "L.p0", "L.p1", "L.p2", "L.latch"} == set(loop.blocks)
+
+    def test_nested_loop_builder(self):
+        b = ProgramBuilder("p")
+        b.block("init", [], next_block="N")
+        b.nested_loop(
+            "N",
+            inner_body=[Instr(OpClass.IADD, dst="r1")],
+            inner_trips=50,
+            outer_trips=10,
+            exit="done",
+        )
+        b.halt("done")
+        program = b.build(entry="init")
+        forest = find_loops(ControlFlowGraph.from_program(program))
+        assert len(forest) == 2
+        outer = forest.by_header("N")
+        inner = forest.by_header("N.inner")
+        assert inner.parent is outer
+        assert forest.top_level() == [outer]

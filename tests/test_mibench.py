@@ -1,0 +1,124 @@
+"""Tests for the MiBench-like benchmark programs and workload kernels."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import CoreConfig
+from repro.arch.simulator import Simulator
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.loops import find_loops
+from repro.cfg.regions import build_region_machine
+from repro.programs.ir import OpClass
+from repro.programs.mibench import BENCHMARKS, INJECTION_LOOPS
+from repro.programs.workloads import (
+    crypto_kernel,
+    diffuse_loop_program,
+    fp_kernel,
+    injection_mix,
+    int_kernel,
+    mem_kernel,
+    mixed_kernel,
+    multi_peak_loop_program,
+    sharp_loop_program,
+)
+
+CORE = CoreConfig.iot_inorder(clock_hz=1e8)
+
+
+class TestKernels:
+    def test_int_kernel_size_and_phases(self):
+        body = int_kernel(100, "x")
+        assert len(body) == 100
+        # The serial tail is a dependency chain on one register.
+        tail = body[60:]
+        assert all(i.dst == "xacc" for i in tail)
+
+    def test_fp_kernel_ops(self):
+        body = fp_kernel(50, "f", div_every=10)
+        ops = {i.op for i in body}
+        assert OpClass.FADD in ops and OpClass.FMUL in ops
+        assert OpClass.FDIV in ops
+
+    def test_mem_kernel_streams(self):
+        body = mem_kernel(5, "m", "buf", 4096, n_stores=2)
+        loads = [i for i in body if i.op is OpClass.LOAD]
+        stores = [i for i in body if i.op is OpClass.STORE]
+        assert len(loads) == 5 and len(stores) == 2
+        assert all(i.mem.stream == "buf" for i in loads + stores)
+
+    def test_mixed_kernel_preserves_counts(self):
+        body = mixed_kernel(40, 6, "z", "img", 1 << 16)
+        assert sum(1 for i in body if i.op is OpClass.LOAD) == 6
+
+    def test_crypto_kernel_has_table_lookups(self):
+        body = crypto_kernel(20, "c", "sbox", 1024)
+        assert any(i.op is OpClass.LOAD for i in body)
+
+    def test_injection_mix_counts(self):
+        payload = injection_mix(4, 4)
+        assert sum(1 for i in payload if i.op is OpClass.IADD) == 4
+        assert sum(1 for i in payload if i.op is OpClass.STORE) == 4
+        assert len(injection_mix(8, 0)) == 8
+
+
+class TestWorkloadShapes:
+    @pytest.mark.parametrize(
+        "builder", [sharp_loop_program, multi_peak_loop_program, diffuse_loop_program]
+    )
+    def test_shapes_build_and_run(self, builder):
+        program = builder(trips=500)
+        result = Simulator(program, CORE).run(seed=0)
+        assert result.cycles > 0
+        regions = {iv.region for iv in result.timeline}
+        assert "loop:L" in regions
+
+
+class TestMibenchPrograms:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_builds_and_analyzes(self, name):
+        program = BENCHMARKS[name]()
+        assert program.name == name
+        cfg = ControlFlowGraph.from_program(program)
+        forest = find_loops(cfg)
+        machine = build_region_machine(program, cfg, forest)
+        assert len(machine.loop_regions) >= 2
+        # The default injection target must be a loop header.
+        assert forest.is_header(INJECTION_LOOPS[name])
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_simulates_with_reasonable_size(self, name):
+        result = Simulator(BENCHMARKS[name](), CORE).run(seed=0)
+        # Every benchmark yields enough samples for dozens of STFT windows
+        # but stays laptop-fast.
+        assert 8_000 < len(result.power) < 2_000_000
+        assert result.instr_count > 50_000
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_input_variation_changes_runs(self, name):
+        simulator = Simulator(BENCHMARKS[name](), CORE)
+        a = simulator.run(seed=0)
+        b = simulator.run(seed=1)
+        assert a.cycles != b.cycles  # trip-count parameters differ
+
+    def test_bitcount_has_five_kernels(self):
+        machine = build_region_machine(BENCHMARKS["bitcount"]())
+        loops = [r for r in machine.loop_regions]
+        assert len(loops) == 5
+
+    def test_susan_has_five_nests(self):
+        machine = build_region_machine(BENCHMARKS["susan"]())
+        assert len(machine.loop_regions) == 5
+
+    def test_gsm_lpc_has_flat_body(self):
+        """gsm's lpc loop must stay homogeneous (the peak-less region)."""
+        program = BENCHMARKS["gsm"]()
+        lpc = program.block("lpc")
+        ops = {i.op for i in lpc.instrs}
+        assert ops == {OpClass.IADD}
+
+    def test_region_chain_structure(self):
+        """Benchmarks are loop chains: each loop region leads onward."""
+        for name in ("basicmath", "sha", "rijndael"):
+            machine = build_region_machine(BENCHMARKS[name]())
+            for region in machine.loop_regions:
+                assert machine.successors(region), f"{name}:{region} is terminal"

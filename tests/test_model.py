@@ -1,0 +1,143 @@
+"""Unit tests for repro.core.model."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import EddieConfig, EddieModel, RegionProfile
+from repro.errors import ConfigurationError, TrainingError
+
+
+def ref(values, width=4):
+    """Build a reference matrix with one meaningful dim."""
+    out = np.full((len(values), width), np.nan)
+    out[:, 0] = values
+    return out
+
+
+def make_model(**kwargs):
+    cfg = EddieConfig()
+    profiles = {
+        "loop:A": RegionProfile("loop:A", ref([1.0] * 50), 1, 8),
+        "inter:loop:A->loop:B": RegionProfile(
+            "inter:loop:A->loop:B", ref([2.0] * 50), 1, 8
+        ),
+        "loop:B": RegionProfile("loop:B", ref([3.0] * 50), 1, 16),
+    }
+    successors = {
+        "loop:A": ["inter:loop:A->loop:B"],
+        "inter:loop:A->loop:B": ["loop:B"],
+        "loop:B": [],
+    }
+    defaults = dict(
+        program_name="p",
+        config=cfg,
+        profiles=profiles,
+        successors=successors,
+        initial_regions=["loop:A"],
+        sample_rate=1e6,
+    )
+    defaults.update(kwargs)
+    return EddieModel(**defaults)
+
+
+class TestEddieConfig:
+    def test_defaults_match_paper(self):
+        cfg = EddieConfig()
+        assert cfg.alpha == 0.01  # 99% confidence
+        assert cfg.report_threshold == 3
+        assert cfg.energy_fraction == 0.01
+        assert cfg.overlap == 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.0},
+            {"report_threshold": -1},
+            {"change_fraction": 0.0},
+            {"group_sizes": ()},
+            {"group_sizes": (1, 8)},
+            {"max_peaks": 0},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            EddieConfig(**kwargs)
+
+
+class TestRegionProfile:
+    def test_reference_dim_sorted_nan_free(self):
+        matrix = np.array([[3.0, np.nan], [1.0, 5.0], [2.0, np.nan]])
+        profile = RegionProfile("r", matrix, 2, 8)
+        np.testing.assert_array_equal(profile.reference_dim(0), [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(profile.reference_dim(1), [5.0])
+
+    def test_reference_dim_cached(self):
+        profile = RegionProfile("r", ref([1.0, 2.0]), 1, 8)
+        assert profile.reference_dim(0) is profile.reference_dim(0)
+
+    def test_testable(self):
+        assert RegionProfile("r", ref([1.0] * 10), 1, 8).testable()
+        assert not RegionProfile("r", ref([1.0] * 10), 0, 8).testable()
+        all_nan = np.full((10, 4), np.nan)
+        assert not RegionProfile("r", all_nan, 1, 8).testable()
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            RegionProfile("r", np.ones(5), 1, 8)  # 1-D
+        with pytest.raises(TrainingError):
+            RegionProfile("r", np.ones((5, 2)), 3, 8)  # num_peaks too big
+        with pytest.raises(TrainingError):
+            RegionProfile("r", np.ones((5, 2)), 1, 1)  # group too small
+
+
+class TestEddieModel:
+    def test_candidate_regions_two_steps(self):
+        model = make_model()
+        # From loop:A, candidates include the inter region AND loop:B.
+        assert set(model.candidate_regions("loop:A")) == {
+            "inter:loop:A->loop:B",
+            "loop:B",
+        }
+        assert model.candidate_regions("loop:B") == []
+
+    def test_candidates_exclude_unprofiled(self):
+        model = make_model(
+            successors={
+                "loop:A": ["inter:ghost"],
+                "inter:loop:A->loop:B": [],
+                "loop:B": [],
+            }
+        )
+        assert model.candidate_regions("loop:A") == []
+
+    def test_initial_region_fallback(self):
+        model = make_model(initial_regions=["not-a-region"])
+        assert model.initial_regions == ["loop:A"]
+
+    def test_max_group_size(self):
+        assert make_model().max_group_size == 16
+
+    def test_hop_duration(self):
+        model = make_model()
+        cfg = model.config
+        expected = (cfg.window_samples * (1 - cfg.overlap)) / 1e6
+        assert model.hop_duration == pytest.approx(expected)
+
+    def test_with_group_size(self):
+        forced = make_model().with_group_size(64)
+        assert all(p.group_size == 64 for p in forced.profiles.values())
+
+    def test_with_alpha(self):
+        relaxed = make_model().with_alpha(0.05)
+        assert relaxed.config.alpha == 0.05
+        # Profiles are shared, not copied.
+        assert relaxed.profiles is not None
+
+    def test_profile_lookup_error(self):
+        with pytest.raises(ConfigurationError):
+            make_model().profile("loop:nope")
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(TrainingError):
+            EddieModel("p", EddieConfig(), {}, {}, [], 1e6)

@@ -1,0 +1,153 @@
+"""Step-level unit tests for the monitor's Algorithm-1 mechanics.
+
+These pin the behaviours DESIGN.md D11 documents: the anomaly streak and
+report threshold, bounded candidate probes, missing-peak rejections, and
+step-counted region changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import EddieConfig, EddieModel, RegionProfile
+from repro.core.monitor import Monitor
+from repro.errors import MonitoringError
+
+MAXP = 4
+
+
+def rows(freq, n, width=MAXP):
+    out = np.full((n, width), np.nan)
+    out[:, 0] = freq
+    return out
+
+
+def build_model(report_threshold=3, change_steps=3, successors=None,
+                profiles=None):
+    cfg = EddieConfig(
+        window_samples=64, max_peaks=MAXP, group_sizes=(8,),
+        report_threshold=report_threshold, change_steps=change_steps,
+    )
+    if profiles is None:
+        profiles = {
+            "loop:A": RegionProfile("loop:A", rows(1000.0, 100), 1, 8),
+            "loop:B": RegionProfile("loop:B", rows(2000.0, 100), 1, 8),
+        }
+    return EddieModel(
+        "p", cfg, profiles,
+        successors or {"loop:A": ["loop:B"], "loop:B": []},
+        ["loop:A"], 64e3,
+    )
+
+
+def drive(monitor, freqs):
+    """Feed a sequence of dim-0 peak values; return (reports, rejections)."""
+    reports, rejections = [], 0
+    for i, freq in enumerate(freqs):
+        row = np.full(MAXP, np.nan)
+        if freq is not None:
+            row[0] = freq
+        report, rejected = monitor.step(row, float(i))
+        if report:
+            reports.append((i, report))
+        rejections += rejected
+    return reports, rejections
+
+
+class TestReportThreshold:
+    def test_report_fires_after_streak(self):
+        model = build_model(report_threshold=3)
+        monitor = Monitor(model)
+        # Warm up with clean values, then an anomalous plateau that matches
+        # neither region.
+        reports, _ = drive(monitor, [1000.0] * 20 + [1500.0] * 20)
+        assert reports
+        first_index = reports[0][0]
+        # Needs > threshold accumulated rejections: not instantaneous.
+        assert first_index >= 20 + 3
+
+    def test_higher_threshold_fires_later(self):
+        late_reports = []
+        for threshold in (1, 6):
+            monitor = Monitor(build_model(report_threshold=threshold))
+            reports, _ = drive(monitor, [1000.0] * 20 + [1500.0] * 30)
+            late_reports.append(reports[0][0] if reports else None)
+        assert late_reports[0] is not None and late_reports[1] is not None
+        assert late_reports[0] < late_reports[1]
+
+    def test_clean_acceptance_resets_streak(self):
+        monitor = Monitor(build_model(report_threshold=3))
+        # Alternate one anomalous STS into long clean stretches: the group
+        # median stays clean, so no rejection streak can build.
+        pattern = ([1000.0] * 10 + [1500.0]) * 6
+        reports, _ = drive(monitor, pattern)
+        assert reports == []
+
+
+class TestRegionChange:
+    def test_change_needs_multiple_steps(self):
+        model = build_model(change_steps=3)
+        monitor = Monitor(model)
+        drive(monitor, [1000.0] * 20)
+        assert monitor.current_region == "loop:A"
+        # Two B-consistent steps: not yet enough once rejections begin.
+        drive(monitor, [2000.0] * 9)
+        # After enough steps the monitor lands in B without reporting.
+        reports, _ = drive(monitor, [2000.0] * 10)
+        assert monitor.current_region == "loop:B"
+
+    def test_no_change_to_non_successor(self):
+        profiles = {
+            "loop:A": RegionProfile("loop:A", rows(1000.0, 100), 1, 8),
+            "loop:B": RegionProfile("loop:B", rows(2000.0, 100), 1, 8),
+            "loop:C": RegionProfile("loop:C", rows(3000.0, 100), 1, 8),
+        }
+        model = build_model(
+            successors={"loop:A": ["loop:B"], "loop:B": [], "loop:C": []},
+            profiles=profiles,
+        )
+        monitor = Monitor(model)
+        drive(monitor, [1000.0] * 20)
+        reports, _ = drive(monitor, [3000.0] * 30)  # looks like C
+        assert monitor.current_region != "loop:C"
+        assert reports  # unexplained -> anomaly
+
+    def test_transition_resets_counters(self):
+        monitor = Monitor(build_model())
+        drive(monitor, [1000.0] * 20 + [2000.0] * 20)
+        assert monitor.current_region == "loop:B"
+        assert monitor._anomaly_count == 0
+        assert monitor._change_counts == {}
+
+
+class TestMissingPeaks:
+    def test_vanished_peaks_are_anomalous(self):
+        monitor = Monitor(build_model(report_threshold=2))
+        reports, _ = drive(monitor, [1000.0] * 20 + [None] * 20)
+        assert reports
+
+    def test_vanished_peaks_explained_by_peakless_successor(self):
+        peakless_ref = np.full((50, MAXP), np.nan)
+        profiles = {
+            "loop:A": RegionProfile("loop:A", rows(1000.0, 100), 1, 8),
+            "loop:Q": RegionProfile("loop:Q", peakless_ref, 0, 8),
+        }
+        model = build_model(
+            successors={"loop:A": ["loop:Q"], "loop:Q": []},
+            profiles=profiles,
+        )
+        monitor = Monitor(model)
+        reports, _ = drive(monitor, [1000.0] * 20 + [None] * 25)
+        assert reports == []
+        assert monitor.current_region == "loop:Q"
+
+
+class TestInputValidation:
+    def test_row_count_mismatch(self):
+        monitor = Monitor(build_model())
+        with pytest.raises(MonitoringError):
+            monitor.run_peaks(np.zeros((5, MAXP)), np.arange(4.0))
+
+    def test_width_too_small(self):
+        monitor = Monitor(build_model())
+        with pytest.raises(MonitoringError):
+            monitor.run_peaks(np.zeros((5, MAXP - 1)), np.arange(5.0))

@@ -1,0 +1,104 @@
+"""Unit tests for spectral peak extraction (repro.core.peaks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.peaks import extract_peaks, peak_matrix
+from repro.core.stft import stft
+from repro.errors import SignalError
+from repro.types import Signal
+
+
+class TestExtractPeaks:
+    def test_single_dominant_peak(self):
+        power = np.ones(100)
+        power[40] = 1000.0
+        freqs = np.arange(100.0)
+        peak_freqs, peak_powers = extract_peaks(power, freqs, 0.01)
+        assert peak_freqs[0] == 40.0
+        assert peak_powers[0] == 1000.0
+
+    def test_strongest_first_ordering(self):
+        power = np.ones(100)
+        power[10] = 500.0
+        power[50] = 900.0
+        power[80] = 300.0
+        freqs = np.arange(100.0)
+        peak_freqs, _ = extract_peaks(power, freqs, 0.01)
+        assert list(peak_freqs) == [50.0, 10.0, 80.0]
+
+    def test_energy_threshold_excludes_weak_peaks(self):
+        # Total energy 1000; 1% threshold = 10.
+        power = np.zeros(100)
+        power[10] = 985.0
+        power[50] = 11.0
+        power[80] = 4.0  # below threshold
+        freqs = np.arange(100.0)
+        peak_freqs, _ = extract_peaks(power, freqs, 0.01)
+        assert set(peak_freqs) == {10.0, 50.0}
+
+    def test_non_local_maxima_excluded(self):
+        # A shoulder bin adjacent to a bigger bin is not a peak.
+        power = np.zeros(100)
+        power[40] = 500.0
+        power[41] = 400.0
+        freqs = np.arange(100.0)
+        peak_freqs, _ = extract_peaks(power, freqs, 0.01)
+        assert list(peak_freqs) == [40.0]
+
+    def test_max_peaks_cap(self):
+        power = np.zeros(100)
+        for i in range(0, 100, 10):
+            power[i + 5] = 100.0
+        freqs = np.arange(100.0)
+        peak_freqs, _ = extract_peaks(power, freqs, 0.01, max_peaks=3)
+        assert len(peak_freqs) == 3
+
+    def test_edge_bins_can_be_peaks(self):
+        power = np.zeros(10)
+        power[0] = 100.0
+        power[9] = 50.0
+        freqs = np.arange(10.0)
+        peak_freqs, _ = extract_peaks(power, freqs, 0.01)
+        assert 0.0 in peak_freqs and 9.0 in peak_freqs
+
+    def test_empty_for_zero_power(self):
+        peak_freqs, peak_powers = extract_peaks(np.zeros(10), np.arange(10.0))
+        assert len(peak_freqs) == 0
+        assert len(peak_powers) == 0
+
+    def test_flat_spectrum_no_peaks(self):
+        peak_freqs, _ = extract_peaks(np.ones(100), np.arange(100.0), 0.02)
+        assert len(peak_freqs) == 0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(SignalError):
+            extract_peaks(np.ones(10), np.arange(5.0))
+
+    def test_bad_fraction(self):
+        with pytest.raises(SignalError):
+            extract_peaks(np.ones(10), np.arange(10.0), energy_fraction=0.0)
+
+
+class TestPeakMatrix:
+    def test_shape_and_padding(self):
+        fs = 1e5
+        t = np.arange(8192) / fs
+        sig = Signal(np.sin(2 * np.pi * 1e4 * t), fs)
+        seq = stft(sig, window_samples=1024)
+        matrix = peak_matrix(seq, max_peaks=6)
+        assert matrix.shape == (len(seq), 6)
+        # Single tone: first column the tone frequency, rest NaN.
+        assert np.allclose(matrix[:, 0], 1e4, atol=fs / 1024)
+        assert np.isnan(matrix[:, 3]).all()
+
+    def test_two_tone(self):
+        fs = 1e5
+        t = np.arange(8192) / fs
+        sig = Signal(
+            np.sin(2 * np.pi * 1e4 * t) + 0.5 * np.sin(2 * np.pi * 2.5e4 * t), fs
+        )
+        seq = stft(sig, window_samples=1024)
+        matrix = peak_matrix(seq, max_peaks=4)
+        assert np.allclose(matrix[:, 0], 1e4, atol=fs / 1024)
+        assert np.allclose(matrix[:, 1], 2.5e4, atol=fs / 1024)

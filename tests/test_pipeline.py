@@ -1,0 +1,147 @@
+"""Unit tests for the path schedulers (repro.arch.pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import CoreConfig
+from repro.arch.pipeline import schedule_path, unit_pipes
+from repro.arch.isa import Unit, base_latency
+from repro.programs.ir import Instr, MemRef, OpClass
+
+
+def iadds(n, dep_chain=False):
+    """n integer adds; optionally a serial dependency chain."""
+    if not dep_chain:
+        return [Instr(OpClass.IADD, dst=f"r{i}") for i in range(n)]
+    return [Instr(OpClass.IADD, dst="r0", srcs=("r0",)) for _ in range(n)]
+
+
+class TestScheduleBasics:
+    def test_empty_path(self):
+        sched = schedule_path([], CoreConfig())
+        assert sched.cycles == 0
+        assert sched.ipc == 0.0
+
+    def test_single_instruction(self):
+        sched = schedule_path(iadds(1), CoreConfig(issue_width=1))
+        assert sched.cycles == 1
+        assert sched.issue[0] == 0
+        assert sched.complete[0] == 1
+
+    def test_issue_width_limits_throughput(self):
+        narrow = schedule_path(iadds(8), CoreConfig(issue_width=1))
+        wide = schedule_path(iadds(8), CoreConfig(issue_width=4))
+        assert narrow.cycles > wide.cycles
+        assert narrow.cycles >= 8
+
+    def test_dependency_chain_serializes(self):
+        core = CoreConfig(issue_width=4)
+        chain = schedule_path(iadds(8, dep_chain=True), core)
+        parallel = schedule_path(iadds(8), core)
+        assert chain.cycles >= 8  # one per cycle at best
+        assert parallel.cycles < chain.cycles
+
+    def test_latency_respected(self):
+        core = CoreConfig(issue_width=2)
+        instrs = [
+            Instr(OpClass.IMUL, dst="a"),
+            Instr(OpClass.IADD, dst="b", srcs=("a",)),
+        ]
+        sched = schedule_path(instrs, core)
+        mul_latency = base_latency(instrs[0], core.mem.l1.hit_latency)
+        assert sched.issue[1] >= sched.issue[0] + mul_latency
+
+    def test_load_uses_l1_hit_latency(self):
+        core = CoreConfig()
+        instrs = [
+            Instr(OpClass.LOAD, dst="v", mem=MemRef("a")),
+            Instr(OpClass.IADD, dst="w", srcs=("v",)),
+        ]
+        sched = schedule_path(instrs, core)
+        assert sched.issue[1] - sched.issue[0] >= core.mem.l1.hit_latency
+
+    def test_divider_unpipelined(self):
+        core = CoreConfig(issue_width=4)
+        divs = [Instr(OpClass.IDIV, dst=f"d{i}") for i in range(3)]
+        sched = schedule_path(divs, core)
+        # Each division must wait for the previous one to finish.
+        div_latency = base_latency(divs[0], core.mem.l1.hit_latency)
+        assert sched.issue[1] >= sched.complete[0] - 1
+        assert sched.cycles >= 3 * div_latency
+
+    def test_alus_pipelined(self):
+        core = CoreConfig(issue_width=2)
+        sched = schedule_path(iadds(6), core)
+        # Two independent adds per cycle.
+        assert sched.cycles <= 4
+
+
+class TestInOrderVsOutOfOrder:
+    def make(self, kind):
+        return CoreConfig(kind=kind, issue_width=2, rob_size=32)
+
+    def test_ooo_reorders_around_long_latency(self):
+        # A dependent pair blocks an in-order core; an OOO core slides the
+        # independent adds under the multiply.
+        instrs = [
+            Instr(OpClass.IMUL, dst="a"),
+            Instr(OpClass.IADD, dst="b", srcs=("a",)),
+        ] + iadds(6)
+        inorder = schedule_path(instrs, self.make("inorder"))
+        ooo = schedule_path(instrs, self.make("ooo"))
+        assert ooo.cycles <= inorder.cycles
+
+    def test_inorder_never_issues_out_of_order(self):
+        instrs = [Instr(OpClass.IMUL, dst="a"), Instr(OpClass.IADD, dst="b", srcs=("a",))] + iadds(4)
+        sched = schedule_path(instrs, self.make("inorder"))
+        assert all(sched.issue[i] <= sched.issue[i + 1] for i in range(len(instrs) - 1))
+
+    def test_ooo_rob_limits_lookahead(self):
+        core_small = CoreConfig(kind="ooo", issue_width=4, rob_size=4)
+        core_big = CoreConfig(kind="ooo", issue_width=4, rob_size=256)
+        # A long stall at the front: a divide everything else is independent of.
+        instrs = [Instr(OpClass.IDIV, dst="d", srcs=("d",))] * 4 + iadds(64)
+        small = schedule_path(instrs, core_small)
+        big = schedule_path(instrs, core_big)
+        assert big.cycles <= small.cycles
+
+    def test_inorder_deterministic_even_with_rng(self):
+        core = self.make("inorder")
+        rng = np.random.default_rng(0)
+        a = schedule_path(iadds(10), core, rng)
+        b = schedule_path(iadds(10), core)
+        assert np.array_equal(a.issue, b.issue)
+
+    def test_ooo_variants_differ(self):
+        core = CoreConfig(kind="ooo", issue_width=4, rob_size=64)
+        instrs = iadds(120) + [Instr(OpClass.IMUL, dst="m", srcs=("r0",))] * 8
+        base = schedule_path(instrs, core)
+        # Jitter-event counts are Poisson with a small mean; at least one
+        # of several seeds must produce a perturbed schedule.
+        perturbed = [
+            schedule_path(instrs, core, np.random.default_rng(seed),
+                          expected_cycles=base.cycles)
+            for seed in range(8)
+        ]
+        assert any(
+            not np.array_equal(base.issue, variant.issue) for variant in perturbed
+        )
+        # Perturbation only delays, never accelerates below dataflow bound.
+        assert all(variant.cycles >= base.cycles for variant in perturbed)
+
+    def test_ipc_bounded_by_width(self):
+        for width in (1, 2, 4):
+            core = CoreConfig(kind="ooo", issue_width=width, rob_size=64)
+            sched = schedule_path(iadds(100), core)
+            assert sched.ipc <= width + 1e-9
+
+
+class TestUnitPipes:
+    def test_all_units_present(self):
+        pipes = unit_pipes(CoreConfig(issue_width=4))
+        assert set(pipes) == set(Unit)
+        assert all(v >= 1 for v in pipes.values())
+
+    def test_alu_scales_with_width(self):
+        assert unit_pipes(CoreConfig(issue_width=4))[Unit.ALU] == 4
+        assert unit_pipes(CoreConfig(issue_width=1))[Unit.ALU] == 1

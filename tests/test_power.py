@@ -1,0 +1,81 @@
+"""Unit tests for the WATTCH-style power model (repro.arch.power)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import CoreConfig
+from repro.arch.pipeline import schedule_path
+from repro.arch.power import PowerModel, PowerParams
+from repro.programs.ir import Instr, MemRef, OpClass
+
+
+def waveform_of(instrs, core=None):
+    core = core or CoreConfig()
+    model = PowerModel(core)
+    return model, model.waveform(schedule_path(instrs, core))
+
+
+class TestPowerModel:
+    def test_empty_path_static_only(self):
+        core = CoreConfig()
+        model = PowerModel(core)
+        wave = model.waveform(schedule_path([], core))
+        assert len(wave) == 0
+
+    def test_static_floor(self):
+        model, wave = waveform_of([Instr(OpClass.IADD, dst="a")])
+        assert np.all(wave >= model.params.static_per_cycle - 1e-12)
+
+    def test_total_energy_conserved(self):
+        """Integrated waveform = static + frontend + op energies."""
+        core = CoreConfig(issue_width=1)
+        instrs = [Instr(OpClass.IADD, dst=f"r{i}") for i in range(5)]
+        model = PowerModel(core)
+        sched = schedule_path(instrs, core)
+        wave = model.waveform(sched)
+        params = model.params
+        expected = (
+            sched.cycles * params.static_per_cycle
+            + 5 * params.frontend_per_instr
+            + 5 * params.op_energy[OpClass.IADD]
+        )
+        assert wave.sum() == pytest.approx(expected)
+
+    def test_memory_ops_add_cache_energy(self):
+        core = CoreConfig(issue_width=1)
+        model = PowerModel(core)
+        load = [Instr(OpClass.LOAD, dst="v", mem=MemRef("a"))]
+        add = [Instr(OpClass.IADD, dst="v")]
+        e_load = model.waveform(schedule_path(load, core)).sum()
+        e_add = model.waveform(schedule_path(add, core)).sum()
+        sched_l = schedule_path(load, core)
+        sched_a = schedule_path(add, core)
+        # Normalize out the static contribution of differing lengths.
+        e_load -= sched_l.cycles * model.params.static_per_cycle
+        e_add -= sched_a.cycles * model.params.static_per_cycle
+        assert e_load > e_add
+
+    def test_ooo_frontend_overhead(self):
+        instrs = [Instr(OpClass.IADD, dst="a")]
+        io_core = CoreConfig(kind="inorder", issue_width=1)
+        ooo_core = CoreConfig(kind="ooo", issue_width=1, rob_size=8)
+        io_model = PowerModel(io_core)
+        ooo_model = PowerModel(ooo_core)
+        e_io = io_model.waveform(schedule_path(instrs, io_core))
+        e_ooo = ooo_model.waveform(schedule_path(instrs, ooo_core))
+        static_io = len(e_io) * io_model.params.static_per_cycle
+        static_ooo = len(e_ooo) * ooo_model.params.static_per_cycle
+        assert e_ooo.sum() - static_ooo > e_io.sum() - static_io
+
+    def test_stall_power_between_idle_and_active(self):
+        model = PowerModel(CoreConfig())
+        assert model.idle_power < model.stall_power
+
+    def test_miss_energy_dram_larger(self):
+        model = PowerModel(CoreConfig())
+        assert model.miss_energy(to_dram=True) > model.miss_energy(to_dram=False)
+
+    def test_heavy_ops_use_more_energy(self):
+        params = PowerParams()
+        assert params.op_energy[OpClass.IDIV] > params.op_energy[OpClass.IADD]
+        assert params.op_energy[OpClass.SYSCALL] > params.op_energy[OpClass.CALL]

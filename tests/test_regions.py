@@ -1,0 +1,129 @@
+"""Unit tests for the region-level state machine (repro.cfg.regions)."""
+
+import pytest
+
+from repro.cfg.regions import ENTRY, EXIT, build_region_machine
+from repro.errors import AnalysisError
+from repro.programs.builder import ProgramBuilder
+from repro.programs.ir import Instr, OpClass
+
+
+IADD = Instr(OpClass.IADD, dst="r1")
+
+
+def two_loop_program():
+    """init -> L1 -> mid -> L2 -> done, the canonical two-region program."""
+    b = ProgramBuilder("two")
+    b.block("init", [IADD], next_block="L1")
+    b.counted_loop("L1", [IADD], trips=100, exit="mid")
+    b.block("mid", [IADD], next_block="L2")
+    b.counted_loop("L2", [IADD], trips=100, exit="done")
+    b.halt("done")
+    return b.build(entry="init")
+
+
+class TestBuildRegionMachine:
+    def test_two_loops(self):
+        machine = build_region_machine(two_loop_program())
+        assert set(machine.loop_regions) == {"loop:L1", "loop:L2"}
+        names = set(machine.inter_regions)
+        assert "inter:ENTRY->loop:L1" in names
+        assert "inter:loop:L1->loop:L2" in names
+        assert "inter:loop:L2->EXIT" in names
+        assert len(machine) == 5
+
+    def test_inter_region_blocks(self):
+        machine = build_region_machine(two_loop_program())
+        mid = machine.inter_regions["inter:loop:L1->loop:L2"]
+        assert mid.blocks == frozenset({"mid"})
+        pre = machine.inter_regions["inter:ENTRY->loop:L1"]
+        assert pre.blocks == frozenset({"init"})
+        post = machine.inter_regions["inter:loop:L2->EXIT"]
+        assert post.blocks == frozenset({"done"})
+
+    def test_successors_chain(self):
+        machine = build_region_machine(two_loop_program())
+        assert machine.successors("loop:L1") == ["inter:loop:L1->loop:L2"]
+        assert machine.successors("inter:loop:L1->loop:L2") == ["loop:L2"]
+        assert machine.successors("loop:L2") == ["inter:loop:L2->EXIT"]
+        assert machine.successors("inter:loop:L2->EXIT") == []
+
+    def test_initial_regions(self):
+        machine = build_region_machine(two_loop_program())
+        assert machine.initial_regions() == ["inter:ENTRY->loop:L1"]
+
+    def test_unknown_region_successors(self):
+        machine = build_region_machine(two_loop_program())
+        with pytest.raises(AnalysisError):
+            machine.successors("loop:nope")
+
+    def test_region_of_block(self):
+        machine = build_region_machine(two_loop_program())
+        assert machine.region_of_block("L1") == "loop:L1"
+        assert machine.region_of_block("mid") is None
+
+    def test_loopless_program(self):
+        b = ProgramBuilder("flat")
+        b.block("a", [IADD], next_block="b")
+        b.halt("b")
+        machine = build_region_machine(b.build(entry="a"))
+        assert not machine.loop_regions
+        assert list(machine.inter_regions) == [f"inter:{ENTRY}->{EXIT}"]
+
+    def test_nest_is_single_region(self):
+        b = ProgramBuilder("nest")
+        b.block("init", [], next_block="N")
+        b.nested_loop(
+            "N", inner_body=[IADD], inner_trips=10, outer_trips=5, exit="done"
+        )
+        b.halt("done")
+        machine = build_region_machine(b.build(entry="init"))
+        assert set(machine.loop_regions) == {"loop:N"}
+        nest = machine.loop_regions["loop:N"]
+        assert nest.blocks == frozenset({"N", "N.inner", "N.latch"})
+
+    def test_branch_between_loops_merges_parallel_edges(self):
+        # L1 exits to a diamond (mid_a | mid_b) that reconverges before L2:
+        # both paths must collapse into ONE inter-loop region L1->L2.
+        b = ProgramBuilder("diamond")
+        b.block("init", [], next_block="L1")
+        b.counted_loop("L1", [IADD], trips=10, exit="split")
+        b.branch_block("split", [], taken="mid_a", not_taken="mid_b", taken_prob=0.5)
+        b.block("mid_a", [IADD], next_block="L2")
+        b.block("mid_b", [IADD, IADD], next_block="L2")
+        b.counted_loop("L2", [IADD], trips=10, exit="done")
+        b.halt("done")
+        machine = build_region_machine(b.build(entry="init"))
+        inter = machine.inter_regions["inter:loop:L1->loop:L2"]
+        assert {"split", "mid_a", "mid_b"} <= set(inter.blocks)
+        # Exactly one edge from L1 to L2.
+        assert machine.successors("loop:L1") == ["inter:loop:L1->loop:L2"]
+
+    def test_loop_skippable_by_branch(self):
+        # A branch may bypass L2 entirely: L1 then has two successor edges.
+        b = ProgramBuilder("skip")
+        b.block("init", [], next_block="L1")
+        b.counted_loop("L1", [IADD], trips=10, exit="choose")
+        b.branch_block("choose", [], taken="L2", not_taken="done", taken_prob=0.5)
+        b.counted_loop("L2", [IADD], trips=10, exit="done")
+        b.halt("done")
+        machine = build_region_machine(b.build(entry="init"))
+        succ = set(machine.successors("loop:L1"))
+        assert succ == {"inter:loop:L1->loop:L2", "inter:loop:L1->EXIT"}
+
+    def test_adjacent_loops_direct_edge(self):
+        # L1's exit is L2's header: empty inter-loop region still exists.
+        b = ProgramBuilder("adjacent")
+        b.block("init", [], next_block="L1")
+        b.counted_loop("L1", [IADD], trips=10, exit="L2")
+        b.counted_loop("L2", [IADD], trips=10, exit="done")
+        b.halt("done")
+        machine = build_region_machine(b.build(entry="init"))
+        inter = machine.inter_regions["inter:loop:L1->loop:L2"]
+        assert inter.blocks == frozenset()
+
+    def test_region_names_unique_and_complete(self):
+        machine = build_region_machine(two_loop_program())
+        names = machine.region_names()
+        assert len(names) == len(set(names))
+        assert len(names) == len(machine)

@@ -1,0 +1,181 @@
+"""Tests for model persistence (repro.serialize) and the CLI (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.model import EddieConfig, EddieModel, RegionProfile
+from repro.errors import ConfigurationError
+from repro.serialize import load_model, save_model
+
+
+def tiny_model() -> EddieModel:
+    ref_a = np.full((30, 4), np.nan)
+    ref_a[:, 0] = 1000.0
+    ref_b = np.full((25, 4), np.nan)
+    ref_b[:, 0] = 2000.0
+    ref_b[:10, 1] = 4000.0
+    cfg = EddieConfig(max_peaks=4, group_sizes=(8, 16))
+    return EddieModel(
+        program_name="tiny",
+        config=cfg,
+        profiles={
+            "loop:A": RegionProfile("loop:A", ref_a, 1, 8),
+            "loop:B": RegionProfile("loop:B", ref_b, 2, 16),
+        },
+        successors={"loop:A": ["loop:B"], "loop:B": []},
+        initial_regions=["loop:A"],
+        sample_rate=5e6,
+    )
+
+
+class TestSerialize:
+    def test_round_trip(self, tmp_path):
+        model = tiny_model()
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.program_name == "tiny"
+        assert loaded.sample_rate == 5e6
+        assert loaded.config == model.config
+        assert set(loaded.profiles) == {"loop:A", "loop:B"}
+        for name in model.profiles:
+            original = model.profiles[name]
+            restored = loaded.profiles[name]
+            assert restored.num_peaks == original.num_peaks
+            assert restored.group_size == original.group_size
+            np.testing.assert_array_equal(
+                restored.reference, original.reference
+            )
+        assert loaded.successors == model.successors
+        assert loaded.initial_regions == model.initial_regions
+
+    def test_round_trip_monitoring_equivalence(self, tmp_path):
+        """A loaded model must monitor identically to the original."""
+        from repro.core.monitor import Monitor
+
+        model = tiny_model()
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+
+        rng = np.random.default_rng(0)
+        peaks = np.full((60, 4), np.nan)
+        peaks[:30, 0] = 1000.0
+        peaks[30:, 0] = 1500.0  # anomalous half
+        times = np.arange(60) * model.hop_duration
+        a = Monitor(model).run_peaks(peaks, times)
+        b = Monitor(loaded).run_peaks(peaks, times)
+        assert [r.time for r in a.reports] == [r.time for r in b.reports]
+        assert a.tracked == b.tracked
+
+    def test_rejects_non_model_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, other=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            load_model(path)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "model.npz"
+        save_model(tiny_model(), path)
+        assert path.exists()
+
+
+class TestTraceSerialize:
+    def make_trace(self):
+        from repro.arch.config import CoreConfig
+        from repro.em.scenario import EmScenario
+        from repro.programs.workloads import injection_mix, sharp_loop_program
+
+        scenario = EmScenario.build(
+            sharp_loop_program(trips=2000),
+            core=CoreConfig.iot_inorder(clock_hz=1e8),
+        )
+        scenario.simulator.set_loop_injection("L", injection_mix(2, 0), 1.0)
+        return scenario.capture(seed=0)
+
+    def test_round_trip(self, tmp_path):
+        from repro.serialize import load_trace, save_trace
+
+        trace = self.make_trace()
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.iq.samples, trace.iq.samples)
+        assert loaded.iq.sample_rate == trace.iq.sample_rate
+        assert loaded.injected_spans == [tuple(s) for s in trace.injected_spans]
+        assert loaded.instr_count == trace.instr_count
+        assert loaded.injected_instr_count == trace.injected_instr_count
+        assert loaded.inputs == trace.inputs
+        assert [iv.region for iv in loaded.timeline] == [
+            iv.region for iv in trace.timeline
+        ]
+
+    def test_rejects_model_file_as_trace(self, tmp_path):
+        from repro.serialize import load_trace, save_model
+
+        path = tmp_path / "model.npz"
+        save_model(tiny_model(), path)
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bitcount" in out
+        assert "table1" in out
+
+    def test_train_and_monitor(self, tmp_path, capsys):
+        model_path = str(tmp_path / "sha.npz")
+        assert cli_main(
+            ["train", "sha", "-o", model_path, "--runs", "3", "--seed", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trained sha" in out
+
+        assert cli_main(
+            ["monitor", "sha", model_path, "--runs", "1", "--seed", "50"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "run 0:" in out
+
+    def test_monitor_with_injection_detects(self, tmp_path, capsys):
+        model_path = str(tmp_path / "sha.npz")
+        cli_main(["train", "sha", "-o", model_path, "--runs", "4"])
+        capsys.readouterr()
+        assert cli_main(
+            ["monitor", "sha", model_path, "--runs", "1", "--inject-loop"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "detected=True" in out
+
+    def test_experiment_fig1(self, capsys):
+        assert cli_main(["experiment", "fig1", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "Fclock" in out
+
+    def test_capture_and_monitor_trace(self, tmp_path, capsys):
+        model_path = str(tmp_path / "sha.npz")
+        cli_main(["train", "sha", "-o", model_path, "--runs", "4"])
+        prefix = str(tmp_path / "t_")
+        assert cli_main(
+            ["capture", "sha", "-o", prefix, "--runs", "1", "--seed", "42",
+             "--inject-loop"]
+        ) == 0
+        capsys.readouterr()
+        assert cli_main(
+            ["monitor-trace", model_path, f"{prefix}42.npz"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "detected=True" in out
+
+    def test_benchmark_mismatch_warns(self, tmp_path, capsys):
+        model_path = str(tmp_path / "sha.npz")
+        cli_main(["train", "sha", "-o", model_path, "--runs", "3"])
+        capsys.readouterr()
+        cli_main(["monitor", "stringsearch", model_path, "--runs", "1"])
+        err = capsys.readouterr().err
+        assert "warning" in err

@@ -1,0 +1,135 @@
+"""Unit tests for repro.core.stft."""
+
+import numpy as np
+import pytest
+import scipy.signal
+
+from repro.core.stft import SpectrumSequence, stft, stft_seconds
+from repro.errors import SignalError
+from repro.types import Signal
+
+
+def tone(freq, fs, n, complex_=False):
+    t = np.arange(n) / fs
+    if complex_:
+        return Signal(np.exp(2j * np.pi * freq * t), fs)
+    return Signal(np.sin(2 * np.pi * freq * t), fs)
+
+
+class TestStftBasics:
+    def test_window_count(self):
+        sig = tone(1e3, 1e5, 4096)
+        seq = stft(sig, window_samples=1024, overlap=0.5)
+        assert len(seq) == 1 + (4096 - 1024) // 512
+        assert seq.power.shape == (len(seq), seq.n_bins)
+
+    def test_real_input_one_sided(self):
+        sig = tone(1e3, 1e5, 2048)
+        seq = stft(sig, window_samples=512)
+        assert seq.freqs[0] == 0.0
+        assert seq.freqs[-1] == pytest.approx(5e4)
+        assert np.all(np.diff(seq.freqs) > 0)
+
+    def test_complex_input_folded_one_sided(self):
+        sig = tone(1e3, 1e5, 2048, complex_=True)
+        seq = stft(sig, window_samples=512)
+        assert seq.freqs[0] == 0.0
+        assert np.all(seq.freqs >= 0)
+
+    def test_complex_unfolded_two_sided(self):
+        sig = tone(1e3, 1e5, 2048, complex_=True)
+        seq = stft(sig, window_samples=512, fold=False)
+        assert seq.freqs[0] < 0
+        assert np.all(np.diff(seq.freqs) > 0)
+
+    def test_tone_peak_location_real(self):
+        fs, f0 = 1e5, 12.5e3
+        seq = stft(tone(f0, fs, 8192), window_samples=1024, detrend=True)
+        for row in seq.power:
+            assert seq.freqs[np.argmax(row)] == pytest.approx(f0, abs=fs / 1024)
+
+    def test_tone_peak_location_complex_negative_freq_folds(self):
+        fs, f0 = 1e5, -12.5e3
+        seq = stft(tone(f0, fs, 8192, complex_=True), window_samples=1024)
+        for row in seq.power:
+            assert seq.freqs[np.argmax(row)] == pytest.approx(abs(f0), abs=fs / 1024)
+
+    def test_detrend_removes_dc(self):
+        fs = 1e5
+        sig = Signal(5.0 + np.sin(2 * np.pi * 1e3 * np.arange(4096) / fs), fs)
+        seq = stft(sig, window_samples=1024, detrend=True)
+        dc = seq.power[:, 0]
+        peak = seq.power.max(axis=1)
+        assert np.all(dc < 0.01 * peak)
+
+    def test_times_are_window_centers(self):
+        fs = 1e5
+        sig = tone(1e3, fs, 4096)
+        seq = stft(sig, window_samples=1024, overlap=0.5)
+        assert seq.times[0] == pytest.approx(512 / fs)
+        assert seq.times[1] - seq.times[0] == pytest.approx(512 / fs)
+        assert seq.hop_duration == pytest.approx(512 / fs)
+        assert seq.window_duration == pytest.approx(1024 / fs)
+
+    def test_window_span(self):
+        seq = stft(tone(1e3, 1e5, 4096), window_samples=1024)
+        start, end = seq.window_span(0)
+        assert end - start == pytest.approx(seq.window_duration)
+
+    def test_t0_offsets_times(self):
+        fs = 1e5
+        sig = Signal(np.sin(np.arange(2048)), fs, t0=1.5)
+        seq = stft(sig, window_samples=512)
+        assert seq.times[0] == pytest.approx(1.5 + 256 / fs)
+
+    def test_slice(self):
+        seq = stft(tone(1e3, 1e5, 8192), window_samples=512)
+        part = seq.slice(2, 5)
+        assert len(part) == 3
+        assert part.times[0] == seq.times[2]
+        assert np.array_equal(part.power, seq.power[2:5])
+
+    def test_stft_seconds(self):
+        fs = 1e6
+        sig = tone(1e4, fs, 200_000)
+        seq = stft_seconds(sig, window_seconds=1e-3)
+        assert seq.window_duration == pytest.approx(1e-3)
+
+    def test_energy_agrees_with_scipy(self):
+        """Spectral content must match scipy's STFT on the same params."""
+        fs, f0 = 1e5, 7.8e3
+        sig = tone(f0, fs, 8192)
+        ours = stft(sig, window_samples=1024, overlap=0.5, detrend=False)
+        _, _, theirs = scipy.signal.stft(
+            sig.samples, fs, window="hann", nperseg=1024, noverlap=512,
+            boundary=None, padded=False, detrend=False,
+        )
+        theirs_power = np.abs(theirs.T) ** 2
+        # Same number of windows and the same argmax bin everywhere.
+        assert theirs_power.shape[0] == len(ours)
+        for ours_row, theirs_row in zip(ours.power, theirs_power):
+            assert np.argmax(ours_row) == np.argmax(theirs_row)
+
+
+class TestStftValidation:
+    def test_too_short_signal(self):
+        with pytest.raises(SignalError):
+            stft(tone(1e3, 1e5, 100), window_samples=1024)
+
+    def test_bad_window_size(self):
+        with pytest.raises(SignalError):
+            stft(tone(1e3, 1e5, 2048), window_samples=4)
+
+    def test_bad_overlap(self):
+        with pytest.raises(SignalError):
+            stft(tone(1e3, 1e5, 2048), window_samples=512, overlap=1.0)
+
+    def test_unknown_taper(self):
+        with pytest.raises(SignalError):
+            stft(tone(1e3, 1e5, 2048), window_samples=512, window="kaiser")
+
+    def test_rect_and_hamming_windows(self):
+        sig = tone(1e3, 1e5, 2048)
+        for name in ("rect", "hamming"):
+            seq = stft(sig, window_samples=512, window=name)
+            assert len(seq) > 0

@@ -1,0 +1,287 @@
+"""Tests for training, the monitor (Algorithm 1), and metrics, using
+synthetic peak streams (no simulator needed, so these are fast and
+directly probe the statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import aggregate_metrics, evaluate_run
+from repro.core.model import EddieConfig, EddieModel, RegionProfile
+from repro.core.monitor import Monitor
+from repro.core.training import (
+    Trainer,
+    label_windows,
+    select_group_size,
+)
+from repro.errors import TrainingError
+from repro.types import RegionInterval, RegionTimeline, Signal
+
+MAXP = 4
+
+
+def peak_rows(freq_options, n, rng, width=MAXP, jitter=0.0):
+    """n rows whose dim-0 peak is drawn from freq_options (+- jitter)."""
+    rows = np.full((n, width), np.nan)
+    choices = rng.choice(freq_options, size=n)
+    rows[:, 0] = choices + rng.normal(0, jitter, n) if jitter else choices
+    return rows
+
+
+def small_config(**kw):
+    defaults = dict(
+        window_samples=64,
+        overlap=0.5,
+        max_peaks=MAXP,
+        group_sizes=(8, 16, 32),
+        min_mon_values=5,
+    )
+    defaults.update(kw)
+    return EddieConfig(**defaults)
+
+
+def model_two_regions(rng, freq_a=1000.0, freq_b=2000.0, n_ref=200):
+    cfg = small_config()
+    prof_a = RegionProfile("loop:A", peak_rows([freq_a], n_ref, rng), 1, 8)
+    prof_b = RegionProfile("loop:B", peak_rows([freq_b], n_ref, rng), 1, 8)
+    return EddieModel(
+        "p",
+        cfg,
+        {"loop:A": prof_a, "loop:B": prof_b},
+        {"loop:A": ["loop:B"], "loop:B": []},
+        ["loop:A"],
+        sample_rate=64e3,  # hop = 32 samples = 0.5 ms
+    )
+
+
+class TestMonitorSynthetic:
+    def test_clean_stream_no_reports(self):
+        rng = np.random.default_rng(0)
+        model = model_two_regions(rng)
+        stream = peak_rows([1000.0], 100, rng)
+        times = np.arange(100) * model.hop_duration
+        result = Monitor(model).run_peaks(stream, times)
+        assert result.reports == []
+        assert all(r == "loop:A" for r in result.tracked)
+
+    def test_shifted_stream_reports_anomaly(self):
+        rng = np.random.default_rng(1)
+        model = model_two_regions(rng)
+        clean = peak_rows([1000.0], 30, rng)
+        bad = peak_rows([1500.0], 70, rng)  # matches neither region
+        stream = np.vstack([clean, bad])
+        times = np.arange(100) * model.hop_duration
+        result = Monitor(model).run_peaks(stream, times)
+        assert len(result.reports) >= 1
+        first = result.reports[0]
+        # Report should come shortly after the shift at t = 30 hops.
+        assert first.time >= 30 * model.hop_duration
+        assert first.time <= 60 * model.hop_duration
+
+    def test_transition_to_successor_not_reported(self):
+        rng = np.random.default_rng(2)
+        model = model_two_regions(rng)
+        stream = np.vstack(
+            [peak_rows([1000.0], 40, rng), peak_rows([2000.0], 60, rng)]
+        )
+        times = np.arange(100) * model.hop_duration
+        result = Monitor(model).run_peaks(stream, times)
+        assert result.reports == []
+        assert result.tracked[-1] == "loop:B"
+
+    def test_no_transition_to_non_successor(self):
+        rng = np.random.default_rng(3)
+        model = model_two_regions(rng)
+        # Start in A, then emit B-like peaks, then A again: B is a legal
+        # successor but A is NOT a successor of B, so the monitor reports.
+        stream = np.vstack(
+            [
+                peak_rows([1000.0], 40, rng),
+                peak_rows([2000.0], 40, rng),
+                peak_rows([1000.0], 40, rng),
+            ]
+        )
+        times = np.arange(120) * model.hop_duration
+        result = Monitor(model).run_peaks(stream, times)
+        assert result.tracked[50] == "loop:B"
+        assert len(result.reports) >= 1
+
+    def test_isolated_deviant_sts_tolerated(self):
+        """report_threshold=3 tolerates brief deviations (interrupts)."""
+        rng = np.random.default_rng(4)
+        model = model_two_regions(rng)
+        stream = peak_rows([1000.0], 100, rng)
+        stream[50, 0] = 1500.0  # single deviant STS
+        times = np.arange(100) * model.hop_duration
+        result = Monitor(model).run_peaks(stream, times)
+        assert result.reports == []
+
+    def test_untestable_region_switches_out(self):
+        rng = np.random.default_rng(5)
+        cfg = small_config()
+        prof_a = RegionProfile(
+            "loop:A", np.full((50, MAXP), np.nan), 0, 8
+        )  # peak-less region
+        prof_b = RegionProfile("loop:B", peak_rows([2000.0], 100, rng), 1, 8)
+        model = EddieModel(
+            "p", cfg,
+            {"loop:A": prof_a, "loop:B": prof_b},
+            {"loop:A": ["loop:B"], "loop:B": []},
+            ["loop:A"], 64e3,
+        )
+        stream = np.vstack(
+            [np.full((30, MAXP), np.nan), peak_rows([2000.0], 40, rng)]
+        )
+        times = np.arange(70) * model.hop_duration
+        result = Monitor(model).run_peaks(stream, times)
+        assert result.tracked[-1] == "loop:B"
+
+    def test_history_reset_after_transition(self):
+        rng = np.random.default_rng(6)
+        model = model_two_regions(rng)
+        monitor = Monitor(model)
+        stream = np.vstack(
+            [peak_rows([1000.0], 40, rng), peak_rows([2000.0], 15, rng)]
+        )
+        times = np.arange(55) * model.hop_duration
+        monitor.run_peaks(stream, times)
+        if monitor.current_region == "loop:B":
+            # Right after the switch the stale history must not be used.
+            assert monitor._filled < 40
+
+
+class TestMetrics:
+    def make_result(self, model, stream, times):
+        return Monitor(model).run_peaks(stream, times)
+
+    def test_clean_run_metrics(self):
+        rng = np.random.default_rng(0)
+        model = model_two_regions(rng)
+        stream = peak_rows([1000.0], 100, rng)
+        times = np.arange(100) * model.hop_duration
+        result = self.make_result(model, stream, times)
+        timeline = RegionTimeline(
+            [RegionInterval("loop:A", 0.0, float(times[-1]) + 1.0)]
+        )
+        metrics = evaluate_run(
+            result, timeline, [], window_duration=1e-3,
+            hop_duration=model.hop_duration,
+        )
+        assert metrics.false_positive_rate == 0.0
+        assert metrics.accuracy == 100.0
+        assert metrics.coverage == 100.0
+        assert metrics.detection_latency is None
+        assert metrics.true_positive_rate is None
+
+    def test_injected_run_metrics(self):
+        rng = np.random.default_rng(1)
+        model = model_two_regions(rng)
+        hop = model.hop_duration
+        stream = np.vstack(
+            [peak_rows([1000.0], 30, rng), peak_rows([1500.0], 70, rng)]
+        )
+        times = np.arange(100) * hop
+        result = self.make_result(model, stream, times)
+        timeline = RegionTimeline([RegionInterval("loop:A", 0.0, 100 * hop)])
+        inj_start = 30 * hop
+        metrics = evaluate_run(
+            result, timeline, [(inj_start, 100 * hop)],
+            window_duration=1e-3, hop_duration=hop,
+        )
+        assert metrics.detected
+        assert metrics.detection_latency is not None
+        assert metrics.detection_latency < 40 * hop
+        assert metrics.true_positive_rate == 100.0
+        assert metrics.false_negative_rate == 0.0
+
+    def test_missed_injection(self):
+        rng = np.random.default_rng(2)
+        model = model_two_regions(rng)
+        hop = model.hop_duration
+        stream = peak_rows([1000.0], 100, rng)  # looks perfectly clean
+        times = np.arange(100) * hop
+        result = self.make_result(model, stream, times)
+        timeline = RegionTimeline([RegionInterval("loop:A", 0.0, 100 * hop)])
+        metrics = evaluate_run(
+            result, timeline, [(0.01, 0.02)],
+            window_duration=1e-3, hop_duration=hop,
+        )
+        assert not metrics.detected
+        assert metrics.false_negative_rate == 100.0
+
+    def test_aggregate(self):
+        rng = np.random.default_rng(3)
+        model = model_two_regions(rng)
+        hop = model.hop_duration
+        stream = peak_rows([1000.0], 50, rng)
+        times = np.arange(50) * hop
+        result = self.make_result(model, stream, times)
+        timeline = RegionTimeline([RegionInterval("loop:A", 0.0, 50 * hop)])
+        m1 = evaluate_run(result, timeline, [], 1e-3, hop)
+        agg = aggregate_metrics([m1, m1])
+        assert agg.false_positive_rate == m1.false_positive_rate
+        assert agg.n_groups == 2 * m1.n_groups
+
+    def test_aggregate_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_metrics([])
+
+
+class TestGroupSizeSelection:
+    def test_larger_n_for_noisier_region(self):
+        """Matches Figure 3: diffuse distributions need bigger groups."""
+        rng = np.random.default_rng(0)
+        cfg = small_config()
+        sharp_ref = peak_rows([1000.0], 400, rng)
+        sharp_val = peak_rows([1000.0], 400, rng)
+        # Diffuse region: peak wanders among many values.
+        options = [1000.0 + 50 * k for k in range(12)]
+        diffuse_ref = peak_rows(options, 400, rng)
+        diffuse_val = peak_rows(options, 400, rng)
+        n_sharp = select_group_size(sharp_ref, sharp_val, 1, cfg)
+        n_diffuse = select_group_size(diffuse_ref, diffuse_val, 1, cfg)
+        assert n_sharp <= n_diffuse
+
+    def test_zero_peaks_returns_min(self):
+        cfg = small_config()
+        ref = np.full((100, MAXP), np.nan)
+        assert select_group_size(ref, ref, 0, cfg) == min(cfg.group_sizes)
+
+    def test_short_validation_returns_min(self):
+        rng = np.random.default_rng(1)
+        cfg = small_config()
+        ref = peak_rows([1000.0], 100, rng)
+        val = peak_rows([1000.0], 4, rng)
+        assert select_group_size(ref, val, 1, cfg) == min(cfg.group_sizes)
+
+
+class TestTrainerValidation:
+    def test_no_runs(self):
+        trainer = Trainer("p", {}, [], small_config())
+        with pytest.raises(TrainingError):
+            trainer.build()
+
+    def test_sample_rate_mismatch(self):
+        trainer = Trainer("p", {}, [], small_config())
+        rng = np.random.default_rng(0)
+        sig1 = Signal(rng.normal(0, 1, 1000), 1e4)
+        sig2 = Signal(rng.normal(0, 1, 1000), 2e4)
+        timeline = RegionTimeline([RegionInterval("loop:A", 0.0, 0.1)])
+        trainer.add_run(sig1, timeline)
+        with pytest.raises(TrainingError):
+            trainer.add_run(sig2, timeline)
+
+    def test_label_windows(self):
+        rng = np.random.default_rng(0)
+        sig = Signal(rng.normal(0, 1, 64 * 20), 64e3)
+        from repro.core.stft import stft
+
+        seq = stft(sig, window_samples=64, overlap=0.5)
+        timeline = RegionTimeline(
+            [
+                RegionInterval("a", 0.0, 0.005),
+                RegionInterval("b", 0.005, 1.0),
+            ]
+        )
+        labels = label_windows(seq, timeline)
+        assert labels[0] == "a"
+        assert labels[-1] == "b"

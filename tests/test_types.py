@@ -1,0 +1,129 @@
+"""Unit tests for repro.types (Signal, RegionInterval, RegionTimeline)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.types import RegionInterval, RegionTimeline, Signal
+
+
+class TestSignal:
+    def test_basic_properties(self):
+        sig = Signal(np.arange(100.0), 1e3, t0=1.0)
+        assert len(sig) == 100
+        assert sig.duration == pytest.approx(0.1)
+        assert sig.t_end == pytest.approx(1.1)
+        assert sig.time_axis()[0] == 1.0
+        assert sig.time_axis()[-1] == pytest.approx(1.0 + 99 / 1e3)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(SignalError):
+            Signal(np.zeros(4), 0.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(SignalError):
+            Signal(np.zeros((2, 2)), 1e3)
+
+    def test_slice_time(self):
+        sig = Signal(np.arange(1000.0), 1e3)
+        part = sig.slice_time(0.1, 0.2)
+        assert part.t0 == pytest.approx(0.1)
+        assert len(part) == 100
+        assert part.samples[0] == 100.0
+
+    def test_slice_time_clamps(self):
+        sig = Signal(np.arange(10.0), 1e3)
+        part = sig.slice_time(-1.0, 100.0)
+        assert len(part) == 10
+
+    def test_slice_time_rejects_reversed(self):
+        sig = Signal(np.arange(10.0), 1e3)
+        with pytest.raises(SignalError):
+            sig.slice_time(0.5, 0.1)
+
+    def test_concat(self):
+        a = Signal(np.ones(10), 1e3)
+        b = Signal(np.zeros(5), 1e3)
+        combined = a.concat(b)
+        assert len(combined) == 15
+        assert combined.samples[9] == 1.0 and combined.samples[10] == 0.0
+
+    def test_concat_rate_mismatch(self):
+        with pytest.raises(SignalError):
+            Signal(np.ones(4), 1e3).concat(Signal(np.ones(4), 2e3))
+
+
+class TestRegionInterval:
+    def test_contains_half_open(self):
+        iv = RegionInterval("r", 1.0, 2.0)
+        assert iv.contains(1.0)
+        assert iv.contains(1.999)
+        assert not iv.contains(2.0)
+        assert iv.duration == 1.0
+
+    def test_overlaps(self):
+        iv = RegionInterval("r", 1.0, 2.0)
+        assert iv.overlaps(1.5, 3.0)
+        assert iv.overlaps(0.0, 1.1)
+        assert not iv.overlaps(2.0, 3.0)
+        assert not iv.overlaps(0.0, 1.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(SignalError):
+            RegionInterval("r", 2.0, 1.0)
+
+
+class TestRegionTimeline:
+    def make(self):
+        return RegionTimeline(
+            [
+                RegionInterval("a", 0.0, 1.0),
+                RegionInterval("b", 1.0, 3.0),
+                RegionInterval("a", 3.0, 4.0),
+            ]
+        )
+
+    def test_region_at(self):
+        tl = self.make()
+        assert tl.region_at(0.5) == "a"
+        assert tl.region_at(2.0) == "b"
+        assert tl.region_at(3.5) == "a"
+        assert tl.region_at(4.5) is None
+
+    def test_dominant_region(self):
+        tl = self.make()
+        assert tl.dominant_region(0.8, 2.8) == "b"  # 1.8s of b vs 0.2s of a
+        assert tl.dominant_region(0.0, 1.1) == "a"
+        assert tl.dominant_region(10.0, 11.0) is None
+
+    def test_rejects_overlap(self):
+        with pytest.raises(SignalError):
+            RegionTimeline(
+                [RegionInterval("a", 0.0, 2.0), RegionInterval("b", 1.0, 3.0)]
+            )
+
+    def test_append_enforces_order(self):
+        tl = self.make()
+        with pytest.raises(SignalError):
+            tl.append(RegionInterval("c", 0.0, 0.5))
+        tl.append(RegionInterval("c", 4.0, 5.0))
+        assert tl.region_at(4.5) == "c"
+
+    def test_regions_in_first_appearance_order(self):
+        assert self.make().regions() == ["a", "b"]
+
+    def test_total_time(self):
+        assert self.make().total_time("a") == pytest.approx(2.0)
+        assert self.make().total_time("b") == pytest.approx(2.0)
+
+    def test_shifted(self):
+        shifted = self.make().shifted(10.0)
+        assert shifted.region_at(10.5) == "a"
+        assert shifted.t_end == pytest.approx(14.0)
+
+    def test_empty_timeline(self):
+        tl = RegionTimeline()
+        assert tl.t_start == 0.0
+        assert tl.t_end == 0.0
+        assert tl.region_at(0.0) is None
+        assert len(tl) == 0
