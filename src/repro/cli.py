@@ -24,7 +24,7 @@ from typing import Callable, Dict, Optional
 from repro.arch.config import CoreConfig
 from repro.core.detector import Eddie, TrainedDetector
 from repro.em.scenario import EmScenario
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.runner import Scale
 from repro.programs.mibench import BENCHMARKS, INJECTION_LOOPS
 from repro.programs.workloads import injection_mix
@@ -83,6 +83,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="inject 4 int + 4 mem instructions into the "
                               "benchmark's hot loop")
     monitor.add_argument("--contamination", type=float, default=1.0)
+    _add_fault_args(monitor)
+    monitor.add_argument("--quality-gating", action="store_true",
+                         help="skip acquisition-corrupted windows as "
+                              "unscorable and resynchronize after gaps "
+                              "instead of reporting them as anomalies")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a table/figure of the paper"
@@ -101,12 +106,16 @@ def _build_parser() -> argparse.ArgumentParser:
     capture.add_argument("--clock", type=float, default=1e8)
     capture.add_argument("--inject-loop", action="store_true")
     capture.add_argument("--contamination", type=float, default=1.0)
+    _add_fault_args(capture)
 
     monitor_trace = sub.add_parser(
         "monitor-trace", help="monitor previously captured trace files"
     )
     monitor_trace.add_argument("model", help="model file from `eddie train`")
     monitor_trace.add_argument("traces", nargs="+", help="trace .npz files")
+    monitor_trace.add_argument("--quality-gating", action="store_true",
+                               help="skip acquisition-corrupted windows as "
+                                    "unscorable (see `eddie monitor`)")
 
     inspect = sub.add_parser(
         "inspect", help="show a benchmark's region-level state machine"
@@ -117,10 +126,54 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_source(benchmark: str, source: str, clock: float):
+_FAULT_KINDS = ("none", "drops", "clipping", "mixed", "full")
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--faults", choices=_FAULT_KINDS, default="none",
+                        help="inject acquisition faults into the capture: "
+                             "sample-drop gaps, saturation bursts, both, or "
+                             "the full mix (plus gain steps, impulses, and "
+                             "dead stretches)")
+    parser.add_argument("--fault-rate", type=float, default=200.0,
+                        help="mean fault events per second of capture")
+
+
+def _make_fault_injector(kind: str, rate: float):
+    """Build the FaultInjector behind --faults/--fault-rate (None for none)."""
+    if kind == "none":
+        return None
+    from repro.em.faults import (
+        DeadChannelFault,
+        FaultInjector,
+        GainStepFault,
+        ImpulseNoiseFault,
+        SampleDropFault,
+        SaturationFault,
+    )
+
+    if rate <= 0:
+        raise ConfigurationError(f"--fault-rate must be positive, got {rate}")
+    faults = []
+    if kind in ("drops", "mixed", "full"):
+        faults.append(SampleDropFault(rate_per_s=rate))
+    if kind in ("clipping", "mixed", "full"):
+        faults.append(SaturationFault(rate_per_s=rate))
+    if kind == "full":
+        faults.extend([
+            GainStepFault(rate_per_s=rate / 4),
+            ImpulseNoiseFault(rate_per_s=rate),
+            DeadChannelFault(rate_per_s=rate / 10),
+        ])
+    return FaultInjector(faults=tuple(faults))
+
+
+def _make_source(benchmark: str, source: str, clock: float, faults=None):
     program = BENCHMARKS[benchmark]()
     if source == "em":
-        return EmScenario.build(program, core=CoreConfig.iot_inorder(clock))
+        return EmScenario.build(
+            program, core=CoreConfig.iot_inorder(clock), faults=faults
+        )
     from repro.arch.simulator import Simulator
 
     return Simulator(program, CoreConfig.sim_ooo(clock))
@@ -154,7 +207,14 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             f"monitoring {args.benchmark!r}",
             file=sys.stderr,
         )
-    source = _make_source(args.benchmark, args.source, args.clock)
+    faults = _make_fault_injector(args.faults, args.fault_rate)
+    if faults is not None and args.source != "em":
+        raise ConfigurationError(
+            "--faults models the EM acquisition chain; use --source em"
+        )
+    if args.quality_gating:
+        model = model.with_quality_gating(True)
+    source = _make_source(args.benchmark, args.source, args.clock, faults)
     detector = TrainedDetector(model, source=source)
     simulator = source.simulator if isinstance(source, EmScenario) else source
     if args.inject_loop:
@@ -170,12 +230,23 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             if metrics.detection_latency is not None
             else "-"
         )
-        print(
+        line = (
             f"run {k}: reports={len(report.result.reports)} "
             f"detected={metrics.detected} latency={latency} "
             f"FP={metrics.false_positive_rate:.2f}% "
             f"coverage={metrics.coverage:.1f}%"
         )
+        if faults is not None or args.quality_gating:
+            fp_unfaulted = metrics.false_positive_rate_unfaulted
+            line += (
+                f" faulted-groups={metrics.n_faulted_groups}"
+                f" unscorable={metrics.n_unscorable}"
+                f" desyncs={metrics.n_desyncs}"
+                f" status={metrics.status}"
+            )
+            if fp_unfaulted is not None:
+                line += f" FP(unfaulted)={fp_unfaulted:.2f}%"
+        print(line)
     return 0
 
 
@@ -193,7 +264,8 @@ def _cmd_capture(args: argparse.Namespace) -> int:
     from repro.serialize import save_trace
 
     scenario = EmScenario.build(
-        BENCHMARKS[args.benchmark](), core=CoreConfig.iot_inorder(args.clock)
+        BENCHMARKS[args.benchmark](), core=CoreConfig.iot_inorder(args.clock),
+        faults=_make_fault_injector(args.faults, args.fault_rate),
     )
     if args.inject_loop:
         scenario.simulator.set_loop_injection(
@@ -208,7 +280,8 @@ def _cmd_capture(args: argparse.Namespace) -> int:
         print(
             f"captured seed {seed}: {trace.iq.duration * 1e3:.2f} ms, "
             f"{len(trace.iq)} IQ samples, "
-            f"{trace.injected_instr_count} injected instrs -> {path}"
+            f"{trace.injected_instr_count} injected instrs, "
+            f"{len(trace.fault_spans)} fault spans -> {path}"
         )
     return 0
 
@@ -217,6 +290,8 @@ def _cmd_monitor_trace(args: argparse.Namespace) -> int:
     from repro.serialize import load_trace
 
     model = load_model(args.model)
+    if args.quality_gating:
+        model = model.with_quality_gating(True)
     detector = TrainedDetector(model, source=None)
     for path in args.traces:
         trace = load_trace(path)
@@ -227,11 +302,19 @@ def _cmd_monitor_trace(args: argparse.Namespace) -> int:
             if metrics.detection_latency is not None
             else "-"
         )
-        print(
+        line = (
             f"{path}: reports={len(report.result.reports)} "
             f"detected={metrics.detected} latency={latency} "
             f"FP={metrics.false_positive_rate:.2f}%"
         )
+        if trace.fault_spans or args.quality_gating:
+            line += (
+                f" faulted-groups={metrics.n_faulted_groups}"
+                f" unscorable={metrics.n_unscorable}"
+                f" desyncs={metrics.n_desyncs}"
+                f" status={metrics.status}"
+            )
+        print(line)
     return 0
 
 

@@ -96,6 +96,7 @@ class TrainedDetector:
             window_duration=cfg.window_samples / self.model.sample_rate,
             hop_duration=hop,
             report_linger=self.model.max_group_size * hop,
+            fault_spans=getattr(trace, "fault_spans", ()),
         )
         return MonitorReport(result=result, metrics=metrics, trace=trace)
 
@@ -123,6 +124,18 @@ class TrainedDetector:
     def with_alpha(self, alpha: float) -> "TrainedDetector":
         """A detector variant with a different K-S confidence (Figure 9)."""
         return TrainedDetector(self.model.with_alpha(alpha), self.source)
+
+    def with_quality_gating(self, enabled: bool = True) -> "TrainedDetector":
+        """A detector variant with acquisition-quality gating toggled.
+
+        With gating on, windows whose raw samples show acquisition faults
+        (clipping, overflow gaps, dead stretches, energy outliers) are
+        treated as unscorable instead of anomalous, and the monitor
+        resynchronizes after gaps (DESIGN.md D14).
+        """
+        return TrainedDetector(
+            self.model.with_quality_gating(enabled), self.source
+        )
 
 
 def _capture(

@@ -23,20 +23,30 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.monitor import MonitorResult
-from repro.types import RegionTimeline
+from repro.types import FaultSpan, RegionTimeline
 
 __all__ = [
     "RunMetrics",
     "evaluate_run",
     "aggregate_metrics",
     "injected_group_mask",
+    "fault_group_mask",
     "rejection_false_negative_rate",
 ]
 
 
 @dataclass
 class RunMetrics:
-    """Metrics of one monitored run."""
+    """Metrics of one monitored run.
+
+    The fault-aware fields score acquisition-fault-overlapping windows
+    separately (see repro.em.faults): ``false_positive_rate`` keeps its
+    original all-groups definition, while ``false_positive_rate_unfaulted``
+    restricts both numerator and denominator to groups untouched by any
+    fault and ``false_positive_rate_faulted`` to groups a fault touched --
+    the quantity that shows whether the front end's hiccups, rather than
+    the program, produced the reports.
+    """
 
     detection_latency: Optional[float]
     false_positive_rate: float
@@ -49,6 +59,12 @@ class RunMetrics:
     n_injected_groups: int = 0
     n_reports: int = 0
     detected: bool = False
+    false_positive_rate_unfaulted: Optional[float] = None
+    false_positive_rate_faulted: Optional[float] = None
+    n_faulted_groups: int = 0
+    n_unscorable: int = 0
+    n_desyncs: int = 0
+    status: str = "ok"
 
 
 def evaluate_run(
@@ -58,6 +74,7 @@ def evaluate_run(
     window_duration: float,
     hop_duration: float,
     report_linger: float = 0.0,
+    fault_spans: Sequence = (),
 ) -> RunMetrics:
     """Score one monitoring pass against ground truth.
 
@@ -69,6 +86,11 @@ def evaluate_run(
     a report fired within that many seconds after an injected group still
     counts as a true positive (the K-S group keeps containing injected
     STSs for up to n hops after the injection stops).
+
+    ``fault_spans`` is the acquisition-fault ground truth (a sequence of
+    :class:`~repro.types.FaultSpan` or ``(t_start, t_end)`` pairs); when
+    given, false positives are additionally scored separately for
+    fault-overlapping and fault-free groups.
     """
     times = result.times
     n = len(times)
@@ -80,6 +102,7 @@ def evaluate_run(
             true_positive_rate=None,
             accuracy=1.0,
             coverage=0.0,
+            status=result.status,
         )
 
     group_start = (
@@ -90,11 +113,31 @@ def evaluate_run(
     for span_start, span_end in injected_spans:
         contains |= (group_start < span_end) & (span_start < group_end)
 
+    faulted = np.zeros(n, dtype=bool)
+    for span in fault_spans:
+        s, e = _span_bounds(span)
+        faulted |= (group_start < e) & (s < group_end)
+
     reported = result.reported_mask
 
     clean = ~contains
     n_false_pos = int((reported & clean).sum())
     false_positive_rate = 100.0 * n_false_pos / n
+
+    fp_unfaulted: Optional[float] = None
+    fp_faulted: Optional[float] = None
+    if fault_spans:
+        unfaulted = ~faulted
+        if unfaulted.any():
+            fp_unfaulted = (
+                100.0 * int((reported & clean & unfaulted).sum())
+                / int(unfaulted.sum())
+            )
+        if faulted.any():
+            fp_faulted = (
+                100.0 * int((reported & clean & faulted).sum())
+                / int(faulted.sum())
+            )
 
     n_injected = int(contains.sum())
     if n_injected:
@@ -149,6 +192,15 @@ def evaluate_run(
         else 0.0
     )
 
+    n_unscorable = (
+        int(result.unscorable_flags.sum())
+        if result.unscorable_flags is not None
+        else 0
+    )
+    n_desyncs = sum(
+        1 for r in result.reports if getattr(r, "kind", "anomaly") == "desync"
+    )
+
     return RunMetrics(
         detection_latency=detection_latency,
         false_positive_rate=false_positive_rate,
@@ -161,7 +213,40 @@ def evaluate_run(
         n_injected_groups=n_injected,
         n_reports=len(result.reports),
         detected=bool(latencies),
+        false_positive_rate_unfaulted=fp_unfaulted,
+        false_positive_rate_faulted=fp_faulted,
+        n_faulted_groups=int(faulted.sum()),
+        n_unscorable=n_unscorable,
+        n_desyncs=n_desyncs,
+        status=result.status,
     )
+
+
+def _span_bounds(span) -> Tuple[float, float]:
+    """Bounds of a fault span given as a FaultSpan or a (start, end) pair."""
+    if isinstance(span, FaultSpan):
+        return span.t_start, span.t_end
+    start, end = span
+    return float(start), float(end)
+
+
+def fault_group_mask(
+    result: MonitorResult,
+    fault_spans: Sequence,
+    window_duration: float,
+    hop_duration: float,
+) -> np.ndarray:
+    """Boolean per-STS mask: does the group at each index overlap a fault?"""
+    times = result.times
+    group_start = (
+        times - result.group_sizes * hop_duration - window_duration / 2.0
+    )
+    group_end = times + window_duration / 2.0
+    faulted = np.zeros(len(times), dtype=bool)
+    for span in fault_spans:
+        s, e = _span_bounds(span)
+        faulted |= (group_start < e) & (s < group_end)
+    return faulted
 
 
 def injected_group_mask(
@@ -275,4 +360,18 @@ def aggregate_metrics(metrics: Sequence[RunMetrics]) -> RunMetrics:
         n_injected_groups=sum(m.n_injected_groups for m in metrics),
         n_reports=sum(m.n_reports for m in metrics),
         detected=any(m.detected for m in metrics),
+        false_positive_rate_unfaulted=mean_of(
+            [m.false_positive_rate_unfaulted for m in metrics]
+        ),
+        false_positive_rate_faulted=mean_of(
+            [m.false_positive_rate_faulted for m in metrics]
+        ),
+        n_faulted_groups=sum(m.n_faulted_groups for m in metrics),
+        n_unscorable=sum(m.n_unscorable for m in metrics),
+        n_desyncs=sum(m.n_desyncs for m in metrics),
+        status=(
+            "degraded"
+            if any(m.status == "degraded" for m in metrics)
+            else "ok"
+        ),
     )

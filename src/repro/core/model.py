@@ -49,6 +49,24 @@ class EddieConfig:
             during training (Figure 3 sweep).
         reference_cap: maximum reference windows stored per region.
         min_mon_values: minimum non-NaN observations needed to run a test.
+        quality_gating: compute per-window acquisition-quality flags
+            (clipped / gapped / dead / energy-outlier; see
+            repro.core.stft.window_quality) and treat flagged STSs as
+            *unscorable*: the anomaly streak suspends across them instead
+            of counting them as rejections, and after a gap the monitor
+            re-enters region search (DESIGN.md D14). Off by default --
+            the paper's lab capture never needed it.
+        clip_fraction: share of rail-level samples marking a window
+            clipped.
+        gap_samples: consecutive exact zeros marking a window gapped.
+        dead_fraction: share of zeros marking a window dead.
+        energy_outlier_mads: robust z-score (in scaled MADs of
+            log-energy) beyond which a window is an energy outlier.
+        resync_timeout: scorable windows the monitor may spend
+            reacquiring a region after a gap before escalating to a
+            ``desync`` report.
+        max_unscorable_fraction: when at least this share of a run's
+            windows is unscorable, the result's status is ``'degraded'``.
     """
 
     window_samples: int = 512
@@ -65,6 +83,13 @@ class EddieConfig:
     group_sizes: Tuple[int, ...] = (8, 12, 16, 24, 32, 48, 64, 96, 128)
     reference_cap: int = 1200
     min_mon_values: int = 5
+    quality_gating: bool = False
+    clip_fraction: float = 0.01
+    gap_samples: int = 16
+    dead_fraction: float = 0.9
+    energy_outlier_mads: float = 8.0
+    resync_timeout: int = 96
+    max_unscorable_fraction: float = 0.9
 
     def __post_init__(self) -> None:
         if not 0 < self.alpha < 1:
@@ -81,6 +106,20 @@ class EddieConfig:
             raise ConfigurationError("group_sizes must be >= 2")
         if self.max_peaks < 1:
             raise ConfigurationError("max_peaks must be >= 1")
+        if not 0 < self.clip_fraction <= 1:
+            raise ConfigurationError("clip_fraction must be in (0, 1]")
+        if self.gap_samples < 1:
+            raise ConfigurationError("gap_samples must be >= 1")
+        if not 0 < self.dead_fraction <= 1:
+            raise ConfigurationError("dead_fraction must be in (0, 1]")
+        if self.energy_outlier_mads <= 0:
+            raise ConfigurationError("energy_outlier_mads must be positive")
+        if self.resync_timeout < 1:
+            raise ConfigurationError("resync_timeout must be >= 1")
+        if not 0 < self.max_unscorable_fraction <= 1:
+            raise ConfigurationError(
+                "max_unscorable_fraction must be in (0, 1]"
+            )
 
 
 class RegionProfile:
@@ -254,6 +293,17 @@ class EddieModel:
         return EddieModel(
             self.program_name,
             replace(self.config, alpha=alpha),
+            self.profiles,
+            self.successors,
+            self.initial_regions,
+            self.sample_rate,
+        )
+
+    def with_quality_gating(self, enabled: bool = True) -> "EddieModel":
+        """A copy with acquisition-quality gating toggled (DESIGN.md D14)."""
+        return EddieModel(
+            self.program_name,
+            replace(self.config, quality_gating=enabled),
             self.profiles,
             self.successors,
             self.initial_regions,

@@ -9,6 +9,16 @@ anomaly counter grows, and a streak longer than ``report_threshold``
 produces an anomaly report. Acceptance of the current region resets both
 counters (tolerating isolated deviant STSs from interrupts and other
 system activity).
+
+With ``EddieConfig.quality_gating`` enabled the monitor is additionally
+acquisition-fault aware (DESIGN.md D14): STSs whose windows carry quality
+flags (clipped / gapped / dead / energy-outlier) are *unscorable* -- they
+are excluded from the K-S history and the anomaly streak suspends across
+them instead of counting them as rejections. After a gap or dead stretch
+the region belief is stale, so the monitor clears its history and
+re-enters region search with a bounded retry budget; if it cannot
+reacquire any region within ``resync_timeout`` scorable windows it
+escalates a ``desync`` report and resumes best-effort monitoring.
 """
 
 from __future__ import annotations
@@ -21,7 +31,7 @@ import numpy as np
 from repro.core.model import EddieModel, RegionProfile
 from repro.core.peaks import peak_matrix
 from repro.core.stats import two_sample_reject
-from repro.core.stft import stft
+from repro.core.stft import QF_DEAD, QF_GAPPED, QF_UNSCORABLE, stft, window_quality
 from repro.errors import MonitoringError
 from repro.types import Signal
 
@@ -30,11 +40,18 @@ __all__ = ["AnomalyReport", "MonitorResult", "Monitor"]
 
 @dataclass(frozen=True)
 class AnomalyReport:
-    """One anomaly reported to the user."""
+    """One anomaly reported to the user.
+
+    ``kind`` is ``'anomaly'`` for Algorithm-1 reports and ``'desync'``
+    when the monitor lost the region state machine after an acquisition
+    gap and could not reacquire within its retry budget. A desync is an
+    operational escalation ("re-check this device"), not a detection.
+    """
 
     time: float
     region: str
     streak: int
+    kind: str = "anomaly"
 
 
 @dataclass
@@ -49,6 +66,13 @@ class MonitorResult:
             each STS (before candidate resolution).
         group_sizes: group size in effect at each STS (for group-span
             bookkeeping in metrics).
+        unscorable_flags: per-STS mask of windows skipped as unscorable
+            (quality gating; all False when gating is off).
+        quality: the per-window quality bitmasks, when computed.
+        report_indices: STS index of each report, aligned with
+            ``reports``; ``None`` for results built step-by-step.
+        status: ``'ok'``, or ``'degraded'`` when so much of the run was
+            unscorable that the monitoring verdict is not meaningful.
     """
 
     times: np.ndarray
@@ -56,16 +80,39 @@ class MonitorResult:
     reports: List[AnomalyReport]
     rejection_flags: np.ndarray
     group_sizes: np.ndarray
+    unscorable_flags: Optional[np.ndarray] = None
+    quality: Optional[np.ndarray] = None
+    report_indices: Optional[List[int]] = None
+    status: str = "ok"
 
     @property
     def reported_mask(self) -> np.ndarray:
         """Boolean per-STS mask of report firings."""
         mask = np.zeros(len(self.times), dtype=bool)
-        report_times = {r.time for r in self.reports}
-        for i, t in enumerate(self.times):
-            if t in report_times:
-                mask[i] = True
-        return mask
+        if self.report_indices is not None:
+            mask[np.asarray(self.report_indices, dtype=int)] = True
+            return mask
+        if not self.reports or len(self.times) == 0:
+            return mask
+        # Fallback for hand-built results: tolerant float matching (exact
+        # `t in set` comparison broke on times reconstructed through
+        # different arithmetic).
+        report_times = np.array([r.time for r in self.reports])
+        return np.isclose(
+            self.times[:, None], report_times[None, :],
+            rtol=1e-9, atol=1e-12,
+        ).any(axis=1)
+
+    @property
+    def unscorable_fraction(self) -> float:
+        """Share of STSs skipped as unscorable."""
+        if self.unscorable_flags is None or len(self.times) == 0:
+            return 0.0
+        return float(np.mean(self.unscorable_flags))
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == "degraded"
 
 
 class Monitor:
@@ -84,6 +131,10 @@ class Monitor:
         self._anomaly_count = 0
         self._change_counts: Dict[str, int] = {}
         self._streak = 0
+        # Quality-gating state (DESIGN.md D14).
+        self._gap_pending = False
+        self._resync_remaining: Optional[int] = None
+        self.last_unscorable = False
 
     # -- driving ------------------------------------------------------------
 
@@ -93,10 +144,29 @@ class Monitor:
         spectra = stft(signal, cfg.window_samples, cfg.overlap)
         peaks = peak_matrix(spectra, cfg.energy_fraction, cfg.max_peaks,
                             cfg.peak_prominence, cfg.diffuse_features)
-        return self.run_peaks(peaks, spectra.times)
+        quality = None
+        if cfg.quality_gating:
+            quality = window_quality(
+                signal, cfg.window_samples, cfg.overlap,
+                clip_fraction=cfg.clip_fraction,
+                gap_samples=cfg.gap_samples,
+                dead_fraction=cfg.dead_fraction,
+                energy_outlier_mads=cfg.energy_outlier_mads,
+            )
+        return self.run_peaks(peaks, spectra.times, quality=quality)
 
-    def run_peaks(self, peaks: np.ndarray, times: np.ndarray) -> MonitorResult:
-        """Monitor a pre-extracted peak matrix."""
+    def run_peaks(
+        self,
+        peaks: np.ndarray,
+        times: np.ndarray,
+        quality: Optional[np.ndarray] = None,
+    ) -> MonitorResult:
+        """Monitor a pre-extracted peak matrix.
+
+        ``quality`` is an optional per-window bitmask from
+        :func:`repro.core.stft.window_quality`; it only has an effect when
+        the model's config enables ``quality_gating``.
+        """
         if peaks.shape[0] != len(times):
             raise MonitoringError(
                 f"{peaks.shape[0]} peak rows for {len(times)} timestamps"
@@ -106,30 +176,80 @@ class Monitor:
                 f"peak matrix width {peaks.shape[1]} below the configured "
                 f"width {self._width} (max_peaks plus descriptor columns)"
             )
+        if quality is not None and len(quality) != len(times):
+            raise MonitoringError(
+                f"{len(quality)} quality flags for {len(times)} timestamps"
+            )
         tracked: List[str] = []
         reports: List[AnomalyReport] = []
+        report_indices: List[int] = []
         rejection_flags = np.zeros(len(times), dtype=bool)
+        unscorable_flags = np.zeros(len(times), dtype=bool)
         group_sizes = np.zeros(len(times), dtype=int)
         for i in range(len(times)):
-            report, rejected = self.step(peaks[i], float(times[i]))
+            q = int(quality[i]) if quality is not None else 0
+            report, rejected = self.step(peaks[i], float(times[i]), quality=q)
             tracked.append(self.current_region)
             rejection_flags[i] = rejected
+            unscorable_flags[i] = self.last_unscorable
             group_sizes[i] = self.model.profile(self.current_region).group_size
             if report is not None:
                 reports.append(report)
+                report_indices.append(i)
+        n = len(times)
+        status = "ok"
+        if n and unscorable_flags.mean() >= self._cfg.max_unscorable_fraction:
+            status = "degraded"
         return MonitorResult(
             times=np.asarray(times, dtype=float),
             tracked=tracked,
             reports=reports,
             rejection_flags=rejection_flags,
             group_sizes=group_sizes,
+            unscorable_flags=unscorable_flags,
+            quality=quality,
+            report_indices=report_indices,
+            status=status,
         )
 
     # -- one step of Algorithm 1 ------------------------------------------------
 
-    def step(self, peak_row: np.ndarray, time: float):
-        """Process one STS; returns (report_or_None, current_test_rejected)."""
+    def step(self, peak_row: np.ndarray, time: float, quality: int = 0):
+        """Process one STS; returns (report_or_None, current_test_rejected).
+
+        ``quality`` is the window's acquisition-quality bitmask; with
+        quality gating enabled, flagged windows are skipped as unscorable
+        (streak suspended) and gap/dead windows additionally invalidate
+        the history and schedule a resynchronization.
+        """
+        self.last_unscorable = False
+        if self._cfg.quality_gating and (quality & QF_UNSCORABLE):
+            # Unscorable STS: the window's samples were corrupted at
+            # acquisition. Do not let its garbage peaks into the history,
+            # do not count it as a rejection, and keep the anomaly streak
+            # frozen (neither grown nor reset) until scoring resumes.
+            self.last_unscorable = True
+            if quality & (QF_GAPPED | QF_DEAD):
+                self._gap_pending = True
+            return None, False
+
+        if self._gap_pending:
+            # First scorable STS after a gap: execution continued while we
+            # were blind, so both the history and the region belief are
+            # stale. Start over: clear the history and re-enter region
+            # search with a bounded budget.
+            self._gap_pending = False
+            self._filled = 0
+            self._anomaly_count = 0
+            self._change_counts.clear()
+            self._streak = 0
+            if any(p.testable() for p in self.model.profiles.values()):
+                self._resync_remaining = self._cfg.resync_timeout
+
         self._push(peak_row)
+
+        if self._resync_remaining is not None:
+            return self._resync_step(time)
 
         profile = self.model.profile(self.current_region)
         candidates = self.model.candidate_regions(self.current_region)
@@ -243,6 +363,75 @@ class Monitor:
             return report, True
 
         return None, True
+
+    # -- resynchronization after acquisition gaps ---------------------------
+
+    def _resync_step(self, time: float):
+        """One region-search step after a gap; returns (report, rejected)."""
+        if self._try_reacquire():
+            self._resync_remaining = None
+            return None, False
+        self._resync_remaining -= 1
+        if self._resync_remaining <= 0:
+            # Could not place the execution anywhere in the state machine
+            # within the budget: escalate, then resume best-effort
+            # monitoring from the current belief rather than staying
+            # silent forever.
+            self._resync_remaining = None
+            report = AnomalyReport(
+                time=time,
+                region=self.current_region,
+                streak=self._cfg.resync_timeout,
+                kind="desync",
+            )
+            return report, False
+        return None, False
+
+    def _try_reacquire(self) -> bool:
+        """Search all regions for one whose reference explains the recent
+        post-gap STSs; prefers the pre-gap belief for continuity."""
+        if self._filled < self._cfg.min_mon_values:
+            return False
+        order = [self.current_region] + [
+            r for r in self.model.profiles if r != self.current_region
+        ]
+        for name in order:
+            prof = self.model.profile(name)
+            if not prof.testable():
+                continue
+            n = min(prof.group_size, self._filled)
+            tested = 0
+            accepted = 0
+            for dim in prof.test_dims:
+                values = self._history[-n:, dim]
+                values = values[~np.isnan(values)]
+                if len(values) < self._cfg.min_mon_values:
+                    continue
+                tested += 1
+                if not self._rejects(prof, dim, values):
+                    accepted += 1
+            if tested and accepted >= max(
+                1, int(np.ceil(self._cfg.change_fraction * tested))
+            ):
+                # Unlike a tracked transition, the history here is all
+                # post-gap and belongs to the reacquired region: keep it.
+                self._reacquire(name)
+                return True
+        # A consistently peak-less post-gap stream is explained by a
+        # peak-less region, if the model has one (the paper's GSM loop).
+        recent = self._history[-self._filled:, : self._width]
+        if np.all(np.isnan(recent)):
+            for name in order:
+                if not self.model.profile(name).testable():
+                    self._reacquire(name)
+                    return True
+        return False
+
+    def _reacquire(self, region: str) -> None:
+        self.current_region = region
+        self._anomaly_count = 0
+        self._change_counts.clear()
+        self._streak = 0
 
     # -- internals ------------------------------------------------------------
 

@@ -12,13 +12,35 @@ both sides of the carrier are visible, as in the paper's Figure 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.errors import SignalError
 from repro.types import Signal
 
-__all__ = ["SpectrumSequence", "stft", "stft_seconds"]
+__all__ = [
+    "SpectrumSequence",
+    "stft",
+    "stft_seconds",
+    "window_quality",
+    "QF_CLIPPED",
+    "QF_GAPPED",
+    "QF_DEAD",
+    "QF_ENERGY_OUTLIER",
+    "QF_UNSCORABLE",
+]
+
+# Per-window quality flags (bitmask). A window carrying any of these was
+# corrupted at acquisition time and its spectrum does not describe the
+# monitored program; the monitor treats such windows as *unscorable*
+# rather than anomalous (DESIGN.md D14).
+QF_CLIPPED = 0x1         # ADC saturation: samples piled up at the rails
+QF_GAPPED = 0x2          # sample-drop gap: a run of exact zeros inside
+QF_DEAD = 0x4            # dead channel: the window is (almost) all zeros
+QF_ENERGY_OUTLIER = 0x8  # impulsive interference / gain step: energy far
+                         # outside the capture's robust range
+QF_UNSCORABLE = QF_CLIPPED | QF_GAPPED | QF_DEAD | QF_ENERGY_OUTLIER
 
 
 @dataclass(frozen=True)
@@ -39,6 +61,7 @@ class SpectrumSequence:
     power: np.ndarray
     window_duration: float
     hop_duration: float
+    quality: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self.times)
@@ -61,6 +84,9 @@ class SpectrumSequence:
             power=self.power[start:stop],
             window_duration=self.window_duration,
             hop_duration=self.hop_duration,
+            quality=(
+                self.quality[start:stop] if self.quality is not None else None
+            ),
         )
 
 
@@ -164,6 +190,114 @@ def _fold_two_sided(
     folded[:, half] = power[:, half]
     freqs = np.arange(half + 1) * (sample_rate / n)
     return folded, freqs
+
+
+def window_quality(
+    signal: Signal,
+    window_samples: int,
+    overlap: float = 0.5,
+    clip_fraction: float = 0.01,
+    gap_samples: int = 16,
+    dead_fraction: float = 0.9,
+    energy_outlier_mads: float = 8.0,
+) -> np.ndarray:
+    """Per-window acquisition-quality flags aligned with :func:`stft`.
+
+    Computed from the raw samples, before any spectral processing, so a
+    corrupted window is flagged regardless of what its (garbage) spectrum
+    happens to look like. Returns a uint8 bitmask per window (``QF_*``).
+
+    Detection criteria:
+
+    - *clipped* (``QF_CLIPPED``): at least ``clip_fraction`` of the
+      window's samples sit at the capture's amplitude rails (within 0.1%
+      of the global max of |I| / |Q|). A clean capture puts only its
+      single largest sample there; a saturated ADC piles samples up.
+    - *gapped* (``QF_GAPPED``): the window contains a run of at least
+      ``gap_samples`` consecutive exact zeros -- the signature of a
+      zero-filled overflow gap (noise makes exact zeros vanishingly rare
+      otherwise).
+    - *dead* (``QF_DEAD``): at least ``dead_fraction`` of the window is
+      exact zeros (front-end dropout).
+    - *energy outlier* (``QF_ENERGY_OUTLIER``): the window's log-energy
+      is more than ``energy_outlier_mads`` robust standard deviations
+      (scaled MAD over the not-otherwise-flagged windows) from the
+      capture's median -- impulsive interference or an AGC gain step.
+    """
+    if window_samples < 8:
+        raise SignalError(f"window_samples must be >= 8, got {window_samples}")
+    if not 0.0 <= overlap < 1.0:
+        raise SignalError(f"overlap must be in [0, 1), got {overlap}")
+    samples = signal.samples
+    if len(samples) < window_samples:
+        raise SignalError(
+            f"signal has {len(samples)} samples, shorter than one window "
+            f"({window_samples})"
+        )
+    hop = max(1, int(round(window_samples * (1.0 - overlap))))
+    n_windows = 1 + (len(samples) - window_samples) // hop
+    starts = np.arange(n_windows) * hop
+
+    if np.iscomplexobj(samples):
+        amp = np.maximum(np.abs(samples.real), np.abs(samples.imag))
+        is_zero = samples == 0
+    else:
+        amp = np.abs(samples)
+        is_zero = samples == 0
+
+    flags = np.zeros(n_windows, dtype=np.uint8)
+
+    # Clipping: samples at the capture's rails.
+    full_scale = float(amp.max()) if len(amp) else 0.0
+    if full_scale > 0:
+        at_rail = amp >= 0.999 * full_scale
+        rail_counts = _window_sums(at_rail, starts, window_samples)
+        flags[rail_counts >= max(2, clip_fraction * window_samples)] |= (
+            QF_CLIPPED
+        )
+
+    # Gaps and dead windows from exact-zero runs.
+    zero_counts = _window_sums(is_zero, starts, window_samples)
+    flags[zero_counts >= dead_fraction * window_samples] |= QF_DEAD
+    run_len = _zero_run_lengths(is_zero)
+    long_run = run_len >= gap_samples
+    gap_hits = _window_sums(long_run, starts, window_samples)
+    flags[gap_hits > 0] |= QF_GAPPED
+
+    # Energy outliers, robustly referenced to the unflagged windows.
+    energy = _window_sums(np.abs(samples) ** 2, starts, window_samples)
+    log_e = np.log10(energy + np.finfo(float).tiny)
+    baseline = log_e[flags == 0]
+    if len(baseline) >= 8:
+        median = float(np.median(baseline))
+        mad = float(np.median(np.abs(baseline - median)))
+        scale = max(1.4826 * mad, 0.02)  # floor: 0.02 decades
+        outlier = np.abs(log_e - median) > energy_outlier_mads * scale
+        flags[outlier & (flags == 0)] |= QF_ENERGY_OUTLIER
+
+    return flags
+
+
+def _window_sums(
+    values: np.ndarray, starts: np.ndarray, window_samples: int
+) -> np.ndarray:
+    """Sum of ``values`` over each [start, start + window_samples) window."""
+    csum = np.concatenate([[0.0], np.cumsum(values, dtype=float)])
+    return csum[starts + window_samples] - csum[starts]
+
+
+def _zero_run_lengths(is_zero: np.ndarray) -> np.ndarray:
+    """At each position, the length of the zero-run ending there (else 0)."""
+    nonzero_idx = np.nonzero(~is_zero)[0]
+    if len(nonzero_idx) == 0:
+        return np.arange(1, len(is_zero) + 1, dtype=np.int64)
+    # Index of the most recent nonzero at or before each position.
+    prev = np.full(len(is_zero), -1, dtype=np.int64)
+    prev[nonzero_idx] = nonzero_idx
+    prev = np.maximum.accumulate(prev)
+    out = np.arange(len(is_zero), dtype=np.int64) - prev
+    out[~is_zero] = 0
+    return out
 
 
 def _taper(name: str, length: int) -> np.ndarray:

@@ -22,7 +22,12 @@ import numpy as np
 from repro.core.model import EddieConfig, EddieModel, RegionProfile
 from repro.core.peaks import peak_matrix
 from repro.core.stats import two_sample_reject
-from repro.core.stft import SpectrumSequence, stft
+from repro.core.stft import (
+    QF_UNSCORABLE,
+    SpectrumSequence,
+    stft,
+    window_quality,
+)
 from repro.errors import TrainingError
 from repro.types import RegionTimeline, Signal
 
@@ -89,7 +94,22 @@ class Trainer:
         spectra = stft(signal, cfg.window_samples, cfg.overlap)
         peaks = peak_matrix(spectra, cfg.energy_fraction, cfg.max_peaks,
                             cfg.peak_prominence, cfg.diffuse_features)
-        self._runs.append(LabelledRun(peaks, label_windows(spectra, timeline)))
+        labels = label_windows(spectra, timeline)
+        if cfg.quality_gating:
+            # Even "clean" training captures can carry front-end hiccups;
+            # corrupted windows must not pollute the reference sets.
+            quality = window_quality(
+                signal, cfg.window_samples, cfg.overlap,
+                clip_fraction=cfg.clip_fraction,
+                gap_samples=cfg.gap_samples,
+                dead_fraction=cfg.dead_fraction,
+                energy_outlier_mads=cfg.energy_outlier_mads,
+            )
+            labels = [
+                None if (q & QF_UNSCORABLE) else lbl
+                for lbl, q in zip(labels, quality)
+            ]
+        self._runs.append(LabelledRun(peaks, labels))
 
     @property
     def run_count(self) -> int:

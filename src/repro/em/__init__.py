@@ -13,13 +13,40 @@ package synthesizes the equivalent received signal:
   coupling loss,
 - :mod:`repro.em.receiver` -- an SDR-like front end (gain, band-limiting,
   decimation),
+- :mod:`repro.em.faults` -- acquisition fault injection (overflow gaps,
+  saturation bursts, AGC gain steps, impulsive interference, dead
+  channels) with ground-truth fault logs,
 - :mod:`repro.em.scenario` -- one-call pipeline: run a program on a core,
   emanate, propagate, receive.
 """
 
 from repro.em.channel import ChannelModel
+from repro.em.faults import (
+    DeadChannelFault,
+    FaultInjector,
+    GainStepFault,
+    ImpulseNoiseFault,
+    SampleDropFault,
+    SaturationFault,
+    standard_fault_mix,
+)
 from repro.em.modulation import am_modulate
-from repro.em.receiver import Receiver
+from repro.em.receiver import OverflowCounter, Receiver, saturate
 from repro.em.scenario import EmScenario, EmTrace
 
-__all__ = ["am_modulate", "ChannelModel", "Receiver", "EmScenario", "EmTrace"]
+__all__ = [
+    "am_modulate",
+    "ChannelModel",
+    "Receiver",
+    "OverflowCounter",
+    "saturate",
+    "EmScenario",
+    "EmTrace",
+    "FaultInjector",
+    "SampleDropFault",
+    "SaturationFault",
+    "GainStepFault",
+    "ImpulseNoiseFault",
+    "DeadChannelFault",
+    "standard_fault_mix",
+]

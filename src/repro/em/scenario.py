@@ -17,16 +17,23 @@ import numpy as np
 from repro.arch.config import CoreConfig
 from repro.arch.simulator import SimulationResult, Simulator
 from repro.em.channel import ChannelModel
+from repro.em.faults import FaultInjector
 from repro.em.modulation import am_modulate
 from repro.em.receiver import Receiver
-from repro.types import RegionTimeline, Signal
+from repro.types import FaultSpan, RegionTimeline, Signal
 
 __all__ = ["EmTrace", "EmScenario"]
 
 
 @dataclass
 class EmTrace:
-    """One captured EM monitoring trace with its ground truth."""
+    """One captured EM monitoring trace with its ground truth.
+
+    ``fault_spans`` is the acquisition-fault ground truth emitted by the
+    scenario's :class:`~repro.em.faults.FaultInjector` (empty for clean
+    captures): which stretches of the IQ stream were corrupted by the
+    front end rather than produced by the program.
+    """
 
     iq: Signal
     timeline: RegionTimeline
@@ -34,6 +41,7 @@ class EmTrace:
     instr_count: int
     injected_instr_count: int
     inputs: Dict[str, float]
+    fault_spans: List[FaultSpan] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -42,6 +50,10 @@ class EmTrace:
     def contains_injection(self, start: float, end: float) -> bool:
         """Whether [start, end) overlaps any injected span."""
         return any(s < end and start < e for s, e in self.injected_spans)
+
+    def contains_fault(self, start: float, end: float) -> bool:
+        """Whether [start, end) overlaps any acquisition-fault span."""
+        return any(f.overlaps(start, end) for f in self.fault_spans)
 
 
 @dataclass
@@ -58,6 +70,7 @@ class EmScenario:
     receiver: Receiver = field(default_factory=Receiver)
     mod_depth: float = 0.5
     carrier_offset_hz: float = 0.0
+    faults: Optional[FaultInjector] = None
 
     @classmethod
     def build(
@@ -68,6 +81,7 @@ class EmScenario:
         receiver: Optional[Receiver] = None,
         mod_depth: float = 0.5,
         carrier_offset_hz: float = 0.0,
+        faults: Optional[FaultInjector] = None,
     ) -> "EmScenario":
         """Construct a scenario from a program and a core config."""
         core = core or CoreConfig.iot_inorder()
@@ -77,6 +91,7 @@ class EmScenario:
             receiver=receiver or Receiver(),
             mod_depth=mod_depth,
             carrier_offset_hz=carrier_offset_hz,
+            faults=faults,
         )
 
     @property
@@ -99,6 +114,9 @@ class EmScenario:
         )
         received = self.channel.apply(emission, rng)
         iq = self.receiver.capture(received)
+        fault_spans: List[FaultSpan] = []
+        if self.faults is not None:
+            iq, fault_spans = self.faults.inject(iq, rng=rng)
         return EmTrace(
             iq=iq,
             timeline=result.timeline,
@@ -106,4 +124,5 @@ class EmScenario:
             instr_count=result.instr_count,
             injected_instr_count=result.injected_instr_count,
             inputs=result.inputs,
+            fault_spans=fault_spans,
         )

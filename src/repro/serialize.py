@@ -17,7 +17,7 @@ import numpy as np
 from repro.core.model import EddieConfig, EddieModel, RegionProfile
 from repro.em.scenario import EmTrace
 from repro.errors import ConfigurationError
-from repro.types import RegionInterval, RegionTimeline, Signal
+from repro.types import FaultSpan, RegionInterval, RegionTimeline, Signal
 
 __all__ = ["save_model", "load_model", "save_trace", "load_trace"]
 
@@ -47,6 +47,13 @@ def save_model(model: EddieModel, path: Union[str, Path]) -> None:
             "group_sizes": list(model.config.group_sizes),
             "reference_cap": model.config.reference_cap,
             "min_mon_values": model.config.min_mon_values,
+            "quality_gating": model.config.quality_gating,
+            "clip_fraction": model.config.clip_fraction,
+            "gap_samples": model.config.gap_samples,
+            "dead_fraction": model.config.dead_fraction,
+            "energy_outlier_mads": model.config.energy_outlier_mads,
+            "resync_timeout": model.config.resync_timeout,
+            "max_unscorable_fraction": model.config.max_unscorable_fraction,
         },
         "regions": [
             {
@@ -118,6 +125,10 @@ def save_trace(trace: EmTrace, path: Union[str, Path]) -> None:
             [iv.region, iv.t_start, iv.t_end] for iv in trace.timeline
         ],
         "injected_spans": [list(span) for span in trace.injected_spans],
+        "fault_spans": [
+            [f.kind, f.t_start, f.t_end, f.magnitude]
+            for f in trace.fault_spans
+        ],
         "instr_count": trace.instr_count,
         "injected_instr_count": trace.injected_instr_count,
         "inputs": trace.inputs,
@@ -153,4 +164,8 @@ def load_trace(path: Union[str, Path]) -> EmTrace:
         instr_count=int(meta["instr_count"]),
         injected_instr_count=int(meta["injected_instr_count"]),
         inputs=dict(meta["inputs"]),
+        fault_spans=[
+            FaultSpan(kind=k, t_start=s, t_end=e, magnitude=m)
+            for k, s, e, m in meta.get("fault_spans", [])
+        ],
     )

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.errors import SignalError
 
-__all__ = ["Signal", "RegionInterval", "RegionTimeline"]
+__all__ = ["Signal", "RegionInterval", "RegionTimeline", "FaultSpan"]
 
 
 @dataclass(frozen=True)
@@ -74,6 +74,44 @@ class Signal:
         return Signal(
             np.concatenate([self.samples, other.samples]), self.sample_rate, self.t0
         )
+
+
+@dataclass(frozen=True)
+class FaultSpan:
+    """Ground-truth record of one acquisition fault applied to a capture.
+
+    Emitted by :mod:`repro.em.faults` alongside the corrupted signal so
+    benchmarks can score fault-overlapping windows separately from clean
+    ones.
+
+    Attributes:
+        kind: fault type (``'drop'``, ``'saturation'``, ``'gain_step'``,
+            ``'impulse'``, ``'dead'``).
+        t_start: absolute start time of the corrupted stretch, seconds.
+        t_end: absolute end time (exclusive), seconds.
+        magnitude: fault-specific scalar (drive gain, gain-step factor,
+            impulse amplitude, ...); 0.0 when not meaningful.
+    """
+
+    kind: str
+    t_start: float
+    t_end: float
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise SignalError(
+                f"fault span {self.kind!r} ends ({self.t_end}) before it "
+                f"starts ({self.t_start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """Whether [start, end) intersects this span."""
+        return self.t_start < end and start < self.t_end
 
 
 @dataclass(frozen=True)

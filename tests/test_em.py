@@ -6,7 +6,7 @@ import pytest
 from repro.arch.config import CoreConfig
 from repro.em.channel import ChannelModel, Interferer
 from repro.em.modulation import am_modulate, normalize_activity
-from repro.em.receiver import Receiver
+from repro.em.receiver import OverflowCounter, Receiver, saturate
 from repro.em.scenario import EmScenario
 from repro.errors import SignalError
 from repro.programs.builder import ProgramBuilder
@@ -260,3 +260,98 @@ class TestEmScenario:
         assert len(trace.injected_spans) == 1
         mid = sum(trace.injected_spans[0]) / 2
         assert trace.contains_injection(mid, mid + 1e-9)
+
+
+class TestSaturate:
+    def test_counts_railed_samples(self):
+        values = np.array([0.5, 3.0, -3.0, 1.0])
+        clipped, n = saturate(values, 2.0)
+        assert n == 2
+        np.testing.assert_allclose(clipped, [0.5, 2.0, -2.0, 1.0])
+
+    def test_complex_clips_iq_independently(self):
+        values = np.array([3.0 + 0.5j, 0.5 - 3.0j, 0.5 + 0.5j])
+        clipped, n = saturate(values, 2.0)
+        assert n == 2
+        np.testing.assert_allclose(
+            clipped, [2.0 + 0.5j, 0.5 - 2.0j, 0.5 + 0.5j]
+        )
+
+    def test_invalid_full_scale(self):
+        with pytest.raises(SignalError):
+            saturate(np.zeros(4), 0.0)
+
+
+class TestReceiverQuality:
+    def test_decimation_preserves_alignment(self):
+        """The anti-alias FIR's group delay must be compensated.
+
+        An uncompensated 65-tap FIR shifts every feature 32 input samples
+        late; after decimation by 4 an envelope edge would land 8 output
+        samples off the ground-truth timeline.
+        """
+        fs = 1e6
+        n = 4096
+        edge = 2048
+        envelope = np.zeros(n)
+        envelope[edge:] = 1.0  # envelope step at a known instant
+        sig = Signal(envelope, fs)
+        out = Receiver(decimation=4).capture(sig)
+        # The step, in output samples, must sit at edge/4 (transition
+        # width of the FIR aside -- use the 50% crossing).
+        crossing = int(np.argmax(np.abs(out.samples) >= 0.5))
+        assert abs(crossing - edge // 4) <= 2
+
+    def test_decimation_impulse_alignment(self):
+        fs = 1e6
+        n = 4096
+        at = 1024
+        impulse = np.zeros(n)
+        impulse[at] = 1.0
+        out = Receiver(decimation=4).capture(Signal(impulse, fs))
+        assert abs(int(np.argmax(np.abs(out.samples))) - at // 4) <= 1
+
+    def test_overflow_counter_hook(self):
+        counter = OverflowCounter()
+        rx = Receiver(adc_bits=8, adc_full_scale=0.5,
+                      overflow_counter=counter)
+        hot = Signal(np.linspace(-2.0, 2.0, 1000), 1e6)
+        rx.capture(hot)
+        assert counter.count > 0
+        first = counter.count
+        rx.capture(hot)
+        assert counter.count == 2 * first  # accumulates across captures
+        counter.reset()
+        assert counter.count == 0
+
+    def test_no_overflow_within_range(self):
+        counter = OverflowCounter()
+        rx = Receiver(adc_bits=8, adc_full_scale=4.0,
+                      overflow_counter=counter)
+        rx.capture(Signal(np.linspace(-1.0, 1.0, 1000), 1e6))
+        assert counter.count == 0
+
+    def test_agc_levels_block_rms(self):
+        rng = np.random.default_rng(0)
+        rx = Receiver(agc=True, agc_block=512, adc_full_scale=4.0)
+        quiet = Signal(0.01 * rng.standard_normal(2048), 1e6)
+        out = rx.capture(quiet)
+        rms = float(np.sqrt(np.mean(np.abs(out.samples) ** 2)))
+        assert rms == pytest.approx(2.0, rel=1e-6)  # half full scale
+
+    def test_agc_reduces_saturation(self):
+        counter_plain = OverflowCounter()
+        counter_agc = OverflowCounter()
+        hot = Signal(np.linspace(-20.0, 20.0, 4096), 1e6)
+        Receiver(adc_bits=8, overflow_counter=counter_plain).capture(hot)
+        Receiver(adc_bits=8, agc=True, agc_block=1024,
+                 overflow_counter=counter_agc).capture(hot)
+        assert counter_agc.count < counter_plain.count
+
+    def test_invalid_full_scale_and_agc_block(self):
+        with pytest.raises(SignalError):
+            Receiver(adc_full_scale=0.0)
+        with pytest.raises(SignalError):
+            Receiver(adc_full_scale=-1.0)
+        with pytest.raises(SignalError):
+            Receiver(agc_block=1)

@@ -7,11 +7,12 @@ from repro.core.metrics import (
     RunMetrics,
     aggregate_metrics,
     evaluate_run,
+    fault_group_mask,
     injected_group_mask,
     rejection_false_negative_rate,
 )
 from repro.core.monitor import AnomalyReport, MonitorResult
-from repro.types import RegionInterval, RegionTimeline
+from repro.types import FaultSpan, RegionInterval, RegionTimeline
 
 HOP = 0.001
 WINDOW = 0.002
@@ -174,3 +175,108 @@ class TestAggregate:
         assert agg.per_region_accuracy["a"] == pytest.approx(95.0)
         assert agg.n_groups == 30
         assert agg.detected  # any
+
+
+class TestReportedMask:
+    def test_mask_from_report_indices(self):
+        result = make_result(10, report_at=(2, 7))
+        result.report_indices = [2, 7]
+        mask = result.reported_mask
+        assert mask.sum() == 2
+        assert mask[2] and mask[7]
+
+    def test_float_reconstructed_times_still_match(self):
+        """Regression: report times rebuilt through different arithmetic.
+
+        ``0.1 + 0.1 + 0.1 != 0.3`` in floats; the old exact ``t in set``
+        matching silently dropped such reports from the mask.
+        """
+        n = 10
+        times = np.arange(n) * 0.1          # times[3] = 0.30000000000000004
+        accumulated = 0.0
+        for _ in range(3):
+            accumulated += 0.1              # 0.30000000000000004... or not
+        report_time = float(np.float32(0.3))  # a third arithmetic path
+        assert report_time != times[3]      # genuinely different floats...
+        result = MonitorResult(
+            times=times,
+            tracked=["loop:A"] * n,
+            reports=[AnomalyReport(time=0.3, region="loop:A", streak=4)],
+            rejection_flags=np.zeros(n, dtype=bool),
+            group_sizes=np.full(n, 8),
+        )
+        mask = result.reported_mask         # ...but isclose still matches
+        assert mask[3]
+        assert mask.sum() == 1
+
+    def test_no_reports_empty_mask(self):
+        result = make_result(5)
+        assert not result.reported_mask.any()
+
+
+class TestFaultAwareScoring:
+    def test_fp_split_between_faulted_and_unfaulted(self):
+        # Reports at 10 (clean stretch) and 50 (inside a fault span).
+        result = make_result(100, report_at=(10, 50))
+        fault = FaultSpan(kind="drop", t_start=0.049, t_end=0.052)
+        metrics = evaluate_run(
+            result, timeline(100), [], WINDOW, HOP, fault_spans=[fault]
+        )
+        # The all-groups rate keeps its original definition.
+        assert metrics.false_positive_rate == pytest.approx(2.0)
+        assert metrics.n_faulted_groups > 0
+        assert metrics.false_positive_rate_faulted > 0.0
+        # The clean-stretch report is the only unfaulted false positive.
+        n_unfaulted = 100 - metrics.n_faulted_groups
+        assert metrics.false_positive_rate_unfaulted == pytest.approx(
+            100.0 / n_unfaulted
+        )
+
+    def test_tuple_spans_accepted(self):
+        result = make_result(100, report_at=(50,))
+        metrics = evaluate_run(
+            result, timeline(100), [], WINDOW, HOP,
+            fault_spans=[(0.049, 0.052)],
+        )
+        assert metrics.false_positive_rate_faulted > 0.0
+
+    def test_no_fault_spans_leaves_split_unset(self):
+        result = make_result(100, report_at=(50,))
+        metrics = evaluate_run(result, timeline(100), [], WINDOW, HOP)
+        assert metrics.false_positive_rate_unfaulted is None
+        assert metrics.false_positive_rate_faulted is None
+        assert metrics.n_faulted_groups == 0
+
+    def test_fault_group_mask_covers_group_history(self):
+        result = make_result(100, group=20)
+        mask = fault_group_mask(
+            result, [FaultSpan(kind="drop", t_start=0.010, t_end=0.011)],
+            WINDOW, HOP,
+        )
+        assert mask[11]
+        assert mask[25]      # span still inside the 20-hop group history
+        assert not mask[45]
+
+    def test_desync_and_unscorable_counting(self):
+        n = 20
+        result = make_result(n)
+        result.reports = [
+            AnomalyReport(time=result.times[5], region="loop:A", streak=4),
+            AnomalyReport(time=result.times[9], region="loop:A", streak=8,
+                          kind="desync"),
+        ]
+        result.report_indices = [5, 9]
+        result.unscorable_flags = np.zeros(n, dtype=bool)
+        result.unscorable_flags[2:6] = True
+        metrics = evaluate_run(result, timeline(n), [], WINDOW, HOP)
+        assert metrics.n_desyncs == 1
+        assert metrics.n_unscorable == 4
+
+    def test_degraded_status_propagates(self):
+        result = make_result(10)
+        result.status = "degraded"
+        metrics = evaluate_run(result, timeline(10), [], WINDOW, HOP)
+        assert metrics.status == "degraded"
+        clean = evaluate_run(make_result(10), timeline(10), [], WINDOW, HOP)
+        agg = aggregate_metrics([metrics, clean])
+        assert agg.status == "degraded"

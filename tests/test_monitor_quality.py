@@ -1,0 +1,198 @@
+"""Step-level tests for the monitor's quality gating (DESIGN.md D14).
+
+These pin the graceful-degradation mechanics: unscorable STSs are
+skipped (streak frozen, history untouched), gaps invalidate the history
+and trigger a bounded resynchronization, an exhausted resync budget
+escalates a ``desync`` report, and a mostly-unscorable run is flagged
+``degraded`` instead of producing a verdict.
+"""
+
+import numpy as np
+
+from repro.core.model import EddieConfig, EddieModel, RegionProfile
+from repro.core.monitor import Monitor
+from repro.core.stft import QF_CLIPPED, QF_DEAD, QF_GAPPED
+
+MAXP = 4
+
+
+def rows(freq, n, width=MAXP):
+    out = np.full((n, width), np.nan)
+    out[:, 0] = freq
+    return out
+
+
+def build_model(quality_gating=True, resync_timeout=12, successors=None,
+                profiles=None, **cfg_kwargs):
+    cfg = EddieConfig(
+        window_samples=64, max_peaks=MAXP, group_sizes=(8,),
+        report_threshold=3, change_steps=3,
+        quality_gating=quality_gating, resync_timeout=resync_timeout,
+        **cfg_kwargs,
+    )
+    if profiles is None:
+        profiles = {
+            "loop:A": RegionProfile("loop:A", rows(1000.0, 100), 1, 8),
+            "loop:B": RegionProfile("loop:B", rows(2000.0, 100), 1, 8),
+        }
+    return EddieModel(
+        "p", cfg, profiles,
+        successors or {"loop:A": ["loop:B"], "loop:B": []},
+        ["loop:A"], 64e3,
+    )
+
+
+def drive(monitor, steps):
+    """Feed (freq, quality) pairs; returns the reports with their indices."""
+    reports = []
+    for i, (freq, quality) in enumerate(steps):
+        row = np.full(MAXP, np.nan)
+        if freq is not None:
+            row[0] = freq
+        report, _ = monitor.step(row, float(i), quality=quality)
+        if report:
+            reports.append((i, report))
+    return reports
+
+
+def clean(freq, n):
+    return [(freq, 0)] * n
+
+
+class TestUnscorableSkipping:
+    def test_unscorable_windows_produce_no_reports(self):
+        monitor = Monitor(build_model())
+        # Garbage values on flagged windows must not look anomalous.
+        reports = drive(
+            monitor, clean(1000.0, 20) + [(1500.0, QF_CLIPPED)] * 30
+        )
+        assert reports == []
+
+    def test_unscorable_windows_stay_out_of_history(self):
+        monitor = Monitor(build_model())
+        drive(monitor, clean(1000.0, 10))
+        filled = monitor._filled
+        drive(monitor, [(1500.0, QF_CLIPPED)] * 5)
+        assert monitor._filled == filled
+        assert monitor.last_unscorable
+
+    def test_streak_frozen_not_reset_across_unscorable(self):
+        monitor = Monitor(build_model())
+        drive(monitor, clean(1000.0, 20) + clean(1500.0, 6))
+        streak = monitor._streak
+        assert streak > 0
+        drive(monitor, [(1500.0, QF_CLIPPED)] * 6)
+        assert monitor._streak == streak  # frozen, neither grown nor reset
+
+    def test_quality_ignored_when_gating_off(self):
+        model = build_model(quality_gating=False)
+        monitor = Monitor(model)
+        peaks = rows(1000.0, 20)
+        quality = np.full(20, QF_CLIPPED, dtype=np.uint8)
+        result = monitor.run_peaks(peaks, np.arange(20.0), quality=quality)
+        assert not result.unscorable_flags.any()
+        assert result.status == "ok"
+
+
+class TestResync:
+    def test_reacquires_same_region_after_gap(self):
+        monitor = Monitor(build_model())
+        reports = drive(
+            monitor,
+            clean(1000.0, 20) + [(None, QF_GAPPED)] * 5 + clean(1000.0, 30),
+        )
+        assert reports == []
+        assert monitor.current_region == "loop:A"
+        assert monitor._resync_remaining is None  # resync completed
+
+    def test_gap_invalidates_history(self):
+        monitor = Monitor(build_model())
+        drive(monitor, clean(1000.0, 20))
+        assert monitor._filled >= 8
+        drive(monitor, [(None, QF_GAPPED)] * 3 + clean(1000.0, 1))
+        assert monitor._filled == 1  # restarted after the gap
+
+    def test_gap_on_region_transition_reacquires_new_region(self):
+        # Execution moved from A to B while the receiver was blind: the
+        # monitor must land in B without reporting an anomaly, even
+        # though it never saw the transition.
+        monitor = Monitor(build_model())
+        reports = drive(
+            monitor,
+            clean(1000.0, 20) + [(None, QF_DEAD)] * 5 + clean(2000.0, 30),
+        )
+        assert reports == []
+        assert monitor.current_region == "loop:B"
+
+    def test_desync_report_after_budget_exhausted(self):
+        monitor = Monitor(build_model(resync_timeout=10))
+        # Post-gap stream matches no region at all.
+        reports = drive(
+            monitor,
+            clean(1000.0, 20) + [(None, QF_GAPPED)] * 5 + clean(1500.0, 40),
+        )
+        desyncs = [r for _, r in reports if r.kind == "desync"]
+        assert len(desyncs) == 1
+        assert desyncs[0].streak == 10
+        # After the escalation the monitor resumes best-effort scoring.
+        assert monitor._resync_remaining is None
+
+    def test_desync_counts_toward_metrics_reports(self):
+        model = build_model(resync_timeout=10)
+        monitor = Monitor(model)
+        steps = (
+            clean(1000.0, 20) + [(None, QF_GAPPED)] * 5 + clean(1500.0, 40)
+        )
+        peaks = np.full((len(steps), MAXP), np.nan)
+        quality = np.zeros(len(steps), dtype=np.uint8)
+        for i, (freq, q) in enumerate(steps):
+            if freq is not None:
+                peaks[i, 0] = freq
+            quality[i] = q
+        result = monitor.run_peaks(
+            peaks, np.arange(float(len(steps))), quality=quality
+        )
+        assert any(r.kind == "desync" for r in result.reports)
+        assert result.reported_mask.sum() == len(result.reports)
+
+
+class TestDegradedRuns:
+    def test_all_unscorable_is_degraded_not_a_crash(self):
+        monitor = Monitor(build_model())
+        n = 40
+        peaks = rows(1000.0, n)
+        quality = np.full(n, QF_CLIPPED, dtype=np.uint8)
+        result = monitor.run_peaks(peaks, np.arange(float(n)), quality=quality)
+        assert result.status == "degraded"
+        assert result.degraded
+        assert result.reports == []
+        assert result.unscorable_fraction == 1.0
+
+    def test_mostly_clean_run_is_ok(self):
+        monitor = Monitor(build_model())
+        n = 40
+        peaks = rows(1000.0, n)
+        quality = np.zeros(n, dtype=np.uint8)
+        quality[5] = QF_CLIPPED
+        result = monitor.run_peaks(peaks, np.arange(float(n)), quality=quality)
+        assert result.status == "ok"
+        assert result.unscorable_flags.sum() == 1
+
+    def test_trace_shorter_than_one_group(self):
+        monitor = Monitor(build_model())
+        peaks = rows(1000.0, 3)  # < group_size=8, < min_mon_values
+        quality = np.array([0, QF_CLIPPED, 0], dtype=np.uint8)
+        result = monitor.run_peaks(peaks, np.arange(3.0), quality=quality)
+        assert result.reports == []
+        assert result.status == "ok"
+        assert len(result.times) == 3
+
+    def test_empty_run(self):
+        monitor = Monitor(build_model())
+        result = monitor.run_peaks(
+            np.zeros((0, MAXP)), np.zeros(0),
+            quality=np.zeros(0, dtype=np.uint8),
+        )
+        assert result.reports == []
+        assert result.status == "ok"
+        assert result.unscorable_fraction == 0.0

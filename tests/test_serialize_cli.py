@@ -179,3 +179,94 @@ class TestCli:
         cli_main(["monitor", "stringsearch", model_path, "--runs", "1"])
         err = capsys.readouterr().err
         assert "warning" in err
+
+
+class TestFaultPersistence:
+    def make_faulty_trace(self):
+        from repro.arch.config import CoreConfig
+        from repro.em.faults import standard_fault_mix
+        from repro.em.scenario import EmScenario
+        from repro.programs.workloads import sharp_loop_program
+
+        scenario = EmScenario.build(
+            sharp_loop_program(trips=2000),
+            core=CoreConfig.iot_inorder(clock_hz=1e8),
+            faults=standard_fault_mix(3000.0, 3000.0),
+        )
+        return scenario.capture(seed=3)
+
+    def test_trace_round_trip_keeps_fault_spans(self, tmp_path):
+        from repro.serialize import load_trace, save_trace
+
+        trace = self.make_faulty_trace()
+        assert trace.fault_spans  # the mix actually fired
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.fault_spans == trace.fault_spans
+        np.testing.assert_array_equal(loaded.iq.samples, trace.iq.samples)
+
+    def test_old_trace_without_fault_spans_loads(self, tmp_path):
+        """Traces written before the fault layer default to an empty log."""
+        import json
+
+        from repro.serialize import load_trace, save_trace
+
+        trace = self.make_faulty_trace()
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            iq = data["iq"]
+        del meta["fault_spans"]
+        np.savez_compressed(path, meta=json.dumps(meta), iq=iq)
+        loaded = load_trace(path)
+        assert loaded.fault_spans == []
+
+    def test_model_round_trip_keeps_quality_config(self, tmp_path):
+        from repro.serialize import load_model, save_model
+
+        model = tiny_model()
+        model = model.with_quality_gating(True)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.config.quality_gating
+        assert loaded.config == model.config
+
+
+class TestCliFaults:
+    def test_monitor_with_faults_and_gating(self, tmp_path, capsys):
+        model_path = str(tmp_path / "sha.npz")
+        cli_main(["train", "sha", "-o", model_path, "--runs", "3"])
+        capsys.readouterr()
+        assert cli_main(
+            ["monitor", "sha", model_path, "--runs", "1",
+             "--faults", "mixed", "--fault-rate", "500",
+             "--quality-gating"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "unscorable" in out
+
+    def test_faults_require_em_source(self, tmp_path, capsys):
+        model_path = str(tmp_path / "sha.npz")
+        cli_main(["train", "sha", "-o", model_path, "--runs", "3",
+                  "--source", "power"])
+        capsys.readouterr()
+        assert cli_main(
+            ["monitor", "sha", model_path, "--runs", "1",
+             "--source", "power", "--faults", "drops"]
+        ) != 0
+
+    def test_capture_with_faults_saves_spans(self, tmp_path, capsys):
+        from repro.serialize import load_trace
+
+        prefix = str(tmp_path / "t_")
+        assert cli_main(
+            ["capture", "sha", "-o", prefix, "--runs", "1", "--seed", "9",
+             "--faults", "full", "--fault-rate", "2000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fault" in out
+        trace = load_trace(f"{prefix}9.npz")
+        assert trace.fault_spans

@@ -4,7 +4,16 @@ import numpy as np
 import pytest
 import scipy.signal
 
-from repro.core.stft import SpectrumSequence, stft, stft_seconds
+from repro.core.stft import (
+    QF_CLIPPED,
+    QF_DEAD,
+    QF_ENERGY_OUTLIER,
+    QF_GAPPED,
+    SpectrumSequence,
+    stft,
+    stft_seconds,
+    window_quality,
+)
 from repro.errors import SignalError
 from repro.types import Signal
 
@@ -133,3 +142,78 @@ class TestStftValidation:
         for name in ("rect", "hamming"):
             seq = stft(sig, window_samples=512, window=name)
             assert len(seq) > 0
+
+
+def noisy_tone(n=8192, fs=1e6, seed=0, amp=0.5):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / fs
+    samples = amp * np.exp(2j * np.pi * 5e4 * t)
+    samples = samples + 0.01 * (
+        rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    )
+    return Signal(samples, fs)
+
+
+class TestWindowQuality:
+    WIN = 256
+
+    def quality(self, sig, **kwargs):
+        return window_quality(sig, self.WIN, overlap=0.5, **kwargs)
+
+    def window_of(self, index):
+        """Window index containing sample ``index`` (hop = WIN/2)."""
+        return int(index // (self.WIN // 2))
+
+    def test_clean_capture_unflagged(self):
+        q = self.quality(noisy_tone())
+        assert q.dtype == np.uint8
+        assert np.all(q == 0)
+
+    def test_alignment_with_stft(self):
+        sig = noisy_tone()
+        assert len(self.quality(sig)) == len(stft(sig, self.WIN, 0.5))
+
+    def test_zero_gap_flags_gapped_and_dead(self):
+        sig = noisy_tone()
+        sig.samples[3000:3600] = 0
+        q = self.quality(sig)
+        hit = self.window_of(3100)
+        assert q[hit] & QF_GAPPED
+        # Windows fully inside the gap are dead as well.
+        assert q[self.window_of(3200)] & QF_DEAD
+        assert not q[0]
+        assert not q[-1]
+
+    def test_short_gap_below_threshold_ignored(self):
+        sig = noisy_tone()
+        sig.samples[3000:3008] = 0  # 8 < gap_samples=16
+        assert np.all(self.quality(sig) == 0)
+
+    def test_clipping_flags_clipped(self):
+        sig = noisy_tone()
+        seg = slice(4000, 4200)
+        sig.samples[seg] = 2.0 * np.sign(sig.samples[seg].real) + 2.0j * (
+            np.sign(sig.samples[seg].imag)
+        )
+        q = self.quality(sig)
+        assert q[self.window_of(4100)] & QF_CLIPPED
+        assert not q[0]
+
+    def test_impulse_flags_energy_outlier(self):
+        rng = np.random.default_rng(3)
+        sig = noisy_tone()
+        seg = slice(5000, 5256)
+        sig.samples[seg] += 0.9 * (
+            rng.standard_normal(256) + 1j * rng.standard_normal(256)
+        )
+        q = self.quality(sig, energy_outlier_mads=6.0)
+        assert q[self.window_of(5100)] & QF_ENERGY_OUTLIER
+        assert not q[0]
+
+    def test_too_short_signal_raises(self):
+        with pytest.raises(SignalError):
+            window_quality(noisy_tone(n=100), 256)
+
+    def test_bad_overlap_raises(self):
+        with pytest.raises(SignalError):
+            window_quality(noisy_tone(), 256, overlap=1.5)
