@@ -94,6 +94,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
     experiment.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+    experiment.add_argument("--jobs", default="1", metavar="N|auto",
+                            help="fan independent runs over N worker "
+                                 "processes ('auto' = one per CPU); results "
+                                 "are identical to --jobs 1")
+    experiment.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="content-addressed artifact cache for "
+                                 "trained models and simulated traces "
+                                 "(default: $REPRO_CACHE_DIR if set)")
+    experiment.add_argument("--cache-max-bytes", type=int, default=None,
+                            help="evict least-recently-used cache entries "
+                                 "beyond this size")
+    experiment.add_argument("--no-cache", action="store_true",
+                            help="disable the artifact cache even if "
+                                 "$REPRO_CACHE_DIR is set")
 
     capture = sub.add_parser(
         "capture", help="capture EM traces of a benchmark to .npz files"
@@ -253,10 +267,30 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
+    from repro import cache as artifact_cache
+    from repro.experiments.runner import resolve_jobs
+
+    if args.no_cache:
+        if args.cache_dir is not None:
+            raise ConfigurationError("--no-cache conflicts with --cache-dir")
+        artifact_cache.disable()
+    elif args.cache_dir is not None:
+        artifact_cache.configure(args.cache_dir, max_bytes=args.cache_max_bytes)
+
+    jobs = args.jobs if args.jobs == "auto" else resolve_jobs(args.jobs)
     module = importlib.import_module(_EXPERIMENTS[args.name])
     scale = _SCALES[args.scale]()
-    result = module.run(scale)
+    result = module.run(scale, jobs=jobs)
     print(module.format(result))
+    cache = artifact_cache.get_cache()
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"[cache] dir={cache.dir} hits={stats.hits} "
+            f"misses={stats.misses} puts={stats.puts} "
+            f"hit-rate={stats.hit_rate:.0%}",
+            file=sys.stderr,
+        )
     return 0
 
 

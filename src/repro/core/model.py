@@ -15,6 +15,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.stats.ks import sorted_run_ends
 from repro.errors import ConfigurationError, TrainingError
 
 __all__ = ["EddieConfig", "RegionProfile", "EddieModel"]
@@ -168,6 +169,10 @@ class RegionProfile:
         self.group_size = int(group_size)
         self.descriptor_dims = tuple(int(d) for d in descriptor_dims)
         self._sorted_dims: Dict[int, np.ndarray] = {}
+        self._dim_runs: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._test_dims: Tuple[int, ...] = (
+            tuple(range(self.num_peaks)) + self.descriptor_dims
+        )
 
     @property
     def n_reference(self) -> int:
@@ -176,7 +181,7 @@ class RegionProfile:
     @property
     def test_dims(self) -> Tuple[int, ...]:
         """Column indices tested for this region: peaks, then descriptors."""
-        return tuple(range(self.num_peaks)) + self.descriptor_dims
+        return self._test_dims
 
     def reference_dim(self, dim: int) -> np.ndarray:
         """Sorted, NaN-free reference values of peak dimension ``dim``."""
@@ -186,6 +191,34 @@ class RegionProfile:
             cached = np.sort(column[~np.isnan(column)])
             self._sorted_dims[dim] = cached
         return cached
+
+    def reference_dim_runs(self, dim: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Precomputed :func:`sorted_run_ends` of ``reference_dim(dim)``.
+
+        The reference side of every K-S test is fixed per region, so its
+        run-end structure (cumulative counts and distinct values) is
+        computed once and fed to the batched kernel on every window.
+        """
+        cached = self._dim_runs.get(dim)
+        if cached is None:
+            ref = self.reference_dim(dim)
+            if len(ref):
+                cached = sorted_run_ends(ref)
+            else:
+                cached = (np.empty(0, dtype=np.int64), ref)
+            self._dim_runs[dim] = cached
+        return cached
+
+    def precompute_references(self) -> None:
+        """Eagerly sort every tested dimension's reference set.
+
+        The sorted arrays (and their run-end structure) are cached per
+        profile either way (lazily, on first use); the monitor calls this
+        once up front so no sort is ever paid inside its scoring loop.
+        """
+        for dim in self.test_dims:
+            self.reference_dim(dim)
+            self.reference_dim_runs(dim)
 
     def testable(self) -> bool:
         """Whether this region has any usable tested dimension.

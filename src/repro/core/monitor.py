@@ -24,18 +24,70 @@ escalates a ``desync`` report and resumes best-effort monitoring.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.model import EddieModel, RegionProfile
 from repro.core.peaks import peak_matrix
-from repro.core.stats import two_sample_reject
+from repro.core.stats import (
+    ks_critical_value,
+    ks_statistic_batch,
+    two_sample_reject,
+)
 from repro.core.stft import QF_DEAD, QF_GAPPED, QF_UNSCORABLE, stft, window_quality
 from repro.errors import MonitoringError
 from repro.types import Signal
 
 __all__ = ["AnomalyReport", "MonitorResult", "Monitor"]
+
+
+class _SortedDimHistory:
+    """Sorted multiset of one peak dimension's recent observations.
+
+    The monitor's rolling history used to be re-sorted per K-S test (once
+    per dimension per STS). This structure keeps the last ``capacity``
+    pushes' non-NaN observations of one dimension permanently sorted,
+    with each value's push index alongside: one searchsorted insert plus
+    an in-place tail shift per push, and "the last n observations,
+    sorted" is a boolean mask over the already-sorted values -- no sort
+    on any query. Expired values are never evicted individually (the age
+    mask already excludes them); the buffer is over-allocated 2x and
+    compacted with one vectorized mask when full, so expiry costs
+    amortized O(1) numpy calls per push.
+    """
+
+    __slots__ = ("_values", "_ages", "_size", "_window")
+
+    def __init__(self, capacity: int) -> None:
+        # Preallocated: inserts shift a contiguous tail in place (C-speed
+        # slice moves) instead of reallocating per push.
+        self._window = capacity
+        self._values = np.empty(2 * capacity, dtype=float)
+        self._ages = np.empty(2 * capacity, dtype=np.int64)
+        self._size = 0
+
+    def insert(self, value: float, age: int) -> None:
+        size = self._size
+        values, ages = self._values, self._ages
+        if size == len(values):
+            # Compact: keep only values still inside the rolling window
+            # (at most window-1 of them, so this always frees space).
+            live = ages[:size] > age - self._window
+            size = int(live.sum())
+            values[:size] = values[: len(live)][live]
+            ages[:size] = ages[: len(live)][live]
+        pos = values[:size].searchsorted(value)
+        values[pos + 1 : size + 1] = values[pos:size]
+        ages[pos + 1 : size + 1] = ages[pos:size]
+        values[pos] = value
+        ages[pos] = age
+        self._size = size + 1
+
+    def query(self, min_age: int) -> np.ndarray:
+        """Values pushed at or after ``min_age``, in sorted order."""
+        values = self._values[: self._size]
+        return values[self._ages[: self._size] >= min_age]
 
 
 @dataclass(frozen=True)
@@ -116,9 +168,19 @@ class MonitorResult:
 
 
 class Monitor:
-    """A stateful Algorithm-1 monitor for one trained model."""
+    """A stateful Algorithm-1 monitor for one trained model.
 
-    def __init__(self, model: EddieModel) -> None:
+    ``batched`` (the default) enables the vectorized hot path: per-dim
+    sorted reference arrays are precomputed once per region profile, the
+    rolling history is maintained as incrementally sorted per-dimension
+    buffers, and all tested dimensions of a window are scored through one
+    :func:`ks_statistic_batch` call. The statistic is computed in exact
+    integer arithmetic on both paths, so batched and unbatched monitors
+    produce bit-identical results (asserted by the equivalence tests);
+    the unbatched path is retained as the reference implementation.
+    """
+
+    def __init__(self, model: EddieModel, batched: bool = True) -> None:
         self.model = model
         self._cfg = model.config
         history_len = max(model.max_group_size, 2)
@@ -126,7 +188,23 @@ class Monitor:
             2 if self._cfg.diffuse_features else 0
         )
         self._history = np.full((history_len, self._width), np.nan)
+        self._hist_pos = 0
         self._filled = 0
+        self._batched = bool(batched)
+        self._push_count = 0
+        # Sorted buffers are only maintained for dimensions some profile
+        # can test (plus dim 0, probed by the peak-less-region logic); the
+        # remaining peak columns are never queried through _recent.
+        tracked: set = {0}
+        for profile in model.profiles.values():
+            profile.precompute_references()
+            tracked.update(profile.test_dims)
+        self._tracked_dims: Tuple[int, ...] = tuple(
+            d for d in sorted(tracked) if d < self._width
+        )
+        self._buffers: Dict[int, _SortedDimHistory] = {
+            d: _SortedDimHistory(history_len) for d in self._tracked_dims
+        }
         self.current_region: str = model.initial_regions[0]
         self._anomaly_count = 0
         self._change_counts: Dict[str, int] = {}
@@ -139,8 +217,25 @@ class Monitor:
     # -- driving ------------------------------------------------------------
 
     def run_signal(self, signal: Signal) -> MonitorResult:
-        """Monitor a raw captured signal end to end."""
+        """Monitor a raw captured signal end to end.
+
+        The signal's STS peak stream (peaks, times, quality flags) is a
+        pure function of the samples and the front-end config, so with an
+        artifact cache configured (:mod:`repro.cache`) it is memoized and
+        repeated monitoring passes -- group-size sweeps, re-runs of a
+        warm experiment -- skip the STFT and peak extraction entirely.
+        """
+        from repro.cache import get_cache, sts_fingerprint
+
         cfg = self._cfg
+        cache = get_cache()
+        key = None
+        if cache is not None:
+            key = sts_fingerprint(signal, cfg)
+            cached = cache.get_sts(key)
+            if cached is not None:
+                peaks, times, quality = cached
+                return self.run_peaks(peaks, times, quality=quality)
         spectra = stft(signal, cfg.window_samples, cfg.overlap)
         peaks = peak_matrix(spectra, cfg.energy_fraction, cfg.max_peaks,
                             cfg.peak_prominence, cfg.diffuse_features)
@@ -153,6 +248,8 @@ class Monitor:
                 dead_fraction=cfg.dead_fraction,
                 energy_outlier_mads=cfg.energy_outlier_mads,
             )
+        if key is not None:
+            cache.put_sts(key, peaks, spectra.times, quality)
         return self.run_peaks(peaks, spectra.times, quality=quality)
 
     def run_peaks(
@@ -281,8 +378,13 @@ class Monitor:
         any_reject = False
         rejecting_dims = 0
         explained_dims: Dict[str, int] = {}
+        mons = {
+            dim: self._recent(profile.group_size, dim)
+            for dim in profile.test_dims
+        }
+        rejected_dims = self._score_dims(profile, mons)
         for dim in profile.test_dims:
-            mon = self._recent(profile.group_size, dim)
+            mon = mons[dim]
             if mon is None:
                 if dim == 0 and profile.num_peaks > 0 and self._filled >= profile.group_size:
                     # The history is full but the expected peaks are simply
@@ -304,7 +406,7 @@ class Monitor:
                     else:
                         self._anomaly_count += 1
                 continue
-            if not self._rejects(profile, dim, mon):
+            if not rejected_dims[dim]:
                 continue
             any_reject = True
             rejecting_dims += 1
@@ -400,10 +502,11 @@ class Monitor:
             if not prof.testable():
                 continue
             n = min(prof.group_size, self._filled)
+            tail = self._history_tail(n)
             tested = 0
             accepted = 0
             for dim in prof.test_dims:
-                values = self._history[-n:, dim]
+                values = tail[:, dim]
                 values = values[~np.isnan(values)]
                 if len(values) < self._cfg.min_mon_values:
                     continue
@@ -419,7 +522,7 @@ class Monitor:
                 return True
         # A consistently peak-less post-gap stream is explained by a
         # peak-less region, if the model has one (the paper's GSM loop).
-        recent = self._history[-self._filled:, : self._width]
+        recent = self._history_tail(self._filled)[:, : self._width]
         if np.all(np.isnan(recent)):
             for name in order:
                 if not self.model.profile(name).testable():
@@ -439,25 +542,107 @@ class Monitor:
         row = np.full(self._width, np.nan)
         usable = min(len(peak_row), self._width)
         row[:usable] = peak_row[:usable]
-        self._history = np.roll(self._history, -1, axis=0)
-        self._history[-1] = row
+        if self._batched:
+            for dim in self._tracked_dims:
+                value = row[dim]
+                if value == value:  # not NaN
+                    self._buffers[dim].insert(value, self._push_count)
+        # Circular write: np.roll here used to copy the whole history
+        # matrix on every push.
+        self._history[self._hist_pos] = row
+        self._hist_pos = (self._hist_pos + 1) % self._history.shape[0]
         self._filled = min(self._filled + 1, self._history.shape[0])
+        self._push_count += 1
+
+    def _history_tail(self, n: int) -> np.ndarray:
+        """The last ``n`` pushed rows in chronological order.
+
+        Callers must keep ``n <= self._filled`` (they all gate on it).
+        Only the slow paths (the unbatched reference monitor, candidate
+        probing fallbacks, post-gap reacquisition) materialize this view;
+        the batched hot path reads the sorted per-dim buffers instead.
+        """
+        size = self._history.shape[0]
+        n = min(n, size)
+        idx = (self._hist_pos - n + np.arange(n)) % size
+        return self._history[idx]
 
     def _recent(self, n: int, dim: int) -> Optional[np.ndarray]:
-        """Last up-to-n non-NaN observations of one peak dimension."""
+        """Last up-to-n non-NaN observations of one peak dimension.
+
+        On the batched path the values come back sorted (from the
+        incrementally maintained sorted buffers); on the reference path
+        they are chronological. Both two-sample tests are order-invariant,
+        so downstream decisions are identical.
+        """
         if self._filled < n:
             return None
-        values = self._history[-n:, dim]
-        values = values[~np.isnan(values)]
+        if self._batched and dim in self._buffers:
+            values = self._buffers[dim].query(self._push_count - n)
+        else:
+            values = self._history_tail(n)[:, dim]
+            values = values[~np.isnan(values)]
         if len(values) < self._cfg.min_mon_values:
             return None
         return values
+
+    def _score_dims(
+        self,
+        profile: RegionProfile,
+        mons: Dict[int, Optional[np.ndarray]],
+    ) -> Dict[int, bool]:
+        """Rejection decision for every tested dimension of one window.
+
+        On the batched path all K-S-testable dimensions are scored in one
+        :func:`ks_statistic_batch` call against the profile's precomputed
+        sorted references; otherwise (reference path, or the U-test
+        alternative) each dimension runs through
+        :func:`~repro.core.stats.two_sample_reject` as before.
+        """
+        rejected: Dict[int, bool] = {}
+        batch_dims: List[int] = []
+        batch_refs: List[np.ndarray] = []
+        batch_mons: List[np.ndarray] = []
+        batch_runs: List[Tuple[np.ndarray, np.ndarray]] = []
+        for dim, mon in mons.items():
+            if mon is None:
+                rejected[dim] = False
+                continue
+            ref = profile.reference_dim(dim)
+            if len(ref) == 0:
+                rejected[dim] = False
+                continue
+            if self._batched and self._cfg.statistic == "ks":
+                batch_dims.append(dim)
+                batch_refs.append(ref)
+                batch_mons.append(mon)
+                batch_runs.append(profile.reference_dim_runs(dim))
+            else:
+                rejected[dim] = two_sample_reject(
+                    ref, mon, self._cfg.alpha, self._cfg.statistic
+                )
+        if batch_dims:
+            stats = ks_statistic_batch(batch_refs, batch_mons, batch_runs)
+            for dim, ref, mon, d_stat in zip(
+                batch_dims, batch_refs, batch_mons, stats
+            ):
+                rejected[dim] = bool(
+                    d_stat > ks_critical_value(len(ref), len(mon), self._cfg.alpha)
+                )
+        return rejected
 
     def _rejects(self, profile: RegionProfile, dim: int, mon: np.ndarray) -> bool:
         ref = profile.reference_dim(dim)
         if len(ref) == 0:
             return False
-        return two_sample_reject(ref, mon, self._cfg.alpha, self._cfg.statistic)
+        ref_runs = (
+            profile.reference_dim_runs(dim)
+            if self._cfg.statistic == "ks"
+            else None
+        )
+        return two_sample_reject(
+            ref, mon, self._cfg.alpha, self._cfg.statistic, ref_runs
+        )
 
     def _candidate_accepts(self, cand: RegionProfile, dim: int, probe: int) -> bool:
         """Whether a successor region's reference explains recent STSs.

@@ -17,6 +17,8 @@ from repro.core.stats.ks import (
     ks_2samp,
     ks_critical_value,
     ks_statistic,
+    ks_statistic_batch,
+    sorted_run_ends,
 )
 from repro.core.stats.utest import UTestResult, mann_whitney_u
 from repro.errors import ConfigurationError
@@ -24,6 +26,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "ks_2samp",
     "ks_critical_value",
+    "ks_statistic_batch",
     "kolmogorov_sf",
     "KsResult",
     "mann_whitney_u",
@@ -31,6 +34,7 @@ __all__ = [
     "n_way_anova",
     "AnovaResult",
     "ecdf",
+    "sorted_run_ends",
     "two_sample_reject",
 ]
 
@@ -40,16 +44,19 @@ def two_sample_reject(
     monitored: np.ndarray,
     alpha: float,
     method: str = "ks",
+    ref_runs=None,
 ) -> bool:
     """Whether a two-sample test rejects H0 (same population).
 
     ``method`` selects the paper's two candidates: ``'ks'`` (the
     Kolmogorov-Smirnov test EDDIE settled on) or ``'utest'`` (the
     Wilcoxon-Mann-Whitney test it was compared against). The reference
-    sample must be pre-sorted (the monitor's hot path).
+    sample must be pre-sorted (the monitor's hot path); ``ref_runs`` may
+    carry its precomputed :func:`~repro.core.stats.ks.sorted_run_ends`
+    (only used by the K-S method).
     """
     if method == "ks":
-        d_stat = ks_statistic(reference_sorted, monitored)
+        d_stat = ks_statistic(reference_sorted, monitored, ref_runs)
         return d_stat > ks_critical_value(
             len(reference_sorted), len(monitored), alpha
         )

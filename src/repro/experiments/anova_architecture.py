@@ -25,7 +25,7 @@ import numpy as np
 from repro.arch.config import CoreConfig, architecture_sweep
 from repro.core.stats.anova import AnovaResult, n_way_anova
 from repro.experiments.report import format_table
-from repro.experiments.runner import Scale, build_detector
+from repro.experiments.runner import Scale, build_detector, parallel_map
 from repro.programs.mibench import BENCHMARKS
 
 __all__ = [
@@ -55,30 +55,38 @@ class AnovaStudyResult:
     ooo: Optional[AnovaResult]
 
 
-def run(scale: Scale, configs: Optional[Sequence[CoreConfig]] = None) -> AnovaStudyResult:
+def _observe(task) -> Observation:
+    """One (config, benchmark) cell of the sweep (process-pool worker)."""
+    config, name, scale = task
+    detector = build_detector(
+        BENCHMARKS[name](), scale, source="power", core=config
+    )
+    hop = detector.model.hop_duration
+    group_sizes = [
+        p.group_size
+        for region, p in detector.model.profiles.items()
+        if region.startswith("loop:")
+    ]
+    return Observation(
+        config=config,
+        benchmark=name,
+        latency_ms=float(np.mean(group_sizes)) * hop * 1e3,
+    )
+
+
+def run(
+    scale: Scale,
+    configs: Optional[Sequence[CoreConfig]] = None,
+    jobs=1,
+) -> AnovaStudyResult:
     """Run the study; pass ``configs`` to subsample the 51-point sweep."""
     if configs is None:
         configs = architecture_sweep(clock_hz=scale.clock_hz)
 
-    observations: List[Observation] = []
-    for config in configs:
-        for name in _PROGRAMS:
-            detector = build_detector(
-                BENCHMARKS[name](), scale, source="power", core=config
-            )
-            hop = detector.model.hop_duration
-            group_sizes = [
-                p.group_size
-                for region, p in detector.model.profiles.items()
-                if region.startswith("loop:")
-            ]
-            observations.append(
-                Observation(
-                    config=config,
-                    benchmark=name,
-                    latency_ms=float(np.mean(group_sizes)) * hop * 1e3,
-                )
-            )
+    tasks = [
+        (config, name, scale) for config in configs for name in _PROGRAMS
+    ]
+    observations: List[Observation] = parallel_map(_observe, tasks, jobs)
 
     y = [obs.latency_ms for obs in observations]
     combined = n_way_anova(

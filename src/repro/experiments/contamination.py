@@ -18,7 +18,12 @@ import numpy as np
 
 from repro.core.metrics import aggregate_metrics, rejection_false_negative_rate
 from repro.experiments.report import format_series
-from repro.experiments.runner import Scale, build_detector, capture_traces
+from repro.experiments.runner import (
+    Scale,
+    build_detector,
+    capture_traces,
+    parallel_map,
+)
 from repro.programs.mibench import BENCHMARKS, INJECTION_LOOPS
 from repro.programs.workloads import injection_mix
 
@@ -38,66 +43,73 @@ class ContaminationResult:
     latencies: Dict[str, List[Tuple[float, Optional[float]]]]
 
 
-def run(scale: Scale, source: str = "power") -> ContaminationResult:
-    false_negatives: Dict[str, List[Tuple[float, float]]] = {}
-    latencies: Dict[str, List[Tuple[float, Optional[float]]]] = {}
+def _benchmark_curves(
+    task: Tuple[str, Scale, str]
+) -> Tuple[List[Tuple[float, float]], List[Tuple[float, Optional[float]]]]:
+    """FN and latency curves for one benchmark (process-pool worker)."""
+    name, scale, source = task
     # 8 memory + 8 integer instructions (Section 5.4). The memory accesses
     # stay cache-resident: the stealthy attacker of this experiment spreads
     # tiny amounts of work, so the per-iteration footprint must not add
     # (highly visible) miss stalls -- those are Figure 10's variable.
     payload = injection_mix(8, 8, footprint=16 * 1024)
-
-    for name in _PROGRAMS:
-        detector = build_detector(BENCHMARKS[name](), scale, source=source)
-        simulator = (
-            detector.source.simulator
-            if hasattr(detector.source, "simulator")
-            else detector.source
+    detector = build_detector(BENCHMARKS[name](), scale, source=source)
+    simulator = (
+        detector.source.simulator
+        if hasattr(detector.source, "simulator")
+        else detector.source
+    )
+    target = INJECTION_LOOPS[name]
+    fn_points: List[Tuple[float, float]] = []
+    lat_points: List[Tuple[float, Optional[float]]] = []
+    for rate in _RATES:
+        simulator.set_loop_injection(target, payload, rate)
+        traces = capture_traces(
+            detector,
+            [scale.injected_seed(int(rate * 100) + k)
+             for k in range(scale.injected_runs)],
         )
-        target = INJECTION_LOOPS[name]
-        fn_points: List[Tuple[float, float]] = []
-        lat_points: List[Tuple[float, Optional[float]]] = []
-        for rate in _RATES:
-            simulator.set_loop_injection(target, payload, rate)
-            traces = capture_traces(
-                detector,
-                [scale.injected_seed(int(rate * 100) + k)
-                 for k in range(scale.injected_runs)],
-            )
-            simulator.clear_injections()
+        simulator.clear_injections()
 
-            # Figure 5: test-level FN (injection-containing groups the K-S
-            # test accepted) at a fixed small group size.
-            fixed = detector.with_group_size(_FIXED_N)
-            window_s = (
-                fixed.model.config.window_samples / fixed.model.sample_rate
+        # Figure 5: test-level FN (injection-containing groups the K-S
+        # test accepted) at a fixed small group size.
+        fixed = detector.with_group_size(_FIXED_N)
+        window_s = (
+            fixed.model.config.window_samples / fixed.model.sample_rate
+        )
+        fn_values = []
+        for trace in traces:
+            report = fixed.monitor_trace(trace)
+            fn = rejection_false_negative_rate(
+                report.result, trace.injected_spans, window_s,
+                fixed.model.hop_duration,
             )
-            fn_values = []
-            for trace in traces:
-                report = fixed.monitor_trace(trace)
-                fn = rejection_false_negative_rate(
-                    report.result, trace.injected_spans, window_s,
-                    fixed.model.hop_duration,
-                )
-                if fn is not None:
-                    fn_values.append(fn)
-            fn_points.append(
-                (rate * 100,
-                 float(np.mean(fn_values)) if fn_values else 100.0)
-            )
+            if fn is not None:
+                fn_values.append(fn)
+        fn_points.append(
+            (rate * 100,
+             float(np.mean(fn_values)) if fn_values else 100.0)
+        )
 
-            # Figure 7: latency of the trained (per-region n) detector.
-            trained = aggregate_metrics(
-                [detector.monitor_trace(t).metrics for t in traces]
-            )
-            lat_points.append(
-                (rate * 100,
-                 trained.detection_latency * 1e3
-                 if trained.detection_latency is not None else None)
-            )
-        false_negatives[name] = fn_points
-        latencies[name] = lat_points
+        # Figure 7: latency of the trained (per-region n) detector.
+        trained = aggregate_metrics(
+            [detector.monitor_trace(t).metrics for t in traces]
+        )
+        lat_points.append(
+            (rate * 100,
+             trained.detection_latency * 1e3
+             if trained.detection_latency is not None else None)
+        )
+    return fn_points, lat_points
 
+
+def run(scale: Scale, source: str = "power", jobs=1) -> ContaminationResult:
+    tasks = [(name, scale, source) for name in _PROGRAMS]
+    results = parallel_map(_benchmark_curves, tasks, jobs)
+    false_negatives = {
+        name: fn for name, (fn, _) in zip(_PROGRAMS, results)
+    }
+    latencies = {name: lat for name, (_, lat) in zip(_PROGRAMS, results)}
     return ContaminationResult(false_negatives=false_negatives, latencies=latencies)
 
 

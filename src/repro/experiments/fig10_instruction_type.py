@@ -17,6 +17,7 @@ from repro.experiments.runner import (
     Scale,
     build_detector,
     capture_traces,
+    parallel_map,
     sweep_group_sizes,
 )
 from repro.programs.workloads import injection_mix, multi_peak_loop_program
@@ -36,38 +37,54 @@ class Fig10Result:
     curves: Dict[str, List[Tuple[float, float]]]
 
 
-def run(scale: Scale) -> Fig10Result:
+# Payload factories by label, in figure order; offset seeds each label's
+# monitored runs into its own namespace.
+_PAYLOADS = (
+    ("on-chip (8 adds)", lambda: injection_mix(8, 0)),
+    ("off-chip and on-chip (4 adds + 4 missing stores)",
+     lambda: injection_mix(4, 4, footprint=1 << 22)),
+)
+
+
+def _payload_curve(task) -> List[Tuple[float, float]]:
+    """TPR-vs-latency curve for one payload type (process-pool worker)."""
+    scale, offset = task
+    label, payload_factory = _PAYLOADS[offset]
+    del label
     # A loop with several timing modes: the mode spread hides the small
     # on-chip shift at small n, while the off-chip payload's miss jitter
     # stands out immediately -- reproducing the paper's latency gap.
-    detector = build_detector(multi_peak_loop_program(trips=12000), scale, source="em")
+    detector = build_detector(
+        multi_peak_loop_program(trips=12000), scale, source="em"
+    )
     simulator = detector.source.simulator
     hop = detector.model.hop_duration
-    target = "L"
+    simulator.set_loop_injection("L", payload_factory(), 1.0)
+    traces = capture_traces(
+        detector,
+        [scale.injected_seed(500 * offset + k)
+         for k in range(scale.injected_runs)],
+    )
+    simulator.clear_injections()
+    by_n = sweep_group_sizes(detector, traces, _sweep_sizes(scale))
+    return [
+        (n * hop * 1e3,
+         metrics.true_positive_rate
+         if metrics.true_positive_rate is not None else 0.0)
+        for n, metrics in sorted(by_n.items())
+    ]
 
-    payloads = {
-        "on-chip (8 adds)": injection_mix(8, 0),
-        "off-chip and on-chip (4 adds + 4 missing stores)": injection_mix(
-            4, 4, footprint=1 << 22
-        ),
-    }
-    curves: Dict[str, List[Tuple[float, float]]] = {}
-    for offset, (label, payload) in enumerate(payloads.items()):
-        simulator.set_loop_injection(target, payload, 1.0)
-        traces = capture_traces(
-            detector,
-            [scale.injected_seed(500 * offset + k)
-             for k in range(scale.injected_runs)],
-        )
-        simulator.clear_injections()
-        by_n = sweep_group_sizes(detector, traces, _sweep_sizes(scale))
-        curves[label] = [
-            (n * hop * 1e3,
-             metrics.true_positive_rate
-             if metrics.true_positive_rate is not None else 0.0)
-            for n, metrics in sorted(by_n.items())
-        ]
-    return Fig10Result(curves=curves)
+
+def run(scale: Scale, jobs=1) -> Fig10Result:
+    results = parallel_map(
+        _payload_curve,
+        [(scale, offset) for offset in range(len(_PAYLOADS))],
+        jobs,
+    )
+    return Fig10Result(
+        curves={label: pts
+                for (label, _), pts in zip(_PAYLOADS, results)}
+    )
 
 
 def format(result: Fig10Result) -> str:

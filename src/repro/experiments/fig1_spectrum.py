@@ -47,7 +47,7 @@ class Fig1Result:
         return self.right_sideband_hz - self.carrier_hz
 
 
-def run(scale: Scale) -> Fig1Result:
+def run(scale: Scale, jobs=1) -> Fig1Result:
     core = CoreConfig.iot_inorder(clock_hz=scale.clock_hz)
     program = sharp_loop_program(trips=20000, body_size=150)
     simulator = Simulator(program, core)

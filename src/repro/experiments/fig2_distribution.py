@@ -60,7 +60,7 @@ def _strongest_peaks(scenario: EmScenario, scale: Scale, seeds, region: str) -> 
     return np.concatenate(values)
 
 
-def run(scale: Scale) -> Fig2Result:
+def run(scale: Scale, jobs=1) -> Fig2Result:
     core = CoreConfig.iot_inorder(clock_hz=scale.clock_hz)
     program = multi_peak_loop_program(trips=9000, body_size=150)
     scenario = EmScenario.build(program, core=core)

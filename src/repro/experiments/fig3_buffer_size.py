@@ -58,7 +58,7 @@ def _region_windows(scenario: EmScenario, seeds, region: str, cfg: EddieConfig):
     return np.concatenate(rows, axis=0)
 
 
-def run(scale: Scale) -> Fig3Result:
+def run(scale: Scale, jobs=1) -> Fig3Result:
     cfg = EddieConfig()
     core = CoreConfig.iot_inorder(clock_hz=scale.clock_hz)
     programs = {

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.arch.config import CoreConfig
 from repro.experiments.report import format_table
-from repro.experiments.runner import Scale, build_detector
+from repro.experiments.runner import Scale, build_detector, parallel_map
 from repro.programs.mibench import BENCHMARKS
 
 __all__ = ["Fig4Result", "run", "format"]
@@ -51,22 +51,33 @@ def _core(kind: str, clock_hz: float) -> CoreConfig:
     )
 
 
-def run(scale: Scale) -> Fig4Result:
+def _region_latencies(task: Tuple[str, str, Scale]) -> Dict[str, float]:
+    """Per-loop-region latency for one (benchmark, core kind) pair
+    (process-pool worker)."""
+    name, kind, scale = task
+    detector = build_detector(
+        BENCHMARKS[name](), scale, source="power",
+        core=_core(kind, scale.clock_hz),
+    )
+    hop = detector.model.hop_duration
+    return {
+        region: profile.group_size * hop * 1e3
+        for region, profile in detector.model.profiles.items()
+        if region.startswith("loop:")
+    }
+
+
+def run(scale: Scale, jobs=1) -> Fig4Result:
+    tasks = [
+        (name, kind, scale)
+        for name in _PROGRAMS
+        for kind in ("inorder", "ooo")
+    ]
+    results = parallel_map(_region_latencies, tasks, jobs)
     latencies: Dict[Tuple[str, str], Dict[str, float]] = {}
-    for name in _PROGRAMS:
-        for kind in ("inorder", "ooo"):
-            detector = build_detector(
-                BENCHMARKS[name](), scale, source="power",
-                core=_core(kind, scale.clock_hz),
-            )
-            hop = detector.model.hop_duration
-            for region, profile in detector.model.profiles.items():
-                if not region.startswith("loop:"):
-                    continue
-                key = (name, region)
-                latencies.setdefault(key, {})[kind] = (
-                    profile.group_size * hop * 1e3
-                )
+    for (name, kind, _), by_region in zip(tasks, results):
+        for region, latency in by_region.items():
+            latencies.setdefault((name, region), {})[kind] = latency
     return Fig4Result(latencies=latencies)
 
 

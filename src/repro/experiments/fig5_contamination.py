@@ -10,8 +10,8 @@ from repro.experiments.runner import Scale
 __all__ = ["run", "format"]
 
 
-def run(scale: Scale) -> ContaminationResult:
-    return _run(scale)
+def run(scale: Scale, jobs=1) -> ContaminationResult:
+    return _run(scale, jobs=jobs)
 
 
 def format(result: ContaminationResult) -> str:

@@ -21,6 +21,7 @@ from repro.experiments.runner import (
     Scale,
     build_detector,
     capture_traces,
+    parallel_map,
     sweep_group_sizes,
 )
 from repro.programs.workloads import (
@@ -48,35 +49,49 @@ class Fig6Result:
     curves: Dict[str, Dict[int, List[Tuple[float, float]]]]
 
 
-def run(scale: Scale) -> Fig6Result:
-    programs = {
-        "sharp peak": sharp_loop_program(trips=12000),
-        "several peaks": multi_peak_loop_program(trips=12000),
-        "diffuse peaks": diffuse_loop_program(trips=9000),
-    }
-    curves: Dict[str, Dict[int, List[Tuple[float, float]]]] = {}
-    for kind, program in programs.items():
-        detector = build_detector(program, scale, source="em")
-        simulator = detector.source.simulator
-        hop = detector.model.hop_duration
-        curves[kind] = {}
-        for size in _SIZES:
-            payload = injection_mix(size // 2, size - size // 2)
-            simulator.set_loop_injection("L", payload, 1.0)
-            traces = capture_traces(
-                detector,
-                [scale.injected_seed(size * 100 + k)
-                 for k in range(scale.injected_runs)],
-            )
-            simulator.clear_injections()
-            by_n = sweep_group_sizes(detector, traces, _sweep_sizes(scale))
-            curves[kind][size] = [
-                (n * hop * 1e3,
-                 metrics.true_positive_rate
-                 if metrics.true_positive_rate is not None else 0.0)
-                for n, metrics in sorted(by_n.items())
-            ]
-    return Fig6Result(curves=curves)
+# Program factories by loop kind; workers rebuild the program inside the
+# pool (IRs carry lambdas and cannot be pickled).
+_PROGRAMS = {
+    "sharp peak": lambda: sharp_loop_program(trips=12000),
+    "several peaks": lambda: multi_peak_loop_program(trips=12000),
+    "diffuse peaks": lambda: diffuse_loop_program(trips=9000),
+}
+
+
+def _kind_curves(
+    task: Tuple[str, Scale]
+) -> Dict[int, List[Tuple[float, float]]]:
+    """TPR-vs-latency curves for one loop shape (process-pool worker)."""
+    kind, scale = task
+    detector = build_detector(_PROGRAMS[kind](), scale, source="em")
+    simulator = detector.source.simulator
+    hop = detector.model.hop_duration
+    curves: Dict[int, List[Tuple[float, float]]] = {}
+    for size in _SIZES:
+        payload = injection_mix(size // 2, size - size // 2)
+        simulator.set_loop_injection("L", payload, 1.0)
+        traces = capture_traces(
+            detector,
+            [scale.injected_seed(size * 100 + k)
+             for k in range(scale.injected_runs)],
+        )
+        simulator.clear_injections()
+        by_n = sweep_group_sizes(detector, traces, _sweep_sizes(scale))
+        curves[size] = [
+            (n * hop * 1e3,
+             metrics.true_positive_rate
+             if metrics.true_positive_rate is not None else 0.0)
+            for n, metrics in sorted(by_n.items())
+        ]
+    return curves
+
+
+def run(scale: Scale, jobs=1) -> Fig6Result:
+    kinds = list(_PROGRAMS)
+    results = parallel_map(
+        _kind_curves, [(kind, scale) for kind in kinds], jobs
+    )
+    return Fig6Result(curves=dict(zip(kinds, results)))
 
 
 def format(result: Fig6Result) -> str:

@@ -16,6 +16,7 @@ from repro.experiments.runner import (
     Scale,
     build_detector,
     capture_traces,
+    parallel_map,
     sweep_group_sizes,
 )
 from repro.programs.mibench import BENCHMARKS
@@ -40,36 +41,45 @@ class Fig8Result:
     curves: Dict[int, List[Tuple[float, float]]]
 
 
-def run(scale: Scale) -> Fig8Result:
+def _size_curve(task) -> List[Tuple[float, float]]:
+    """TPR-vs-latency curve for one burst size (process-pool worker).
+
+    Each worker rebuilds its detector from the benchmark name; with an
+    artifact cache configured all workers share the one trained model
+    (first writer wins, the rest hit).
+    """
+    scale, size = task
     detector = build_detector(BENCHMARKS["bitcount"](), scale, source="em")
     simulator = detector.source.simulator
     hop = detector.model.hop_duration
     body = tuple(int_kernel(50, "burst"))  # the "empty loop" body
+    simulator.add_burst(
+        BurstSpec(
+            after_region="loop:count2",
+            body=body,
+            iterations=max(1, size // len(body)),
+        )
+    )
+    traces = capture_traces(
+        detector,
+        [scale.injected_seed(size // 1000 + k)
+         for k in range(scale.injected_runs)],
+    )
+    simulator.clear_injections()
+    by_n = sweep_group_sizes(detector, traces, _sweep_sizes(scale))
+    return [
+        (n * hop * 1e3,
+         metrics.true_positive_rate
+         if metrics.true_positive_rate is not None else 0.0)
+        for n, metrics in sorted(by_n.items())
+    ]
 
-    curves: Dict[int, List[Tuple[float, float]]] = {}
-    for size in _SIZES:
-        simulator.clear_injections()
-        simulator.add_burst(
-            BurstSpec(
-                after_region="loop:count2",
-                body=body,
-                iterations=max(1, size // len(body)),
-            )
-        )
-        traces = capture_traces(
-            detector,
-            [scale.injected_seed(size // 1000 + k)
-             for k in range(scale.injected_runs)],
-        )
-        simulator.clear_injections()
-        by_n = sweep_group_sizes(detector, traces, _sweep_sizes(scale))
-        curves[size] = [
-            (n * hop * 1e3,
-             metrics.true_positive_rate
-             if metrics.true_positive_rate is not None else 0.0)
-            for n, metrics in sorted(by_n.items())
-        ]
-    return Fig8Result(curves=curves)
+
+def run(scale: Scale, jobs=1) -> Fig8Result:
+    results = parallel_map(
+        _size_curve, [(scale, size) for size in _SIZES], jobs
+    )
+    return Fig8Result(curves=dict(zip(_SIZES, results)))
 
 
 def format(result: Fig8Result) -> str:

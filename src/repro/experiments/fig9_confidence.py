@@ -36,7 +36,7 @@ class Fig9Result:
     curves: Dict[float, List[Tuple[float, float]]]
 
 
-def run(scale: Scale) -> Fig9Result:
+def run(scale: Scale, jobs=1) -> Fig9Result:
     core = CoreConfig.iot_inorder(clock_hz=scale.clock_hz)
     scenario = EmScenario.build(
         multi_peak_loop_program(trips=12000), core=core

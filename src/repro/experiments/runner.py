@@ -10,16 +10,33 @@ runs, literal clocks) for completeness.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from repro.arch.config import CoreConfig
+from repro.arch.simulator import Simulator
+from repro.cache import configure as configure_cache
+from repro.cache import describe, digest, fingerprint, get_cache
 from repro.core.detector import Eddie, TrainedDetector, TraceLike
 from repro.core.metrics import RunMetrics, aggregate_metrics
 from repro.core.model import EddieConfig
+from repro.em.scenario import EmScenario
+from repro.errors import ConfigurationError
 from repro.programs.ir import Program
 
-__all__ = ["Scale", "build_detector", "monitor_traces", "sweep_group_sizes"]
+__all__ = [
+    "Scale",
+    "build_detector",
+    "capture_traces",
+    "monitor_traces",
+    "parallel_map",
+    "resolve_jobs",
+    "sweep_group_sizes",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 
 @dataclass(frozen=True)
@@ -74,6 +91,68 @@ class Scale:
         return self.seed + 20_000 + offset
 
 
+def resolve_jobs(jobs: Union[int, str, None]) -> int:
+    """Worker-process count from a ``--jobs`` value.
+
+    ``None``/``0``/``1`` mean serial; ``'auto'`` means one worker per
+    CPU; any other value is taken literally (floored at 1).
+    """
+    if jobs in (None, 0, 1):
+        return 1
+    if jobs == "auto":
+        return os.cpu_count() or 1
+    try:
+        return max(1, int(jobs))
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"invalid jobs value {jobs!r}") from None
+
+
+def _init_worker(cache_dir: Optional[str], max_bytes: Optional[int]) -> None:
+    """Executor initializer: workers inherit the parent's cache setup.
+
+    Stats accounted in workers are per-process and die with them; the
+    shared on-disk entries are what persists (writes are atomic, so
+    concurrent workers cooperate safely).
+    """
+    configure_cache(cache_dir, max_bytes)
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    jobs: Union[int, str, None] = 1,
+) -> List[_R]:
+    """``[fn(x) for x in items]``, optionally over a process pool.
+
+    Results come back in input order (``executor.map`` preserves it), so
+    a parallel run is output-identical to a serial one whenever ``fn``
+    is deterministic in its argument -- which every experiment task is:
+    all randomness flows from explicit per-task seeds derived by
+    :class:`Scale`'s disjoint seed namespaces.
+    """
+    n_workers = min(resolve_jobs(jobs), len(items))
+    if n_workers <= 1:
+        return [fn(item) for item in items]
+    from concurrent.futures import ProcessPoolExecutor
+
+    cache = get_cache()
+    initargs = (
+        (str(cache.dir), cache.max_bytes) if cache is not None else (None, None)
+    )
+    with ProcessPoolExecutor(
+        max_workers=n_workers, initializer=_init_worker, initargs=initargs
+    ) as executor:
+        return list(executor.map(fn, items))
+
+
+def _fresh_source(
+    program: Program, core: CoreConfig, source: str
+) -> Union[EmScenario, Simulator]:
+    if source == "em":
+        return EmScenario.build(program, core=core)
+    return Simulator(program, core)
+
+
 def build_detector(
     program: Program,
     scale: Scale,
@@ -81,27 +160,71 @@ def build_detector(
     core: Optional[CoreConfig] = None,
     config: Optional[EddieConfig] = None,
 ) -> TrainedDetector:
-    """Train a detector for one program at the given scale."""
+    """Train a detector for one program at the given scale.
+
+    When an artifact cache is configured (:mod:`repro.cache`), the
+    trained model is memoized under a fingerprint of everything training
+    depends on -- program IR, core config, pipeline config, run count,
+    seed, and source kind -- and a hit skips training entirely (the
+    detector is rebound to a fresh injection-free source).
+    """
     if core is None:
         if source == "em":
             core = CoreConfig.iot_inorder(clock_hz=scale.clock_hz)
         else:
             core = CoreConfig.sim_ooo(clock_hz=scale.clock_hz)
     eddie = Eddie(config)
-    return eddie.train(
+    cache = get_cache()
+    if cache is None:
+        return eddie.train(
+            program, core=core, runs=scale.train_runs,
+            seed=scale.train_seed(), source=source,
+        )
+    key = fingerprint(
+        "model", program, core, eddie.config, scale.train_runs,
+        scale.train_seed(), source,
+    )
+    model = cache.get_model(key)
+    if model is not None:
+        return TrainedDetector(model, source=_fresh_source(program, core, source))
+    detector = eddie.train(
         program, core=core, runs=scale.train_runs,
         seed=scale.train_seed(), source=source,
     )
+    cache.put_model(key, detector.model)
+    return detector
 
 
 def capture_traces(
     detector: TrainedDetector, seeds: Sequence[int]
 ) -> List[TraceLike]:
     """Capture one trace per seed from the detector's bound source
-    (with whatever injections are currently configured)."""
+    (with whatever injections are currently configured).
+
+    With an artifact cache configured, each trace is memoized under a
+    fingerprint of the full source state -- program, core, configured
+    injections/bursts, EM channel and receiver parameters -- plus the
+    seed, so changing any of them (or clearing injections) changes the
+    key. Cached traces round-trip losslessly (exact arrays), so
+    downstream monitoring is bit-identical to a fresh capture.
+    """
     from repro.core.detector import _capture  # shared private helper
 
-    return [_capture(detector.source, seed=s, inputs=None) for s in seeds]
+    cache = get_cache()
+    if cache is None:
+        return [_capture(detector.source, seed=s, inputs=None) for s in seeds]
+    # Describing the source (program IR, core, injection state) dominates
+    # the per-key cost and is identical for every seed: hoist it.
+    source_desc = describe(detector.source)
+    traces: List[TraceLike] = []
+    for s in seeds:
+        key = digest(["seq", ["trace", source_desc, describe(s)]])
+        trace = cache.get_trace(key)
+        if trace is None:
+            trace = _capture(detector.source, seed=s, inputs=None)
+            cache.put_trace(key, trace)
+        traces.append(trace)
+    return traces
 
 
 def monitor_traces(

@@ -19,11 +19,12 @@ from repro.experiments.tables_common import TableResult, format_result, run_tabl
 __all__ = ["run", "format"]
 
 
-def run(scale: Scale) -> TableResult:
+def run(scale: Scale, jobs=1) -> TableResult:
     return run_table(
         scale,
         source="power",
         core_factory=lambda: CoreConfig.sim_ooo(clock_hz=scale.clock_hz),
+        jobs=jobs,
     )
 
 

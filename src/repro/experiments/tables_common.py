@@ -16,7 +16,7 @@ Per benchmark, per the paper's Section 5.2 protocol:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -26,7 +26,12 @@ from repro.core.detector import TrainedDetector
 from repro.core.metrics import aggregate_metrics
 from repro.em.scenario import EmScenario
 from repro.experiments.report import format_table
-from repro.experiments.runner import Scale, build_detector, capture_traces
+from repro.experiments.runner import (
+    Scale,
+    build_detector,
+    capture_traces,
+    parallel_map,
+)
 from repro.programs.ir import Instr, OpClass
 from repro.programs.mibench import BENCHMARKS, INJECTION_LOOPS
 from repro.programs.workloads import injection_mix
@@ -149,18 +154,36 @@ def evaluate_benchmark(
     )
 
 
+def _evaluate_task(
+    task: Tuple[str, Scale, str, Optional[CoreConfig]]
+) -> BenchmarkRow:
+    """Top-level worker so the process pool can pickle it. The program is
+    rebuilt inside the worker from the benchmark name (program IRs carry
+    lambdas and cannot cross process boundaries)."""
+    name, scale, source, core = task
+    return evaluate_benchmark(name, scale, source, core)
+
+
 def run_table(
     scale: Scale,
     source: str,
     core_factory: Optional[Callable[[], CoreConfig]] = None,
     benchmarks: Optional[List[str]] = None,
+    jobs: Union[int, str, None] = 1,
 ) -> TableResult:
-    """Evaluate all (or selected) benchmarks for one table."""
+    """Evaluate all (or selected) benchmarks for one table.
+
+    ``jobs`` fans the per-benchmark evaluations over a process pool
+    (``'auto'`` = one worker per CPU). Every benchmark's seeds derive
+    from :class:`Scale`'s disjoint namespaces and results return in
+    input order, so parallel output is identical to serial.
+    """
     names = benchmarks or list(BENCHMARKS)
-    rows = []
-    for name in names:
-        core = core_factory() if core_factory else None
-        rows.append(evaluate_benchmark(name, scale, source, core))
+    tasks = [
+        (name, scale, source, core_factory() if core_factory else None)
+        for name in names
+    ]
+    rows = parallel_map(_evaluate_task, tasks, jobs)
     return TableResult(rows=rows, source=source)
 
 

@@ -1,0 +1,84 @@
+"""Tests for the parallel experiment harness (runner.parallel_map).
+
+The determinism contract: fanning an experiment's independent runs over a
+process pool -- with or without a shared artifact cache -- produces output
+identical to the serial loop, because every task is a pure function of
+its (benchmark, scale, config) argument and all randomness flows from
+Scale's explicit seed namespaces.
+"""
+
+import pytest
+
+from repro import cache as cache_mod
+from repro.errors import ConfigurationError
+from repro.experiments.runner import Scale, parallel_map, resolve_jobs
+from repro.experiments.tables_common import run_table
+
+TINY = Scale(train_runs=2, clean_runs=1, injected_runs=1, group_sizes=(8, 16))
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_cache():
+    cache_mod.configure(None)
+    yield
+    cache_mod.configure(None)
+
+
+def _square(x):  # top-level so the pool can pickle it
+    return x * x
+
+
+class TestResolveJobs:
+    def test_serial_values(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_auto(self):
+        assert resolve_jobs("auto") >= 1
+
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs("4") == 4
+        assert resolve_jobs(-2) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs("many")
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_pool_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=2) == [
+            _square(x) for x in items
+        ]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+
+class TestParallelEqualsSerial:
+    BENCHES = ["bitcount", "basicmath"]
+
+    def test_run_table(self):
+        serial = run_table(TINY, "power", benchmarks=self.BENCHES, jobs=1)
+        parallel = run_table(TINY, "power", benchmarks=self.BENCHES, jobs=2)
+        assert parallel.rows == serial.rows
+
+    def test_run_table_with_shared_cache(self, tmp_path):
+        serial = run_table(TINY, "power", benchmarks=self.BENCHES, jobs=1)
+        cache_mod.configure(tmp_path)
+        cold = run_table(TINY, "power", benchmarks=self.BENCHES, jobs=2)
+        warm = run_table(TINY, "power", benchmarks=self.BENCHES, jobs=2)
+        assert cold.rows == serial.rows
+        assert warm.rows == serial.rows
+        # The pool workers populated the shared directory: the follow-up
+        # serial run hits in-process.
+        stats_before = cache_mod.get_cache().stats.hits
+        again = run_table(TINY, "power", benchmarks=self.BENCHES, jobs=1)
+        assert again.rows == serial.rows
+        assert cache_mod.get_cache().stats.hits > stats_before
