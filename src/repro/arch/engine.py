@@ -29,6 +29,7 @@ from repro.arch.pipeline import PathSchedule, schedule_path
 from repro.arch.power import PowerModel
 from repro.cfg.loops import Loop, LoopForest
 from repro.errors import SimulationError
+from repro.obs import OBS, record_count
 from repro.programs.ir import (
     Branch,
     Halt,
@@ -180,6 +181,8 @@ class CompositionEngine:
         builder: TraceBuilder,
     ) -> LoopExecution:
         """Render one full execution of a top-level loop nest."""
+        if OBS.enabled:
+            record_count("arch.engine", "nest_compositions")
         return self._run_loop(loop, inputs, rng, builder)
 
     def run_straightline(

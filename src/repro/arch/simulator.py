@@ -23,6 +23,7 @@ from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.loops import LoopForest, find_loops
 from repro.cfg.regions import ENTRY, EXIT, RegionMachine, build_region_machine
 from repro.errors import SimulationError
+from repro.obs import OBS, record_count, span
 from repro.programs.ir import Branch, Halt, Instr, Jump, LoopBack, OpClass, Program
 from repro.types import RegionInterval, RegionTimeline, Signal
 
@@ -147,6 +148,26 @@ class Simulator:
         rng: Optional[np.random.Generator] = None,
     ) -> SimulationResult:
         """Execute the program once and return its trace and ground truth."""
+        with span("sim.run"):
+            result = self._run(seed, inputs, rng)
+        if OBS.enabled:
+            record_count("arch.simulator", "runs")
+            record_count("arch.simulator", "cycles", result.cycles)
+            record_count("arch.simulator", "instructions", result.instr_count)
+            if result.injected_instr_count:
+                record_count(
+                    "arch.simulator",
+                    "injected_instructions",
+                    result.injected_instr_count,
+                )
+        return result
+
+    def _run(
+        self,
+        seed: Optional[int],
+        inputs: Optional[Mapping[str, float]],
+        rng: Optional[np.random.Generator],
+    ) -> SimulationResult:
         if rng is None:
             rng = np.random.default_rng(seed)
         resolved = dict(inputs) if inputs is not None else self.program.sample_input(rng)

@@ -45,6 +45,7 @@ from typing import Any, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs import OBS, record_count
 from repro.serialize import load_model, load_trace, save_model, save_trace
 from repro.types import RegionInterval, RegionTimeline, Signal
 
@@ -300,12 +301,26 @@ def _load_sim_result(path: Path) -> Any:
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one cache instance (this process only)."""
+    """Hit/miss accounting for one cache instance (this process only).
+
+    Under the parallel experiment runner each pool worker tallies its own
+    instance, so these numbers are per-process and silently partial. The
+    cross-process totals live in the observability metric snapshot
+    (``repro.cache/hits`` etc. in :func:`repro.obs.snapshot`): every
+    stats mutation mirrors into an obs counter, and the runner merges the
+    workers' snapshots back into the parent (DESIGN.md D16).
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+
+    def record(self, event: str, n: int = 1) -> None:
+        """Count one event locally and in the process-merged metrics."""
+        setattr(self, event, getattr(self, event) + n)
+        if OBS.enabled:
+            record_count("repro.cache", event, n)
 
     @property
     def hit_rate(self) -> float:
@@ -334,7 +349,7 @@ class ArtifactCache:
     def _get(self, kind: str, key: str, loader) -> Optional[Any]:
         path = self._path(kind, key)
         if not path.exists():
-            self.stats.misses += 1
+            self.stats.record("misses")
             return None
         try:
             artifact = loader(path)
@@ -345,13 +360,13 @@ class ArtifactCache:
                 path.unlink()
             except OSError:
                 pass
-            self.stats.misses += 1
+            self.stats.record("misses")
             return None
         try:
             os.utime(path)  # LRU touch
         except OSError:
             pass
-        self.stats.hits += 1
+        self.stats.record("hits")
         return artifact
 
     def _put(self, kind: str, key: str, saver) -> None:
@@ -368,7 +383,7 @@ class ArtifactCache:
         finally:
             if tmp.exists():
                 tmp.unlink()
-        self.stats.puts += 1
+        self.stats.record("puts")
         self._evict_to_fit()
 
     def _entries(self) -> List[Path]:
@@ -399,7 +414,7 @@ class ArtifactCache:
             except OSError:
                 continue
             total -= sizes[path][1]
-            self.stats.evictions += 1
+            self.stats.record("evictions")
 
     def clear(self) -> None:
         for path in self._entries():

@@ -5,6 +5,7 @@ Subcommands:
 - ``train``      train a detector on a built-in benchmark, save the model
 - ``monitor``    run clean/injected monitoring runs against a saved model
 - ``experiment`` regenerate one of the paper's tables/figures
+- ``obs``        work with run manifests (``obs diff A B``)
 - ``list``       list benchmarks and experiments
 
 Examples::
@@ -12,6 +13,8 @@ Examples::
     eddie train bitcount -o bitcount.npz --runs 8
     eddie monitor bitcount bitcount.npz --inject-loop --seed 7
     eddie experiment table1 --scale quick
+    eddie experiment table2 --trace --manifest-dir runs/
+    eddie obs diff runs/table2_quick.json other/table2_quick.json
     eddie list
 """
 
@@ -108,6 +111,31 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--no-cache", action="store_true",
                             help="disable the artifact cache even if "
                                  "$REPRO_CACHE_DIR is set")
+    experiment.add_argument("--trace", action="store_true",
+                            help="enable observability and print the span "
+                                 "tree and metric summary after the run")
+    experiment.add_argument("--manifest-dir", default=None, metavar="DIR",
+                            help="enable observability and write a JSON run "
+                                 "manifest (config fingerprint, seeds, git "
+                                 "SHA, timings, metrics) into DIR")
+
+    obs_cmd = sub.add_parser(
+        "obs", help="work with observability artifacts (run manifests)"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_diff = obs_sub.add_parser(
+        "diff", help="structurally diff two run manifests"
+    )
+    obs_diff.add_argument("manifest_a", help="first manifest JSON file")
+    obs_diff.add_argument("manifest_b", help="second manifest JSON file")
+    obs_diff.add_argument("--all", action="store_true",
+                          help="also compare the timings and environment "
+                               "sections (ignored by default: they "
+                               "legitimately differ between reruns)")
+    obs_diff.add_argument("--rtol", type=float, default=1e-9,
+                          help="relative tolerance for numeric comparisons "
+                               "(absorbs float summation-order jitter "
+                               "between serial and parallel runs)")
 
     capture = sub.add_parser(
         "capture", help="capture EM traces of a benchmark to .npz files"
@@ -268,6 +296,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
     from repro import cache as artifact_cache
+    from repro import obs
     from repro.experiments.runner import resolve_jobs
 
     if args.no_cache:
@@ -276,6 +305,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         artifact_cache.disable()
     elif args.cache_dir is not None:
         artifact_cache.configure(args.cache_dir, max_bytes=args.cache_max_bytes)
+
+    observe = args.trace or args.manifest_dir is not None
+    if observe:
+        obs.enable()
+        obs.reset()
 
     jobs = args.jobs if args.jobs == "auto" else resolve_jobs(args.jobs)
     module = importlib.import_module(_EXPERIMENTS[args.name])
@@ -291,7 +325,41 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             f"hit-rate={stats.hit_rate:.0%}",
             file=sys.stderr,
         )
+    if observe:
+        if args.trace:
+            print("\n[trace]", file=sys.stderr)
+            print(obs.format_span_tree(), file=sys.stderr)
+        if args.manifest_dir is not None:
+            cache_info = None
+            if cache is not None:
+                cache_info = {"max_bytes": cache.max_bytes}
+            manifest = obs.build_manifest(
+                args.name,
+                scale=scale,
+                result=result,
+                jobs=jobs,
+                scale_name=args.scale,
+                cache_info=cache_info,
+            )
+            path = obs.manifest_path(args.manifest_dir, args.name, args.scale)
+            obs.write_manifest(manifest, path)
+            print(f"[manifest] {path}", file=sys.stderr)
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    a = obs.load_manifest(args.manifest_a)
+    b = obs.load_manifest(args.manifest_b)
+    ignore = () if args.all else obs.DEFAULT_DIFF_IGNORE
+    diffs = obs.diff_manifests(a, b, ignore=ignore, rtol=args.rtol)
+    if not diffs:
+        note = "" if args.all else " (timings/environment ignored)"
+        print(f"manifests agree{note}")
+        return 0
+    print(obs.format_diff(diffs))
+    return 1
 
 
 def _cmd_capture(args: argparse.Namespace) -> int:
@@ -400,6 +468,7 @@ def main(argv: Optional[list] = None) -> int:
         "train": _cmd_train,
         "monitor": _cmd_monitor,
         "experiment": _cmd_experiment,
+        "obs": _cmd_obs,
         "capture": _cmd_capture,
         "monitor-trace": _cmd_monitor_trace,
         "inspect": _cmd_inspect,

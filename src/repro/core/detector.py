@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.arch.config import CoreConfig
 from repro.arch.simulator import SimulationResult, Simulator
 from repro.core.metrics import RunMetrics, evaluate_run
@@ -32,8 +34,13 @@ from repro.core.monitor import Monitor, MonitorResult
 from repro.core.training import Trainer
 from repro.em.scenario import EmScenario, EmTrace
 from repro.errors import ConfigurationError, MonitoringError
+from repro.obs import OBS, histogram, record_count, span
 from repro.programs.ir import Program
 from repro.types import RegionTimeline, Signal
+
+# Coarse decade bins: trace mean power spans orders of magnitude between
+# the simulator's power traces and the receiver's IQ envelopes.
+_TRACE_POWER_EDGES = tuple(float(10.0 ** e) for e in range(-12, 9, 2))
 
 __all__ = ["Eddie", "TrainedDetector", "MonitorReport"]
 
@@ -86,7 +93,13 @@ class TrainedDetector:
 
     def monitor_trace(self, trace: TraceLike) -> MonitorReport:
         """Monitor a captured trace and score it against its ground truth."""
-        result = self.monitor_signal(_signal_of(trace))
+        signal = _signal_of(trace)
+        if OBS.enabled:
+            histogram(
+                "core.detector", "trace_mean_power", _TRACE_POWER_EDGES
+            ).record(float(np.mean(np.abs(signal.samples) ** 2)))
+        with span("monitor.trace"):
+            result = self.monitor_signal(signal)
         cfg = self.model.config
         hop = self.model.hop_duration
         metrics = evaluate_run(
@@ -197,15 +210,19 @@ class Eddie:
             initial_regions=machine.initial_regions(),
             config=self.config,
         )
-        for k in range(runs):
-            trace = _capture(bound, seed=seed + k, inputs=None)
-            if trace.injected_instr_count:
-                raise ConfigurationError(
-                    "training source has injections configured; train on "
-                    "clean runs only"
-                )
-            trainer.add_run(_signal_of(trace), trace.timeline)
-        model = trainer.build(seed=build_seed)
+        with span("train"):
+            for k in range(runs):
+                trace = _capture(bound, seed=seed + k, inputs=None)
+                if trace.injected_instr_count:
+                    raise ConfigurationError(
+                        "training source has injections configured; train on "
+                        "clean runs only"
+                    )
+                trainer.add_run(_signal_of(trace), trace.timeline)
+            model = trainer.build(seed=build_seed)
+        if OBS.enabled:
+            record_count("core.detector", "training_runs", runs)
+            record_count("core.detector", "models_trained")
         return TrainedDetector(model, source=bound)
 
     def train_from_runs(

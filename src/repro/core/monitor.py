@@ -31,13 +31,20 @@ import numpy as np
 from repro.core.model import EddieModel, RegionProfile
 from repro.core.peaks import peak_matrix
 from repro.core.stats import (
+    kolmogorov_sf,
     ks_critical_value,
     ks_statistic_batch,
     two_sample_reject,
 )
 from repro.core.stft import QF_DEAD, QF_GAPPED, QF_UNSCORABLE, stft, window_quality
 from repro.errors import MonitoringError
+from repro.obs import OBS, counter, histogram
 from repro.types import Signal
+
+# Bin edges for the manifests' distribution summaries (fixed at module
+# level so snapshots from worker processes merge bin-by-bin).
+_PEAK_COUNT_EDGES = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0)
+_PVALUE_EDGES = (0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9)
 
 __all__ = ["AnomalyReport", "MonitorResult", "Monitor"]
 
@@ -213,6 +220,10 @@ class Monitor:
         self._gap_pending = False
         self._resync_remaining: Optional[int] = None
         self.last_unscorable = False
+        # Scaled K-S statistics D * sqrt(mn/(m+n)) buffered by _score_dims
+        # when observability is on; run_peaks flushes them through one
+        # vectorized kolmogorov_sf call into the p-value histogram.
+        self._ks_scaled_stats: List[float] = []
 
     # -- driving ------------------------------------------------------------
 
@@ -297,6 +308,11 @@ class Monitor:
         status = "ok"
         if n and unscorable_flags.mean() >= self._cfg.max_unscorable_fraction:
             status = "degraded"
+        if OBS.enabled:
+            self._flush_obs(
+                peaks, tracked, reports, rejection_flags, unscorable_flags,
+                status,
+            )
         return MonitorResult(
             times=np.asarray(times, dtype=float),
             tracked=tracked,
@@ -308,6 +324,58 @@ class Monitor:
             report_indices=report_indices,
             status=status,
         )
+
+    def _flush_obs(
+        self,
+        peaks: np.ndarray,
+        tracked: List[str],
+        reports: List[AnomalyReport],
+        rejection_flags: np.ndarray,
+        unscorable_flags: np.ndarray,
+        status: str,
+    ) -> None:
+        """Fold one run's worth of monitoring events into the metrics
+        registry.
+
+        Counters are accumulated locally inside the per-STS loop (plain
+        Python state) and flushed here in one pass per run, so the
+        enabled-mode overhead stays a handful of instrument calls per
+        trace rather than several per window.
+        """
+        n = len(tracked)
+        unscorable = int(unscorable_flags.sum())
+        counter("core.monitor", "windows_scored").inc(n - unscorable)
+        counter("core.monitor", "windows_unscorable").inc(unscorable)
+        anomalies = sum(1 for r in reports if r.kind == "anomaly")
+        counter("core.monitor", "reports_anomaly").inc(anomalies)
+        counter("core.monitor", "reports_desync").inc(len(reports) - anomalies)
+        if status == "degraded":
+            counter("core.monitor", "runs_degraded").inc()
+        counter("core.monitor", "runs_monitored").inc()
+        # K-S rejections by region: the region the monitor believed it was
+        # in when the current-region test rejected.
+        by_region: Dict[str, int] = {}
+        for i in np.flatnonzero(rejection_flags):
+            region = tracked[i]
+            by_region[region] = by_region.get(region, 0) + 1
+        for region, count in by_region.items():
+            counter("core.monitor", f"rejections.{region}").inc(count)
+        # Distribution summaries for the manifest.
+        peak_counts = np.sum(
+            ~np.isnan(peaks[:, : self._cfg.max_peaks]), axis=1
+        )
+        histogram(
+            "core.monitor", "sts_peak_count", _PEAK_COUNT_EDGES
+        ).record_many(peak_counts)
+        if self._ks_scaled_stats:
+            pvalues = kolmogorov_sf(np.asarray(self._ks_scaled_stats))
+            histogram(
+                "core.monitor", "ks_pvalue", _PVALUE_EDGES
+            ).record_many(np.atleast_1d(pvalues))
+            counter("core.monitor", "ks_tests").inc(
+                len(self._ks_scaled_stats)
+            )
+        self._ks_scaled_stats = []
 
     # -- one step of Algorithm 1 ------------------------------------------------
 
@@ -629,6 +697,14 @@ class Monitor:
                 rejected[dim] = bool(
                     d_stat > ks_critical_value(len(ref), len(mon), self._cfg.alpha)
                 )
+            if OBS.enabled:
+                # Buffer D * sqrt(mn/(m+n)); the run-level flush turns the
+                # whole buffer into asymptotic p-values in one shot.
+                for ref, mon, d_stat in zip(batch_refs, batch_mons, stats):
+                    m, k = len(ref), len(mon)
+                    self._ks_scaled_stats.append(
+                        float(d_stat) * (m * k / (m + k)) ** 0.5
+                    )
         return rejected
 
     def _rejects(self, profile: RegionProfile, dim: int, mon: np.ndarray) -> bool:

@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import SignalError
+from repro.obs import OBS, record_count
 from repro.types import Signal
 
 __all__ = [
@@ -156,6 +157,9 @@ def stft(
         freqs = np.fft.rfftfreq(window_samples, 1.0 / signal.sample_rate)
         power = np.abs(spectra) ** 2
     times = signal.t0 + (starts + window_samples / 2.0) / signal.sample_rate
+    if OBS.enabled:
+        record_count("core.stft", "transforms")
+        record_count("core.stft", "windows", n_windows)
     return SpectrumSequence(
         freqs=freqs,
         times=times,
@@ -275,6 +279,16 @@ def window_quality(
         outlier = np.abs(log_e - median) > energy_outlier_mads * scale
         flags[outlier & (flags == 0)] |= QF_ENERGY_OUTLIER
 
+    if OBS.enabled:
+        for bit, name in (
+            (QF_CLIPPED, "flagged_clipped"),
+            (QF_GAPPED, "flagged_gapped"),
+            (QF_DEAD, "flagged_dead"),
+            (QF_ENERGY_OUTLIER, "flagged_energy_outlier"),
+        ):
+            hits = int(np.count_nonzero(flags & bit))
+            if hits:
+                record_count("core.stft", name, hits)
     return flags
 
 

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.em.receiver import saturate
 from repro.errors import SignalError
+from repro.obs import OBS, record_count
 from repro.types import FaultSpan, Signal
 
 __all__ = [
@@ -320,6 +321,12 @@ class FaultInjector:
             signal, spans = fault.apply(signal, rng)
             log.extend(spans)
         log.sort(key=lambda s: (s.t_start, s.t_end))
+        if OBS.enabled and log:
+            kinds: dict = {}
+            for fault_span in log:
+                kinds[fault_span.kind] = kinds.get(fault_span.kind, 0) + 1
+            for kind, count in kinds.items():
+                record_count("em.faults", f"spans.{kind}", count)
         return signal, log
 
     def __bool__(self) -> bool:

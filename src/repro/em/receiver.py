@@ -20,6 +20,7 @@ import numpy as np
 from scipy import signal as sp_signal
 
 from repro.errors import SignalError
+from repro.obs import OBS, record_count
 from repro.types import Signal
 
 __all__ = ["Receiver", "OverflowCounter", "saturate"]
@@ -172,17 +173,25 @@ class Receiver:
             samples, n_over = saturate(samples, self.adc_full_scale)
             if self.overflow_counter is not None:
                 self.overflow_counter.add(n_over)
+            if OBS.enabled and n_over:
+                record_count("em.receiver", "adc_overflows", n_over)
             samples = np.round(samples / step) * step
 
+        if OBS.enabled:
+            record_count("em.receiver", "captures")
         return Signal(samples, rate, signal.t0)
 
     def _apply_agc(self, samples: np.ndarray) -> np.ndarray:
         """Block AGC: scale each block's RMS toward half the ADC range."""
         target = 0.5 * self.adc_full_scale
         out = samples.copy()
+        adjusted = 0
         for start in range(0, len(out), self.agc_block):
             block = out[start: start + self.agc_block]
             rms = float(np.sqrt(np.mean(np.abs(block) ** 2)))
             if rms > 0:
                 out[start: start + self.agc_block] = block * (target / rms)
+                adjusted += 1
+        if OBS.enabled and adjusted:
+            record_count("em.receiver", "agc_adjustments", adjusted)
         return out

@@ -20,6 +20,7 @@ from repro.em.channel import ChannelModel
 from repro.em.faults import FaultInjector
 from repro.em.modulation import am_modulate
 from repro.em.receiver import Receiver
+from repro.obs import span
 from repro.types import FaultSpan, RegionTimeline, Signal
 
 __all__ = ["EmTrace", "EmScenario"]
@@ -106,17 +107,18 @@ class EmScenario:
     ) -> EmTrace:
         """Run the program once and capture its EM emanations."""
         rng = np.random.default_rng(seed)
-        result: SimulationResult = self.simulator.run(rng=rng, inputs=inputs)
-        emission = am_modulate(
-            result.power,
-            mod_depth=self.mod_depth,
-            carrier_offset_hz=self.carrier_offset_hz,
-        )
-        received = self.channel.apply(emission, rng)
-        iq = self.receiver.capture(received)
-        fault_spans: List[FaultSpan] = []
-        if self.faults is not None:
-            iq, fault_spans = self.faults.inject(iq, rng=rng)
+        with span("em.capture"):
+            result: SimulationResult = self.simulator.run(rng=rng, inputs=inputs)
+            emission = am_modulate(
+                result.power,
+                mod_depth=self.mod_depth,
+                carrier_offset_hz=self.carrier_offset_hz,
+            )
+            received = self.channel.apply(emission, rng)
+            iq = self.receiver.capture(received)
+            fault_spans: List[FaultSpan] = []
+            if self.faults is not None:
+                iq, fault_spans = self.faults.inject(iq, rng=rng)
         return EmTrace(
             iq=iq,
             timeline=result.timeline,

@@ -14,6 +14,7 @@ import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
+from repro import obs
 from repro.arch.config import CoreConfig
 from repro.arch.simulator import Simulator
 from repro.cache import configure as configure_cache
@@ -23,6 +24,7 @@ from repro.core.metrics import RunMetrics, aggregate_metrics
 from repro.core.model import EddieConfig
 from repro.em.scenario import EmScenario
 from repro.errors import ConfigurationError
+from repro.obs import span
 from repro.programs.ir import Program
 
 __all__ = [
@@ -107,14 +109,45 @@ def resolve_jobs(jobs: Union[int, str, None]) -> int:
         raise ConfigurationError(f"invalid jobs value {jobs!r}") from None
 
 
-def _init_worker(cache_dir: Optional[str], max_bytes: Optional[int]) -> None:
-    """Executor initializer: workers inherit the parent's cache setup.
+def _init_worker(
+    cache_dir: Optional[str],
+    max_bytes: Optional[int],
+    obs_enabled: bool = False,
+) -> None:
+    """Executor initializer: workers inherit the parent's cache and
+    observability setup.
 
-    Stats accounted in workers are per-process and die with them; the
-    shared on-disk entries are what persists (writes are atomic, so
-    concurrent workers cooperate safely).
+    With observability on, each worker records its own spans and metrics
+    (including the cache's per-process hit/miss stats) and ships them back
+    with every task result (:class:`_ObsTask`); the parent folds them into
+    its registry in task order, so merged totals are deterministic and
+    complete -- per-process tallies alone would be silently partial.
     """
     configure_cache(cache_dir, max_bytes)
+    if obs_enabled:
+        # Under fork-based multiprocessing the worker inherits the parent's
+        # recorded spans and counters; drop them or every export would
+        # re-ship (and re-merge) state the parent already holds.
+        obs.reset()
+        obs.enable()
+
+
+class _ObsTask:
+    """Picklable task wrapper returning (result, worker observability state).
+
+    Export resets the worker's spans and metrics after each task, so every
+    payload carries exactly one task's worth of state no matter how the
+    executor distributes items over workers.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[_T], _R]) -> None:
+        self.fn = fn
+
+    def __call__(self, item: _T):
+        result = self.fn(item)
+        return result, obs.export_state(reset_after=True)
 
 
 def parallel_map(
@@ -129,6 +162,10 @@ def parallel_map(
     is deterministic in its argument -- which every experiment task is:
     all randomness flows from explicit per-task seeds derived by
     :class:`Scale`'s disjoint seed namespaces.
+
+    With observability enabled, worker spans and metric increments are
+    merged back into the parent process in task order (deterministic), so
+    traces and counter totals match a serial run of the same work.
     """
     n_workers = min(resolve_jobs(jobs), len(items))
     if n_workers <= 1:
@@ -136,13 +173,24 @@ def parallel_map(
     from concurrent.futures import ProcessPoolExecutor
 
     cache = get_cache()
+    with_obs = obs.enabled()
     initargs = (
-        (str(cache.dir), cache.max_bytes) if cache is not None else (None, None)
+        (str(cache.dir), cache.max_bytes, with_obs)
+        if cache is not None
+        else (None, None, with_obs)
     )
+    task = _ObsTask(fn) if with_obs else fn
     with ProcessPoolExecutor(
         max_workers=n_workers, initializer=_init_worker, initargs=initargs
     ) as executor:
-        return list(executor.map(fn, items))
+        raw = list(executor.map(task, items))
+    if not with_obs:
+        return raw
+    results: List[_R] = []
+    for result, state in raw:
+        obs.merge_export(state)
+        results.append(result)
+    return results
 
 
 def _fresh_source(
@@ -174,25 +222,28 @@ def build_detector(
         else:
             core = CoreConfig.sim_ooo(clock_hz=scale.clock_hz)
     eddie = Eddie(config)
-    cache = get_cache()
-    if cache is None:
-        return eddie.train(
+    with span("build_detector"):
+        cache = get_cache()
+        if cache is None:
+            return eddie.train(
+                program, core=core, runs=scale.train_runs,
+                seed=scale.train_seed(), source=source,
+            )
+        key = fingerprint(
+            "model", program, core, eddie.config, scale.train_runs,
+            scale.train_seed(), source,
+        )
+        model = cache.get_model(key)
+        if model is not None:
+            return TrainedDetector(
+                model, source=_fresh_source(program, core, source)
+            )
+        detector = eddie.train(
             program, core=core, runs=scale.train_runs,
             seed=scale.train_seed(), source=source,
         )
-    key = fingerprint(
-        "model", program, core, eddie.config, scale.train_runs,
-        scale.train_seed(), source,
-    )
-    model = cache.get_model(key)
-    if model is not None:
-        return TrainedDetector(model, source=_fresh_source(program, core, source))
-    detector = eddie.train(
-        program, core=core, runs=scale.train_runs,
-        seed=scale.train_seed(), source=source,
-    )
-    cache.put_model(key, detector.model)
-    return detector
+        cache.put_model(key, detector.model)
+        return detector
 
 
 def capture_traces(
@@ -210,29 +261,34 @@ def capture_traces(
     """
     from repro.core.detector import _capture  # shared private helper
 
-    cache = get_cache()
-    if cache is None:
-        return [_capture(detector.source, seed=s, inputs=None) for s in seeds]
-    # Describing the source (program IR, core, injection state) dominates
-    # the per-key cost and is identical for every seed: hoist it.
-    source_desc = describe(detector.source)
-    traces: List[TraceLike] = []
-    for s in seeds:
-        key = digest(["seq", ["trace", source_desc, describe(s)]])
-        trace = cache.get_trace(key)
-        if trace is None:
-            trace = _capture(detector.source, seed=s, inputs=None)
-            cache.put_trace(key, trace)
-        traces.append(trace)
-    return traces
+    with span("capture_traces"):
+        cache = get_cache()
+        if cache is None:
+            return [
+                _capture(detector.source, seed=s, inputs=None) for s in seeds
+            ]
+        # Describing the source (program IR, core, injection state)
+        # dominates the per-key cost and is identical for every seed:
+        # hoist it.
+        source_desc = describe(detector.source)
+        traces: List[TraceLike] = []
+        for s in seeds:
+            key = digest(["seq", ["trace", source_desc, describe(s)]])
+            trace = cache.get_trace(key)
+            if trace is None:
+                trace = _capture(detector.source, seed=s, inputs=None)
+                cache.put_trace(key, trace)
+            traces.append(trace)
+        return traces
 
 
 def monitor_traces(
     detector: TrainedDetector, traces: Sequence[TraceLike]
 ) -> RunMetrics:
     """Monitor a set of traces and aggregate their metrics."""
-    reports = [detector.monitor_trace(trace) for trace in traces]
-    return aggregate_metrics([r.metrics for r in reports])
+    with span("monitor_traces"):
+        reports = [detector.monitor_trace(trace) for trace in traces]
+        return aggregate_metrics([r.metrics for r in reports])
 
 
 def sweep_group_sizes(
@@ -247,9 +303,10 @@ def sweep_group_sizes(
     monitoring keeps the sweep fast.
     """
     results: Dict[int, RunMetrics] = {}
-    for n in group_sizes:
-        variant = detector.with_group_size(n)
-        results[n] = monitor_traces(variant, traces)
+    with span("sweep_group_sizes"):
+        for n in group_sizes:
+            variant = detector.with_group_size(n)
+            results[n] = monitor_traces(variant, traces)
     return results
 
 

@@ -32,6 +32,7 @@ from repro.experiments.runner import (
     capture_traces,
     parallel_map,
 )
+from repro.obs import span
 from repro.programs.ir import Instr, OpClass
 from repro.programs.mibench import BENCHMARKS, INJECTION_LOOPS
 from repro.programs.workloads import injection_mix
@@ -106,6 +107,16 @@ def evaluate_benchmark(
     core: Optional[CoreConfig] = None,
 ) -> BenchmarkRow:
     """Run the full Table-1/2 protocol for one benchmark."""
+    with span(f"benchmark.{name}"):
+        return _evaluate_benchmark(name, scale, source, core)
+
+
+def _evaluate_benchmark(
+    name: str,
+    scale: Scale,
+    source: str,
+    core: Optional[CoreConfig] = None,
+) -> BenchmarkRow:
     program = BENCHMARKS[name]()
     detector = build_detector(program, scale, source=source, core=core)
     simulator = _simulator_of(detector)

@@ -1,0 +1,16 @@
+"""Shared pytest configuration.
+
+``--update-golden`` regenerates the frozen run manifests under
+``tests/golden/`` instead of comparing against them (see
+``tests/test_golden_manifests.py`` for when that is legitimate).
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/*.json from the current pipeline "
+             "instead of asserting against the frozen manifests",
+    )

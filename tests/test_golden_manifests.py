@@ -1,0 +1,108 @@
+"""Golden-trace regression suite: frozen run manifests.
+
+Each test runs one experiment recipe at a tiny fixed-seed scale, builds
+its run manifest (identity + results: config fingerprint, seeds, metric
+snapshot, result structure), and diffs it against the frozen manifest in
+``tests/golden/``. Timings and environment are ignored (they legitimately
+vary); everything else must match exactly, so any change to the pipeline's
+numerical behaviour -- simulator scheduling, STFT, peak extraction, K-S
+decisions, metric aggregation -- shows up as a named, pinpointed diff
+instead of a silent drift.
+
+Regenerating the goldens is legitimate ONLY after an intentional
+behaviour change, and the diff should be reviewed first::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_manifests.py \
+        --update-golden
+
+The recipes run serially with no artifact cache: golden runs must not
+depend on ambient state.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro import cache as cache_mod
+from repro import obs
+from repro.arch.config import CoreConfig
+from repro.experiments import fig4_inorder_ooo, fig10_instruction_type
+from repro.experiments.runner import Scale
+from repro.experiments.tables_common import run_table
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+# Small enough for CI, big enough that training/monitoring/injection all
+# execute. Seeds are Scale's defaults (base 0) -- never change them here
+# without regenerating the goldens.
+GOLDEN_SCALE = Scale(
+    train_runs=2, clean_runs=1, injected_runs=1, group_sizes=(8, 16)
+)
+
+_TABLE2_BENCHES = ["bitcount"]
+
+
+def _run_table2():
+    result = run_table(
+        GOLDEN_SCALE,
+        source="power",
+        core_factory=lambda: CoreConfig.sim_ooo(clock_hz=GOLDEN_SCALE.clock_hz),
+        benchmarks=_TABLE2_BENCHES,
+        jobs=1,
+    )
+    return result, {"benchmarks": _TABLE2_BENCHES}
+
+
+def _run_fig4():
+    return fig4_inorder_ooo.run(GOLDEN_SCALE, jobs=1), None
+
+
+def _run_fig10():
+    return fig10_instruction_type.run(GOLDEN_SCALE, jobs=1), None
+
+
+RECIPES = {
+    "table2": _run_table2,
+    "fig4": _run_fig4,
+    "fig10": _run_fig10,
+}
+
+
+@pytest.fixture(autouse=True)
+def isolated_observability():
+    """Fresh, enabled observability per test; no ambient artifact cache."""
+    cache_mod.configure(None)
+    obs.enable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+    cache_mod.configure(None)
+
+
+@pytest.mark.golden
+@pytest.mark.parametrize("name", sorted(RECIPES))
+def test_golden_manifest(name, request):
+    result, extra_identity = RECIPES[name]()
+    manifest = obs.build_manifest(
+        name,
+        scale=GOLDEN_SCALE,
+        result=result,
+        jobs=1,
+        scale_name="golden",
+        extra_identity=extra_identity,
+    )
+    path = obs.manifest_path(GOLDEN_DIR, name, "golden")
+    if request.config.getoption("--update-golden"):
+        obs.write_manifest(manifest, path)
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (
+        f"missing golden manifest {path}; generate it with "
+        f"pytest {__file__} --update-golden"
+    )
+    golden = obs.load_manifest(path)
+    diffs = obs.diff_manifests(golden, manifest)
+    assert not diffs, (
+        f"{name} drifted from its golden manifest "
+        f"({len(diffs)} difference(s)):\n" + obs.format_diff(diffs)
+    )

@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for the observability layer.
+
+Three invariants the rest of the PR leans on:
+
+- manifests survive a write -> load round-trip with an empty diff, for
+  arbitrary JSON-able result structures (including NaN/inf floats);
+- span forests are well-formed however spans nest: parents precede
+  children, no orphans, and a parent's wall time bounds the sum of its
+  children's (children run strictly inside the parent's window);
+- counters are exact under concurrent threaded increments (the merge
+  path and the lock, not luck).
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+
+
+# Module-scoped (not per-test): hypothesis rejects function-scoped
+# fixtures under @given; each property resets the state it needs itself.
+@pytest.fixture(autouse=True, scope="module")
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=True, allow_infinity=False),
+    st.text(max_size=20),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+class TestManifestRoundTrip:
+    @given(result=json_values)
+    @settings(max_examples=40, deadline=None)
+    def test_write_load_diff_empty(self, result, tmp_path_factory):
+        manifest = obs.build_manifest("prop", result=result)
+        path = tmp_path_factory.mktemp("manifests") / "m.json"
+        obs.write_manifest(manifest, path)
+        loaded = obs.load_manifest(path)
+        assert obs.diff_manifests(manifest, loaded, ignore=()) == []
+        assert obs.diff_manifests(loaded, manifest) == []
+
+
+# A nesting program: each entry opens a span and the integer says how many
+# child spans to open inside it (recursively consumed from the same list).
+nesting_programs = st.lists(
+    st.integers(min_value=0, max_value=3), min_size=1, max_size=25
+)
+
+
+def _run_program(counts):
+    """Consume ``counts`` into a real nested span execution."""
+    it = iter(counts)
+
+    def open_one(n_children: int) -> None:
+        with obs.span(f"s{n_children}"):
+            for _ in range(n_children):
+                child = next(it, None)
+                if child is None:
+                    return
+                open_one(child)
+
+    for n in it:
+        open_one(n)
+
+
+class TestSpanNesting:
+    @given(counts=nesting_programs)
+    @settings(max_examples=60, deadline=None)
+    def test_forest_invariants(self, counts):
+        obs.reset()
+        obs.enable()
+        _run_program(counts)
+        spans = obs.get_collector().spans
+        assert spans, "every program opens at least one span"
+        children_wall = [0.0] * len(spans)
+        for i, record in enumerate(spans):
+            # Parents precede their children (no orphans, no cycles).
+            assert -1 <= record.parent < i
+            assert record.t_start > 0.0  # all spans completed
+            assert record.wall_s >= 0.0 and record.cpu_s >= 0.0
+            if record.parent >= 0:
+                children_wall[record.parent] += record.wall_s
+        for i, record in enumerate(spans):
+            # Children execute strictly inside the parent's window, so
+            # their wall times sum to at most the parent's (plus float
+            # rounding).
+            assert children_wall[i] <= record.wall_s + 1e-9
+
+    @given(counts=nesting_programs)
+    @settings(max_examples=30, deadline=None)
+    def test_export_merge_preserves_forest_shape(self, counts):
+        obs.reset()
+        obs.enable()
+        _run_program(counts)
+        exported = obs.export_spans(reset=True)
+        obs.merge_spans(exported)
+        spans = obs.get_collector().spans
+        assert len(spans) == len(exported)
+        assert [s.name for s in spans] == [e["name"] for e in exported]
+        for i, record in enumerate(spans):
+            assert -1 <= record.parent < i
+
+
+class TestCounterConcurrency:
+    @given(
+        n_threads=st.integers(min_value=2, max_value=8),
+        per_thread=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_concurrent_increments_are_exact(self, n_threads, per_thread):
+        obs.reset()
+        obs.enable()
+        c = obs.counter("prop", "hits")
+        barrier = threading.Barrier(n_threads)
+
+        def work():
+            barrier.wait()
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * per_thread
+        assert obs.snapshot()["counters"]["prop/hits"] == n_threads * per_thread

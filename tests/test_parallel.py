@@ -10,6 +10,7 @@ Scale's explicit seed namespaces.
 import pytest
 
 from repro import cache as cache_mod
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.experiments.runner import Scale, parallel_map, resolve_jobs
 from repro.experiments.tables_common import run_table
@@ -82,3 +83,48 @@ class TestParallelEqualsSerial:
         again = run_table(TINY, "power", benchmarks=self.BENCHES, jobs=1)
         assert again.rows == serial.rows
         assert cache_mod.get_cache().stats.hits > stats_before
+
+
+class TestMergedCacheStats:
+    """Cache hit/miss accounting under the pool (the per-process stats fix).
+
+    Each worker process has its own ``CacheStats`` object, so the parent's
+    local stats see none of the pool's activity. The observability layer
+    fixes this: workers export their metric snapshot with each result and
+    the parent folds them in, so ``repro.cache/*`` counters carry the true
+    totals across every process.
+    """
+
+    BENCHES = ["bitcount", "basicmath"]
+
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_totals_fold_into_merged_snapshot(self, tmp_path):
+        obs.enable()
+        cache_mod.configure(tmp_path)
+
+        run_table(TINY, "power", benchmarks=self.BENCHES, jobs=2)
+        cold = obs.snapshot()["counters"]
+        # Cold cache: every lookup missed and was then stored -- and the
+        # parent's own stats object saw none of it (the workers did the
+        # work), which is exactly why the merged counters exist.
+        assert cold["repro.cache/misses"] > 0
+        assert cold["repro.cache/puts"] == cold["repro.cache/misses"]
+        assert cold.get("repro.cache/hits", 0) == 0
+        local = cache_mod.get_cache().stats
+        assert local.misses + local.hits < cold["repro.cache/misses"]
+
+        run_table(TINY, "power", benchmarks=self.BENCHES, jobs=2)
+        warm = obs.snapshot()["counters"]
+        # Warm cache: no new misses or puts, and every artifact that
+        # missed cold is now served from the cache (some more than once).
+        assert warm["repro.cache/misses"] == cold["repro.cache/misses"]
+        assert warm["repro.cache/puts"] == cold["repro.cache/puts"]
+        assert warm["repro.cache/hits"] >= cold["repro.cache/misses"]
+        cache_mod.disable()
