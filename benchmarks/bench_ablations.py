@@ -31,7 +31,7 @@ def _flag_rate(detector, traces):
     window_s = detector.model.config.window_samples / detector.model.sample_rate
     rates = []
     for trace in traces:
-        report = detector.monitor_trace(trace)
+        report = detector.monitor(trace)
         fn = rejection_false_negative_rate(
             report.result, trace.injected_spans, window_s,
             detector.model.hop_duration,
@@ -74,7 +74,7 @@ def test_ablation_ks_vs_utest(benchmark, scale, show):
             results[statistic] = {
                 "flagged": _flag_rate(detector, traces),
                 "fp": aggregate_metrics(
-                    [detector.monitor_trace(t).metrics for t in clean]
+                    [detector.monitor(t).metrics for t in clean]
                 ).false_positive_rate,
             }
 
@@ -130,7 +130,7 @@ def test_ablation_peak_prominence(benchmark, scale, show):
                 [scale.monitor_seed(k) for k in range(scale.clean_runs)],
             )
             metrics = aggregate_metrics(
-                [detector.monitor_trace(t).metrics for t in clean]
+                [detector.monitor(t).metrics for t in clean]
             )
             results[prominence] = {
                 "lpc_peaks": lpc.num_peaks if lpc else None,
@@ -178,7 +178,7 @@ def test_ablation_diffuse_features(benchmark, scale, show):
             )
             simulator.clear_injections()
             injected = aggregate_metrics(
-                [detector.monitor_trace(t).metrics for t in traces]
+                [detector.monitor(t).metrics for t in traces]
             )
 
             # Coverage on a border-heavy benchmark.
@@ -190,7 +190,7 @@ def test_ablation_diffuse_features(benchmark, scale, show):
                 [scale.monitor_seed(k) for k in range(scale.clean_runs)],
             )
             clean_metrics = aggregate_metrics(
-                [susan_det.monitor_trace(t).metrics for t in clean]
+                [susan_det.monitor(t).metrics for t in clean]
             )
             results[diffuse] = {
                 "lpc_latency_ms": (
@@ -238,7 +238,7 @@ def test_ablation_report_threshold(benchmark, scale, show):
                 [scale.monitor_seed(k) for k in range(scale.clean_runs)],
             )
             metrics = aggregate_metrics(
-                [detector.monitor_trace(t).metrics for t in clean]
+                [detector.monitor(t).metrics for t in clean]
             )
             results[threshold] = metrics.false_positive_rate
         return results

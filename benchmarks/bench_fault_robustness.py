@@ -83,7 +83,7 @@ def _monitor_clean(detector, scale, runs=None):
     # capture), so per-run FP variance is large; the faulty cells pool
     # more runs than the usual clean sweep to stabilize the aggregate.
     return aggregate_metrics([
-        detector.monitor_program(seed=scale.monitor_seed(k)).metrics
+        detector.monitor(seed=scale.monitor_seed(k)).metrics
         for k in range(runs if runs is not None else scale.clean_runs)
     ])
 
@@ -138,7 +138,7 @@ def test_fault_robustness(benchmark, scale, show):
                     INJECTION_LOOPS[name], injection_mix(4, 4), 1.0
                 )
                 injected = aggregate_metrics([
-                    gated.monitor_program(seed=scale.injected_seed(k)).metrics
+                    gated.monitor(seed=scale.injected_seed(k)).metrics
                     for k in range(max(4, scale.injected_runs))
                 ])
                 faulty.simulator.clear_injections()

@@ -63,4 +63,4 @@ def test_full_monitor_pass(benchmark):
         sharp_loop_program(trips=20000), core=core, runs=4, seed=0, source="em"
     )
     trace = detector.source.capture(seed=50)
-    benchmark(lambda: detector.monitor_trace(trace))
+    benchmark(lambda: detector.monitor(trace))

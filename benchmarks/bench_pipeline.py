@@ -52,9 +52,9 @@ def _monitor_windows_per_sec(scale):
     """Throughput of the batched monitor hot path alone."""
     detector = build_detector(BENCHMARKS["bitcount"](), scale, source="power")
     trace = detector.source.run(seed=scale.monitor_seed(0))
-    detector.monitor_trace(trace)  # warm caches outside the timing
+    detector.monitor(trace)  # warm caches outside the timing
     start = time.perf_counter()
-    result = detector.monitor_trace(trace)
+    result = detector.monitor(trace)
     elapsed = time.perf_counter() - start
     windows = len(result.result.times)
     return {

@@ -59,14 +59,14 @@ def test_receiver_robustness(benchmark, scale, show):
                 runs=scale.train_runs, seed=scale.train_seed(),
             )
             clean = aggregate_metrics([
-                detector.monitor_program(seed=scale.monitor_seed(k)).metrics
+                detector.monitor(seed=scale.monitor_seed(k)).metrics
                 for k in range(scale.clean_runs)
             ])
             scenario.simulator.set_loop_injection(
                 INJECTION_LOOPS[_PROGRAM], injection_mix(4, 4), 1.0
             )
             injected = aggregate_metrics([
-                detector.monitor_program(seed=scale.injected_seed(k)).metrics
+                detector.monitor(seed=scale.injected_seed(k)).metrics
                 for k in range(scale.injected_runs)
             ])
             scenario.simulator.clear_injections()

@@ -1,0 +1,216 @@
+"""Streaming-engine benchmark: chunk latency, memory flatness, fleet scale.
+
+Measures the serving properties DESIGN.md D17 promises --
+
+- per-chunk ``feed`` latency stays flat as the stream grows (first vs
+  last quarter of a long stream),
+- resident stream state stays O(1) in the stream length,
+- streaming throughput relative to the batch ``run_signal`` path over
+  the same samples,
+- a 32-session fleet round-robins to completion with per-session reports
+  identical to isolated runs
+
+-- and writes ``BENCH_streaming.json`` at the repo root.
+
+Run as pytest (``REPRO_SCALE=quick`` by default) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py --sessions 32
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.runner import Scale, build_detector
+from repro.programs.mibench import BENCHMARKS
+from repro.stream import FleetScheduler, StreamingMonitor
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_OUTPUT = _REPO_ROOT / "BENCH_streaming.json"
+
+_CHUNK_SAMPLES = 4096
+
+
+def _long_stream(detector, scale, repeats):
+    """One capture's IQ tiled into a long stream (seeded per repeat)."""
+    parts = [
+        detector.source.capture(seed=scale.monitor_seed(k)).iq.samples
+        for k in range(repeats)
+    ]
+    return np.concatenate(parts)
+
+
+def _chunk_latency(detector, samples):
+    """Feed one long stream; return latency and memory flatness stats."""
+    monitor = StreamingMonitor(detector.model)
+    latencies = []
+    resident = []
+    for start in range(0, len(samples), _CHUNK_SAMPLES):
+        chunk = samples[start : start + _CHUNK_SAMPLES]
+        t0 = time.perf_counter()
+        monitor.feed(chunk)
+        latencies.append(time.perf_counter() - t0)
+        resident.append(monitor.resident_bytes())
+    monitor.finish()
+    lat = np.asarray(latencies)
+    quarter = max(1, len(lat) // 4)
+    res = np.asarray(resident, dtype=float)
+    return {
+        "chunks": len(lat),
+        "chunk_samples": _CHUNK_SAMPLES,
+        "windows": monitor.windows_seen,
+        "median_latency_us": float(np.median(lat) * 1e6),
+        "p99_latency_us": float(np.quantile(lat, 0.99) * 1e6),
+        "first_quarter_median_us": float(np.median(lat[:quarter]) * 1e6),
+        "last_quarter_median_us": float(np.median(lat[-quarter:]) * 1e6),
+        "resident_bytes_median": float(np.median(res)),
+        "resident_bytes_max": float(res.max()),
+        # Steady-state memory must not scale with the stream: the max
+        # over the whole run staying within 2x of the median means no
+        # per-chunk accumulation survived.
+        "memory_flat": bool(res.max() <= 2.0 * np.median(res)),
+    }
+
+
+def _throughput(detector, samples, sample_rate):
+    """Streaming vs batch windows/sec over the identical signal."""
+    from repro.types import Signal
+
+    signal = Signal(samples, sample_rate)
+    t0 = time.perf_counter()
+    batch = detector.monitor(signal)
+    t_batch = time.perf_counter() - t0
+
+    monitor = StreamingMonitor(detector.model)
+    t0 = time.perf_counter()
+    for start in range(0, len(samples), _CHUNK_SAMPLES):
+        monitor.feed(samples[start : start + _CHUNK_SAMPLES])
+    monitor.finish()
+    t_stream = time.perf_counter() - t0
+    windows = monitor.windows_seen
+    return {
+        "windows": windows,
+        "batch_s": t_batch,
+        "stream_s": t_stream,
+        "batch_windows_per_sec": windows / t_batch if t_batch else None,
+        "stream_windows_per_sec": windows / t_stream if t_stream else None,
+        "stream_vs_batch": t_batch / t_stream if t_stream else None,
+        "identical_windows": windows == len(batch.result.times),
+    }
+
+
+def _fleet(detector, scale, sessions):
+    """Round-robin ``sessions`` concurrent streams; check vs isolation."""
+    captures = [
+        detector.source.capture(seed=scale.monitor_seed(100 + s))
+        for s in range(sessions)
+    ]
+    isolated = [
+        [r.time for r in detector.monitor(c).result.reports] for c in captures
+    ]
+
+    fleet = FleetScheduler(max_sessions=sessions)
+    for s, capture in enumerate(captures):
+        fleet.add_session(
+            f"dev-{s:03d}", detector.model,
+            source=capture.iter_chunks(_CHUNK_SAMPLES),
+        )
+    t0 = time.perf_counter()
+    while fleet.step_round():
+        pass
+    elapsed = time.perf_counter() - t0
+    summaries = fleet.summaries
+    fleet_reports = [
+        [r.time for r in summaries[f"dev-{s:03d}"].reports]
+        for s in range(sessions)
+    ]
+    windows = sum(s.windows for s in summaries.values())
+    return {
+        "sessions": sessions,
+        "total_windows": windows,
+        "seconds": elapsed,
+        "windows_per_sec": windows / elapsed if elapsed else None,
+        "identical_to_isolated": fleet_reports == isolated,
+    }
+
+
+def run_benchmark(scale_name="quick", sessions=32, repeats=8):
+    scale = {"quick": Scale.quick, "default": Scale.default,
+             "paper": Scale.paper}[scale_name]()
+    detector = build_detector(BENCHMARKS["bitcount"](), scale, source="em")
+    samples = _long_stream(detector, scale, repeats)
+
+    report = {
+        "benchmark": "streaming-engine",
+        "scale": scale_name,
+        "stream_samples": len(samples),
+        "latency": _chunk_latency(detector, samples),
+        "throughput": _throughput(
+            detector, samples, detector.model.sample_rate
+        ),
+        "fleet": _fleet(detector, scale, sessions),
+    }
+    _OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _format(report):
+    lat = report["latency"]
+    thr = report["throughput"]
+    fleet = report["fleet"]
+    return "\n".join([
+        f"streaming benchmark (scale={report['scale']}, "
+        f"{report['stream_samples']:,} samples)",
+        f"  chunk latency      : median {lat['median_latency_us']:.0f} us, "
+        f"p99 {lat['p99_latency_us']:.0f} us",
+        f"  latency drift      : first-quarter "
+        f"{lat['first_quarter_median_us']:.0f} us -> last-quarter "
+        f"{lat['last_quarter_median_us']:.0f} us",
+        f"  resident state     : median {lat['resident_bytes_median']:,.0f} B, "
+        f"max {lat['resident_bytes_max']:,.0f} B "
+        f"(flat={lat['memory_flat']})",
+        f"  stream throughput  : {thr['stream_windows_per_sec']:,.0f} "
+        f"windows/s ({thr['stream_vs_batch']:.2f}x batch)",
+        f"  fleet              : {fleet['sessions']} sessions, "
+        f"{fleet['windows_per_sec']:,.0f} windows/s, "
+        f"identical={fleet['identical_to_isolated']}",
+        f"  -> {_OUTPUT}",
+    ])
+
+
+def test_streaming_benchmark(scale, show):
+    import os
+
+    scale_name = os.environ.get("REPRO_SCALE", "quick")
+    report = run_benchmark(scale_name=scale_name)
+    show(_format(report))
+    assert report["latency"]["memory_flat"], (
+        "resident stream state grew with the stream length"
+    )
+    assert report["throughput"]["identical_windows"]
+    assert report["fleet"]["identical_to_isolated"], (
+        "fleet session reports diverged from isolated runs"
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="quick",
+                        choices=("quick", "default", "paper"))
+    parser.add_argument("--sessions", type=int, default=32)
+    parser.add_argument("--repeats", type=int, default=8,
+                        help="captures tiled into the long latency stream")
+    args = parser.parse_args()
+    result = run_benchmark(
+        scale_name=args.scale, sessions=args.sessions, repeats=args.repeats
+    )
+    print(_format(result))
+    ok = (
+        result["latency"]["memory_flat"]
+        and result["fleet"]["identical_to_isolated"]
+    )
+    sys.exit(0 if ok else 1)

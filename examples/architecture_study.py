@@ -34,7 +34,7 @@ def evaluate(core: CoreConfig) -> dict:
     )
     latencies = []
     for seed in (500, 501, 502):
-        report = detector.monitor_program(seed=seed)
+        report = detector.monitor(seed=seed)
         if report.metrics.detection_latency is not None:
             latencies.append(report.metrics.detection_latency * 1e3)
     detector.source.clear_injections()

@@ -79,7 +79,7 @@ def main() -> None:
     for name, profile in detector.model.profiles.items():
         print(f"  {name:32s} peaks={profile.num_peaks} n={profile.group_size}")
 
-    clean = detector.monitor_program(seed=400)
+    clean = detector.monitor(seed=400)
     print(f"\nclean audit: {len(clean.result.reports)} reports, "
           f"coverage {clean.metrics.coverage:.1f}%")
 
@@ -92,7 +92,7 @@ def main() -> None:
               mem=MemRef("exfil", footprint=256 * 1024)),
     ]
     detector.source.simulator.set_loop_injection("filter", implant, 1.0)
-    attacked = detector.monitor_program(seed=401)
+    attacked = detector.monitor(seed=401)
     if attacked.detected:
         first = attacked.result.reports[0]
         print(

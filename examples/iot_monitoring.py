@@ -47,7 +47,7 @@ def main() -> None:
     print("\n-- audit 1: three clean runs --")
     fps, coverages = [], []
     for seed in (200, 201, 202):
-        report = detector.monitor_program(seed=seed)
+        report = detector.monitor(seed=seed)
         fps.append(report.metrics.false_positive_rate)
         coverages.append(report.metrics.coverage)
         print(f"  seed {seed}: reports={len(report.result.reports)}")
@@ -55,7 +55,7 @@ def main() -> None:
 
     print("\n-- audit 2: shellcode burst between loop regions --")
     scenario.simulator.add_burst(shellcode_burst("loop:smooth"))
-    report = detector.monitor_program(seed=300)
+    report = detector.monitor(seed=300)
     scenario.simulator.clear_injections()
     _describe(report)
 
@@ -63,7 +63,7 @@ def main() -> None:
     scenario.simulator.set_loop_injection(
         "smooth.inner", injection_mix(4, 4), contamination=0.3
     )
-    report = detector.monitor_program(seed=301)
+    report = detector.monitor(seed=301)
     scenario.simulator.clear_injections()
     _describe(report)
 

@@ -32,7 +32,7 @@ def main() -> None:
         )
 
     print("\nmonitoring a clean run...")
-    clean = detector.monitor_program(seed=100)
+    clean = detector.monitor(seed=100)
     print(
         f"  anomaly reports: {len(clean.result.reports)}   "
         f"false positives: {clean.metrics.false_positive_rate:.2f}%   "
@@ -44,7 +44,7 @@ def main() -> None:
     detector.source.simulator.set_loop_injection(
         INJECTION_LOOPS["bitcount"], injection_mix(4, 4), contamination=1.0
     )
-    attacked = detector.monitor_program(seed=101)
+    attacked = detector.monitor(seed=101)
     latency = attacked.metrics.detection_latency
     print(
         f"  detected: {attacked.metrics.detected}   "

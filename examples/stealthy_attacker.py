@@ -21,7 +21,7 @@ from repro.programs.workloads import injection_mix, multi_peak_loop_program
 
 def flag_rate(detector, seed: int) -> float:
     """Share of injection-containing STS groups the K-S test flagged (%)."""
-    report = detector.monitor_program(seed=seed)
+    report = detector.monitor(seed=seed)
     trace = report.trace
     window_s = detector.model.config.window_samples / detector.model.sample_rate
     fn = rejection_false_negative_rate(

@@ -29,7 +29,11 @@ The most convenient entry point is :class:`repro.Eddie`::
 
     eddie = Eddie()
     detector = eddie.train(bitcount(), runs=10, seed=0)
-    report = detector.monitor_program(seed=99)
+    report = detector.monitor(seed=99)
+
+For online serving, :class:`repro.StreamingMonitor` scores IQ chunks as
+they arrive and :class:`repro.FleetScheduler` multiplexes many device
+sessions in one process (see :mod:`repro.stream`).
 """
 
 from repro.errors import (
@@ -44,19 +48,36 @@ from repro.errors import (
 
 __version__ = "1.0.0"
 
-# Facade classes live in repro.core.detector; import them lazily (PEP 562)
-# so that `import repro` stays cheap and subpackages never cycle through
-# the facade.
+# The stable public surface. Classes are imported lazily (PEP 562) so
+# that `import repro` stays cheap and subpackages never cycle through
+# the facade. tests/test_public_api.py locks this surface against
+# tests/data/public_api.txt.
 _LAZY_EXPORTS = {
     "Eddie": "repro.core.detector",
     "TrainedDetector": "repro.core.detector",
     "MonitorReport": "repro.core.detector",
+    "EddieConfig": "repro.core.model",
+    "Monitor": "repro.core.monitor",
+    "MonitorResult": "repro.core.monitor",
+    "AnomalyReport": "repro.core.monitor",
+    "StreamingMonitor": "repro.stream",
+    "StreamSummary": "repro.stream",
+    "FleetScheduler": "repro.stream",
+    "FleetSession": "repro.stream",
 }
 
 __all__ = [
     "Eddie",
     "TrainedDetector",
     "MonitorReport",
+    "EddieConfig",
+    "Monitor",
+    "MonitorResult",
+    "AnomalyReport",
+    "StreamingMonitor",
+    "StreamSummary",
+    "FleetScheduler",
+    "FleetSession",
     "ReproError",
     "AnalysisError",
     "ConfigurationError",

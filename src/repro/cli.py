@@ -4,6 +4,7 @@ Subcommands:
 
 - ``train``      train a detector on a built-in benchmark, save the model
 - ``monitor``    run clean/injected monitoring runs against a saved model
+- ``stream``     feed captures chunk-by-chunk through the streaming fleet
 - ``experiment`` regenerate one of the paper's tables/figures
 - ``obs``        work with run manifests (``obs diff A B``)
 - ``list``       list benchmarks and experiments
@@ -12,6 +13,7 @@ Examples::
 
     eddie train bitcount -o bitcount.npz --runs 8
     eddie monitor bitcount bitcount.npz --inject-loop --seed 7
+    eddie stream bitcount bitcount.npz --sessions 8 --chunk-samples 4096
     eddie experiment table1 --scale quick
     eddie experiment table2 --trace --manifest-dir runs/
     eddie obs diff runs/table2_quick.json other/table2_quick.json
@@ -159,6 +161,28 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="skip acquisition-corrupted windows as "
                                     "unscorable (see `eddie monitor`)")
 
+    stream = sub.add_parser(
+        "stream",
+        help="monitor captures chunk-by-chunk through the streaming engine",
+    )
+    stream.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    stream.add_argument("model", help="model file from `eddie train`")
+    stream.add_argument("--sessions", type=int, default=4,
+                        help="concurrent fleet sessions (one capture each)")
+    stream.add_argument("--chunk-samples", type=int, default=4096,
+                        help="samples per chunk fed to each session")
+    stream.add_argument("--runs", type=int, default=1,
+                        help="captures per session, fed back to back")
+    stream.add_argument("--seed", type=int, default=1000)
+    stream.add_argument("--clock", type=float, default=1e8)
+    stream.add_argument("--inject-loop", action="store_true",
+                        help="inject into the hot loop (see `eddie monitor`)")
+    stream.add_argument("--contamination", type=float, default=1.0)
+    stream.add_argument("--early-exit", action="store_true",
+                        help="stop each session at its first anomaly")
+    stream.add_argument("--quality-gating", action="store_true",
+                        help="causal acquisition-quality gating per window")
+
     inspect = sub.add_parser(
         "inspect", help="show a benchmark's region-level state machine"
     )
@@ -265,7 +289,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             args.contamination,
         )
     for k in range(args.runs):
-        report = detector.monitor_program(seed=args.seed + k)
+        report = detector.monitor(seed=args.seed + k)
         metrics = report.metrics
         latency = (
             f"{metrics.detection_latency * 1e3:.2f} ms"
@@ -397,7 +421,7 @@ def _cmd_monitor_trace(args: argparse.Namespace) -> int:
     detector = TrainedDetector(model, source=None)
     for path in args.traces:
         trace = load_trace(path)
-        report = detector.monitor_trace(trace)
+        report = detector.monitor(trace)
         metrics = report.metrics
         latency = (
             f"{metrics.detection_latency * 1e3:.2f} ms"
@@ -417,6 +441,60 @@ def _cmd_monitor_trace(args: argparse.Namespace) -> int:
                 f" status={metrics.status}"
             )
         print(line)
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import itertools
+
+    from repro.stream import FleetScheduler
+
+    model = load_model(args.model)
+    if model.program_name != args.benchmark:
+        print(
+            f"warning: model was trained on {model.program_name!r}, "
+            f"streaming {args.benchmark!r}",
+            file=sys.stderr,
+        )
+    if args.quality_gating:
+        model = model.with_quality_gating(True)
+    if args.sessions < 1:
+        raise ConfigurationError(
+            f"--sessions must be >= 1, got {args.sessions}"
+        )
+    scenario = _make_source(args.benchmark, "em", args.clock)
+    if args.inject_loop:
+        scenario.simulator.set_loop_injection(
+            INJECTION_LOOPS[args.benchmark], injection_mix(4, 4),
+            args.contamination,
+        )
+    fleet = FleetScheduler(
+        max_sessions=args.sessions, early_exit=args.early_exit
+    )
+    for s in range(args.sessions):
+        base = args.seed + s * args.runs
+        source = itertools.chain.from_iterable(
+            scenario.capture_chunks(args.chunk_samples, seed=base + k)
+            for k in range(args.runs)
+        )
+        fleet.add_session(f"dev-{s:03d}", model, source=source)
+    rounds = 0
+    while fleet.step_round():
+        rounds += 1
+    summaries = fleet.summaries
+    for session_id in sorted(summaries):
+        s = summaries[session_id]
+        print(
+            f"{session_id}: chunks={s.chunks} windows={s.windows} "
+            f"reports={len(s.reports)} detected={s.detected} "
+            f"unscorable={s.unscorable_fraction:.1%} status={s.status}"
+            + (" (early exit)" if s.stopped_early else "")
+        )
+    detected = sum(1 for s in summaries.values() if s.detected)
+    print(
+        f"fleet: {len(summaries)} sessions, {rounds} dispatch rounds, "
+        f"{detected} detected"
+    )
     return 0
 
 
@@ -471,6 +549,7 @@ def main(argv: Optional[list] = None) -> int:
         "obs": _cmd_obs,
         "capture": _cmd_capture,
         "monitor-trace": _cmd_monitor_trace,
+        "stream": _cmd_stream,
         "inspect": _cmd_inspect,
         "list": _cmd_list,
     }

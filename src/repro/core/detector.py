@@ -10,17 +10,24 @@ Typical use::
     detector = eddie.train(bitcount(), core=CoreConfig.iot_inorder(1e8),
                            runs=10, seed=0)
 
-    # Monitor a clean run:
-    report = detector.monitor_program(seed=100)
+    # Monitor a clean run captured from the bound source:
+    report = detector.monitor(seed=100)
     assert not report.metrics.detected
 
     # Monitor an attacked run:
     detector.source.simulator.set_loop_injection("count_bits", injected, 1.0)
-    report = detector.monitor_program(seed=101)
+    report = detector.monitor(seed=101)
+
+``TrainedDetector.monitor`` is polymorphic: pass nothing (capture from
+the bound source), a raw :class:`~repro.types.Signal`, or a captured
+trace -- it always returns a :class:`MonitorReport`. The pre-redesign
+``monitor_signal`` / ``monitor_trace`` / ``monitor_program`` methods
+survive as deprecated aliases.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -58,11 +65,16 @@ def _signal_of(trace: TraceLike) -> Signal:
 
 @dataclass
 class MonitorReport:
-    """Result of monitoring one run with ground truth attached."""
+    """Result of monitoring one run, with ground truth when available.
+
+    ``trace`` is ``None`` when the run came from a raw
+    :class:`~repro.types.Signal` (no ground truth to score against --
+    the metrics then only describe the report stream itself).
+    """
 
     result: MonitorResult
     metrics: RunMetrics
-    trace: TraceLike
+    trace: Optional[TraceLike] = None
 
     @property
     def anomalies(self) -> List[float]:
@@ -87,46 +99,140 @@ class TrainedDetector:
 
     # -- monitoring -------------------------------------------------------------
 
-    def monitor_signal(self, signal: Signal) -> MonitorResult:
-        """Run Algorithm 1 over a raw signal (no ground truth needed)."""
-        return Monitor(self.model).run_signal(signal)
+    def monitor(
+        self,
+        source: Optional[Union[Signal, TraceLike]] = None,
+        *,
+        seed: Optional[int] = None,
+        inputs=None,
+    ) -> MonitorReport:
+        """Run Algorithm 1 over any monitorable source.
 
-    def monitor_trace(self, trace: TraceLike) -> MonitorReport:
-        """Monitor a captured trace and score it against its ground truth."""
-        signal = _signal_of(trace)
+        Dispatches on ``source``:
+
+        - ``None``: capture a fresh run from the bound source (injections
+          configured on its simulator apply -- the one-call way to run an
+          attack experiment); ``seed``/``inputs`` parameterize the run.
+        - a :class:`~repro.types.Signal`: monitor raw samples with no
+          ground truth (``report.trace`` is ``None`` and the metrics only
+          describe the report stream).
+        - an :class:`EmTrace` or :class:`SimulationResult`: monitor the
+          captured signal and score against the trace's ground truth.
+
+        Always returns a :class:`MonitorReport`.
+        """
+        if source is None:
+            if self.source is None:
+                raise MonitoringError(
+                    "detector has no bound source; pass a Signal or a "
+                    "captured trace to monitor()"
+                )
+            source = _capture(self.source, seed=seed, inputs=inputs)
+        elif seed is not None or inputs is not None:
+            raise MonitoringError(
+                "seed/inputs only apply when capturing from the bound "
+                "source (monitor() with no positional argument)"
+            )
+        if isinstance(source, Signal):
+            result = self._score_signal(source)
+            metrics = self._evaluate(result, RegionTimeline(), [], ())
+            return MonitorReport(result=result, metrics=metrics, trace=None)
+        if isinstance(source, (EmTrace, SimulationResult)):
+            trace = source
+            result = self._score_signal(_signal_of(trace))
+            metrics = self._evaluate(
+                result,
+                trace.timeline,
+                trace.injected_spans,
+                getattr(trace, "fault_spans", ()),
+            )
+            return MonitorReport(result=result, metrics=metrics, trace=trace)
+        raise MonitoringError(
+            f"cannot monitor a {type(source).__name__}; expected a Signal, "
+            f"an EmTrace, or a SimulationResult"
+        )
+
+    def stream(
+        self,
+        *,
+        batched: bool = True,
+        early_exit: bool = False,
+        keep_history: bool = False,
+        t0: float = 0.0,
+        session_id: str = "",
+    ):
+        """An online :class:`~repro.stream.StreamingMonitor` for this model.
+
+        Feed it IQ chunks as they arrive; results are bit-identical to
+        ``monitor()`` over the same samples (DESIGN.md D17).
+        """
+        from repro.stream import StreamingMonitor
+
+        return StreamingMonitor(
+            self.model,
+            batched=batched,
+            early_exit=early_exit,
+            keep_history=keep_history,
+            t0=t0,
+            session_id=session_id,
+        )
+
+    def _score_signal(self, signal: Signal) -> MonitorResult:
         if OBS.enabled:
             histogram(
                 "core.detector", "trace_mean_power", _TRACE_POWER_EDGES
             ).record(float(np.mean(np.abs(signal.samples) ** 2)))
         with span("monitor.trace"):
-            result = self.monitor_signal(signal)
+            return Monitor(self.model).run_signal(signal)
+
+    def _evaluate(
+        self, result, timeline, injected_spans, fault_spans
+    ) -> RunMetrics:
         cfg = self.model.config
         hop = self.model.hop_duration
-        metrics = evaluate_run(
+        return evaluate_run(
             result,
-            trace.timeline,
-            trace.injected_spans,
+            timeline,
+            injected_spans,
             window_duration=cfg.window_samples / self.model.sample_rate,
             hop_duration=hop,
             report_linger=self.model.max_group_size * hop,
-            fault_spans=getattr(trace, "fault_spans", ()),
+            fault_spans=fault_spans,
         )
-        return MonitorReport(result=result, metrics=metrics, trace=trace)
+
+    # -- deprecated pre-consolidation aliases --------------------------------
+
+    def monitor_signal(self, signal: Signal) -> MonitorResult:
+        """Deprecated: use ``monitor(signal).result``."""
+        warnings.warn(
+            "TrainedDetector.monitor_signal is deprecated; use "
+            "monitor(signal), which returns a full MonitorReport",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.monitor(signal).result
+
+    def monitor_trace(self, trace: TraceLike) -> MonitorReport:
+        """Deprecated: use ``monitor(trace)``."""
+        warnings.warn(
+            "TrainedDetector.monitor_trace is deprecated; use "
+            "monitor(trace)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.monitor(trace)
 
     def monitor_program(
         self, seed: Optional[int] = None, inputs=None
     ) -> MonitorReport:
-        """Capture a fresh run from the bound source and monitor it.
-
-        Injections configured on the source's simulator apply, so this is
-        the one-call way to run an attack experiment.
-        """
-        if self.source is None:
-            raise MonitoringError(
-                "detector has no bound source; use monitor_trace/monitor_signal"
-            )
-        trace = _capture(self.source, seed=seed, inputs=inputs)
-        return self.monitor_trace(trace)
+        """Deprecated: use ``monitor(seed=..., inputs=...)``."""
+        warnings.warn(
+            "TrainedDetector.monitor_program is deprecated; use "
+            "monitor(seed=..., inputs=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.monitor(seed=seed, inputs=inputs)
 
     # -- model tweaking (experiment knobs) -----------------------------------------
 

@@ -21,9 +21,13 @@ from repro.errors import ConfigurationError, TrainingError
 __all__ = ["EddieConfig", "RegionProfile", "EddieModel"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class EddieConfig:
     """All tunables of the EDDIE pipeline.
+
+    Construction is keyword-only and validates eagerly: every invalid
+    field raises :class:`~repro.errors.ConfigurationError` at
+    construction time, never later inside the pipeline.
 
     Attributes:
         window_samples: STFT window length in samples.
@@ -93,6 +97,33 @@ class EddieConfig:
     max_unscorable_fraction: float = 0.9
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "EddieConfig":
+        """Check every field; raise ConfigurationError on the first bad one.
+
+        Runs automatically at construction; call it explicitly after
+        deserializing a config through a path that bypasses ``__init__``.
+        Returns ``self`` so it chains.
+        """
+        if self.window_samples < 8:
+            raise ConfigurationError(
+                f"window_samples must be >= 8, got {self.window_samples}"
+            )
+        if not 0 <= self.overlap < 1:
+            raise ConfigurationError(
+                f"overlap must be in [0, 1), got {self.overlap}"
+            )
+        if not 0 < self.energy_fraction < 1:
+            raise ConfigurationError(
+                f"energy_fraction must be in (0, 1), got {self.energy_fraction}"
+            )
+        if self.peak_prominence < 0:
+            raise ConfigurationError("peak_prominence must be >= 0")
+        if self.reference_cap < 1:
+            raise ConfigurationError("reference_cap must be >= 1")
+        if self.min_mon_values < 2:
+            raise ConfigurationError("min_mon_values must be >= 2")
         if not 0 < self.alpha < 1:
             raise ConfigurationError(f"alpha must be in (0, 1), got {self.alpha}")
         if self.statistic not in ("ks", "utest"):
@@ -121,6 +152,7 @@ class EddieConfig:
             raise ConfigurationError(
                 "max_unscorable_fraction must be in (0, 1]"
             )
+        return self
 
 
 class RegionProfile:

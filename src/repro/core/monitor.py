@@ -173,6 +173,71 @@ class MonitorResult:
     def degraded(self) -> bool:
         return self.status == "degraded"
 
+    @classmethod
+    def concat(
+        cls,
+        results: Sequence["MonitorResult"],
+        max_unscorable_fraction: Optional[float] = None,
+    ) -> "MonitorResult":
+        """Merge per-chunk results (e.g. from ``StreamingMonitor.feed``)
+        into one stream-wide result.
+
+        ``report_indices`` are re-based from chunk-local to stream-global.
+        ``status`` is recomputed over the merged unscorable flags when
+        ``max_unscorable_fraction`` is given; otherwise the last chunk's
+        status (which the streaming engine already computes cumulatively)
+        carries over.
+        """
+        if not results:
+            return cls(
+                times=np.empty(0),
+                tracked=[],
+                reports=[],
+                rejection_flags=np.zeros(0, dtype=bool),
+                group_sizes=np.zeros(0, dtype=int),
+                unscorable_flags=np.zeros(0, dtype=bool),
+                report_indices=[],
+            )
+        tracked: List[str] = []
+        reports: List[AnomalyReport] = []
+        report_indices: List[int] = []
+        offset = 0
+        for r in results:
+            tracked.extend(r.tracked)
+            reports.extend(r.reports)
+            if r.report_indices is not None:
+                report_indices.extend(i + offset for i in r.report_indices)
+            offset += len(r.times)
+        quality = None
+        if all(r.quality is not None for r in results):
+            quality = np.concatenate([r.quality for r in results])
+        unscorable = np.concatenate([
+            r.unscorable_flags
+            if r.unscorable_flags is not None
+            else np.zeros(len(r.times), dtype=bool)
+            for r in results
+        ])
+        status = results[-1].status
+        if max_unscorable_fraction is not None:
+            degraded = (
+                len(unscorable)
+                and unscorable.mean() >= max_unscorable_fraction
+            )
+            status = "degraded" if degraded else "ok"
+        return cls(
+            times=np.concatenate([r.times for r in results]),
+            tracked=tracked,
+            reports=reports,
+            rejection_flags=np.concatenate(
+                [r.rejection_flags for r in results]
+            ),
+            group_sizes=np.concatenate([r.group_sizes for r in results]),
+            unscorable_flags=unscorable,
+            quality=quality,
+            report_indices=report_indices,
+            status=status,
+        )
+
 
 class Monitor:
     """A stateful Algorithm-1 monitor for one trained model.
@@ -309,10 +374,10 @@ class Monitor:
         if n and unscorable_flags.mean() >= self._cfg.max_unscorable_fraction:
             status = "degraded"
         if OBS.enabled:
-            self._flush_obs(
-                peaks, tracked, reports, rejection_flags, unscorable_flags,
-                status,
+            self._flush_obs_windows(
+                peaks, tracked, reports, rejection_flags, unscorable_flags
             )
+            self._flush_obs_run(status)
         return MonitorResult(
             times=np.asarray(times, dtype=float),
             tracked=tracked,
@@ -325,22 +390,21 @@ class Monitor:
             status=status,
         )
 
-    def _flush_obs(
+    def _flush_obs_windows(
         self,
         peaks: np.ndarray,
         tracked: List[str],
         reports: List[AnomalyReport],
         rejection_flags: np.ndarray,
         unscorable_flags: np.ndarray,
-        status: str,
     ) -> None:
-        """Fold one run's worth of monitoring events into the metrics
-        registry.
+        """Fold a batch of monitoring events into the metrics registry.
 
         Counters are accumulated locally inside the per-STS loop (plain
-        Python state) and flushed here in one pass per run, so the
-        enabled-mode overhead stays a handful of instrument calls per
-        trace rather than several per window.
+        Python state) and flushed here in one pass per run -- or once per
+        chunk on the streaming path -- so the enabled-mode overhead stays
+        a handful of instrument calls per trace rather than several per
+        window.
         """
         n = len(tracked)
         unscorable = int(unscorable_flags.sum())
@@ -349,9 +413,6 @@ class Monitor:
         anomalies = sum(1 for r in reports if r.kind == "anomaly")
         counter("core.monitor", "reports_anomaly").inc(anomalies)
         counter("core.monitor", "reports_desync").inc(len(reports) - anomalies)
-        if status == "degraded":
-            counter("core.monitor", "runs_degraded").inc()
-        counter("core.monitor", "runs_monitored").inc()
         # K-S rejections by region: the region the monitor believed it was
         # in when the current-region test rejected.
         by_region: Dict[str, int] = {}
@@ -376,6 +437,12 @@ class Monitor:
                 len(self._ks_scaled_stats)
             )
         self._ks_scaled_stats = []
+
+    def _flush_obs_run(self, status: str) -> None:
+        """Run-level counters: once per batch run or stream close."""
+        if status == "degraded":
+            counter("core.monitor", "runs_degraded").inc()
+        counter("core.monitor", "runs_monitored").inc()
 
     # -- one step of Algorithm 1 ------------------------------------------------
 

@@ -22,6 +22,8 @@ from repro.types import Signal
 
 __all__ = [
     "SpectrumSequence",
+    "StreamingStft",
+    "StreamingQuality",
     "stft",
     "stft_seconds",
     "window_quality",
@@ -135,27 +137,10 @@ def stft(
     starts = np.arange(n_windows) * hop
     # Build a strided view [n_windows, window_samples] without copying.
     frames = np.lib.stride_tricks.sliding_window_view(samples, window_samples)[starts]
-    if detrend:
-        # Remove each frame's mean BEFORE tapering: subtracting after
-        # tapering leaves a taper-shaped residual that leaks into the
-        # lowest bins and can outweigh genuine loop peaks.
-        frames = frames - frames.mean(axis=1, keepdims=True)
-    frames = frames * taper
-
-    if is_complex:
-        spectra = np.fft.fft(frames, axis=1)
-        power = np.abs(spectra) ** 2
-        if fold:
-            power, freqs = _fold_two_sided(power, window_samples, signal.sample_rate)
-        else:
-            power = np.fft.fftshift(power, axes=1)
-            freqs = np.fft.fftshift(
-                np.fft.fftfreq(window_samples, 1.0 / signal.sample_rate)
-            )
-    else:
-        spectra = np.fft.rfft(frames, axis=1)
-        freqs = np.fft.rfftfreq(window_samples, 1.0 / signal.sample_rate)
-        power = np.abs(spectra) ** 2
+    power, freqs = _transform_frames(
+        frames, is_complex, taper, detrend, fold,
+        window_samples, signal.sample_rate,
+    )
     times = signal.t0 + (starts + window_samples / 2.0) / signal.sample_rate
     if OBS.enabled:
         record_count("core.stft", "transforms")
@@ -179,6 +164,46 @@ def stft_seconds(
     """Like :func:`stft` with the window given in seconds (paper: 0.1 ms)."""
     window_samples = int(round(window_seconds * signal.sample_rate))
     return stft(signal, window_samples, overlap, window, detrend)
+
+
+def _transform_frames(
+    frames: np.ndarray,
+    is_complex: bool,
+    taper: np.ndarray,
+    detrend: bool,
+    fold: bool,
+    window_samples: int,
+    sample_rate: float,
+):
+    """Per-window spectral transform shared by :func:`stft` and
+    :class:`StreamingStft`.
+
+    Every operation here is per-row (mean removal, taper, FFT, magnitude,
+    fold), so transforming a subset of a capture's windows produces
+    bit-identical spectra to transforming all of them at once -- the
+    property the streaming engine's batch-equality guarantee rests on.
+    """
+    if detrend:
+        # Remove each frame's mean BEFORE tapering: subtracting after
+        # tapering leaves a taper-shaped residual that leaks into the
+        # lowest bins and can outweigh genuine loop peaks.
+        frames = frames - frames.mean(axis=1, keepdims=True)
+    frames = frames * taper
+    if is_complex:
+        spectra = np.fft.fft(frames, axis=1)
+        power = np.abs(spectra) ** 2
+        if fold:
+            power, freqs = _fold_two_sided(power, window_samples, sample_rate)
+        else:
+            power = np.fft.fftshift(power, axes=1)
+            freqs = np.fft.fftshift(
+                np.fft.fftfreq(window_samples, 1.0 / sample_rate)
+            )
+    else:
+        spectra = np.fft.rfft(frames, axis=1)
+        freqs = np.fft.rfftfreq(window_samples, 1.0 / sample_rate)
+        power = np.abs(spectra) ** 2
+    return power, freqs
 
 
 def _fold_two_sided(
@@ -322,3 +347,267 @@ def _taper(name: str, length: int) -> np.ndarray:
     if name == "rect":
         return np.ones(length)
     raise SignalError(f"unknown window {name!r}")
+
+
+class StreamingQuality:
+    """Causal, chunked counterpart of :func:`window_quality`.
+
+    Consumes arbitrary-size sample chunks and emits the quality bitmask of
+    every window completed by each chunk, in lockstep with
+    :class:`StreamingStft`. State is O(1) in the stream length: a residual
+    sample buffer shorter than one window plus one chunk, the running
+    amplitude rail, the zero-run length carried across the chunk boundary,
+    and a bounded ring of recent log-energies.
+
+    Exactness relative to the batch function (which sees the whole capture
+    at once):
+
+    - *gapped* / *dead* flags are bit-identical: zero runs only ever look
+      backward, and the run length at the chunk boundary is carried over.
+    - *clipped* uses the running amplitude maximum instead of the global
+      one, so a window early in the stream may miss the flag if the
+      capture's true rail only appears later (a fielded receiver knows its
+      ADC rail up front and can seed ``full_scale``).
+    - *energy outlier* references the median/MAD of the last
+      ``baseline_capacity`` unflagged windows instead of the whole
+      capture's -- the stationary-capture verdicts agree, and the causal
+      version additionally adapts to slow drift.
+    """
+
+    def __init__(
+        self,
+        window_samples: int,
+        overlap: float = 0.5,
+        clip_fraction: float = 0.01,
+        gap_samples: int = 16,
+        dead_fraction: float = 0.9,
+        energy_outlier_mads: float = 8.0,
+        full_scale: Optional[float] = None,
+        baseline_capacity: int = 512,
+    ) -> None:
+        if window_samples < 8:
+            raise SignalError(
+                f"window_samples must be >= 8, got {window_samples}"
+            )
+        if not 0.0 <= overlap < 1.0:
+            raise SignalError(f"overlap must be in [0, 1), got {overlap}")
+        if baseline_capacity < 8:
+            raise SignalError("baseline_capacity must be >= 8")
+        self._window = window_samples
+        self._hop = max(1, int(round(window_samples * (1.0 - overlap))))
+        self._clip_fraction = clip_fraction
+        self._gap_samples = gap_samples
+        self._dead_fraction = dead_fraction
+        self._mads = energy_outlier_mads
+        self._buffer: Optional[np.ndarray] = None
+        self._full_scale = float(full_scale) if full_scale else 0.0
+        self._zero_carry = 0
+        self._baseline = np.empty(baseline_capacity)
+        self._baseline_size = 0
+        self._baseline_pos = 0
+
+    def feed(self, samples: np.ndarray) -> np.ndarray:
+        """Quality flags of the windows completed by this chunk."""
+        samples = np.asarray(samples)
+        if self._buffer is None:
+            self._buffer = samples.copy()
+        elif len(samples):
+            self._buffer = np.concatenate([self._buffer, samples])
+        buf = self._buffer
+        if np.iscomplexobj(samples) and len(samples):
+            amp_new = np.maximum(np.abs(samples.real), np.abs(samples.imag))
+        else:
+            amp_new = np.abs(samples)
+        if len(amp_new):
+            self._full_scale = max(self._full_scale, float(amp_new.max()))
+        w, hop = self._window, self._hop
+        if len(buf) < w:
+            return np.zeros(0, dtype=np.uint8)
+        n = 1 + (len(buf) - w) // hop
+        starts = np.arange(n) * hop
+        region = buf[: (n - 1) * hop + w]
+        if np.iscomplexobj(region):
+            amp = np.maximum(np.abs(region.real), np.abs(region.imag))
+        else:
+            amp = np.abs(region)
+        is_zero = region == 0
+
+        flags = np.zeros(n, dtype=np.uint8)
+        if self._full_scale > 0:
+            at_rail = amp >= 0.999 * self._full_scale
+            rail_counts = _window_sums(at_rail, starts, w)
+            flags[rail_counts >= max(2, self._clip_fraction * w)] |= QF_CLIPPED
+
+        zero_counts = _window_sums(is_zero, starts, w)
+        flags[zero_counts >= self._dead_fraction * w] |= QF_DEAD
+        run_len = _zero_run_lengths(is_zero)
+        if self._zero_carry:
+            # Fold the pre-buffer zero run into the leading zero prefix so
+            # runs spanning the chunk boundary keep their full length.
+            prefix = len(run_len)
+            nz = np.nonzero(~is_zero)[0]
+            if len(nz):
+                prefix = int(nz[0])
+            run_len[:prefix] += self._zero_carry
+        gap_hits = _window_sums(run_len >= self._gap_samples, starts, w)
+        flags[gap_hits > 0] |= QF_GAPPED
+
+        energy = _window_sums(np.abs(region) ** 2, starts, w)
+        log_e = np.log10(energy + np.finfo(float).tiny)
+        for i in range(n):
+            if flags[i]:
+                continue
+            if self._baseline_size >= 8:
+                base = self._baseline[: self._baseline_size]
+                median = float(np.median(base))
+                mad = float(np.median(np.abs(base - median)))
+                scale = max(1.4826 * mad, 0.02)  # floor: 0.02 decades
+                if abs(log_e[i] - median) > self._mads * scale:
+                    flags[i] |= QF_ENERGY_OUTLIER
+            # Like the batch baseline (every not-otherwise-flagged window,
+            # outliers included -- the robust statistics absorb them).
+            self._baseline[self._baseline_pos] = log_e[i]
+            self._baseline_pos = (self._baseline_pos + 1) % len(self._baseline)
+            self._baseline_size = min(
+                self._baseline_size + 1, len(self._baseline)
+            )
+
+        drop = n * hop
+        self._zero_carry = int(run_len[drop - 1])
+        self._buffer = buf[drop:].copy()
+        return flags
+
+
+class StreamingStft:
+    """Chunked, stateful counterpart of :func:`stft`.
+
+    Accepts arbitrary-size sample chunks via :meth:`feed` and emits the
+    Short-Term Spectra of every window completed so far, carrying the STFT
+    tail (the up-to ``window_samples - 1`` samples that belong to
+    not-yet-complete windows) across chunk boundaries. Each emitted window
+    contains exactly the samples the batch :func:`stft` would have given
+    it, and the per-window transform is shared code
+    (:func:`_transform_frames`), so streaming spectra are bit-identical to
+    batch spectra for any chunking of the same signal.
+
+    Steady-state memory is O(window_samples + chunk), independent of how
+    much of the stream has been consumed.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float,
+        window_samples: int = 1024,
+        overlap: float = 0.5,
+        window: str = "hann",
+        detrend: bool = True,
+        fold: bool = True,
+        t0: float = 0.0,
+        quality: Optional[StreamingQuality] = None,
+    ) -> None:
+        if sample_rate <= 0:
+            raise SignalError(
+                f"sample_rate must be positive, got {sample_rate}"
+            )
+        if window_samples < 8:
+            raise SignalError(
+                f"window_samples must be >= 8, got {window_samples}"
+            )
+        if not 0.0 <= overlap < 1.0:
+            raise SignalError(f"overlap must be in [0, 1), got {overlap}")
+        self.sample_rate = float(sample_rate)
+        self.window_samples = int(window_samples)
+        self.hop = max(1, int(round(window_samples * (1.0 - overlap))))
+        self.t0 = float(t0)
+        self._taper_arr = _taper(window, window_samples)
+        self._detrend = detrend
+        self._fold = fold
+        self._quality = quality
+        self._buffer: Optional[np.ndarray] = None
+        self._consumed = 0  # absolute sample index of _buffer[0]
+        self._is_complex: Optional[bool] = None
+        self._freqs: Optional[np.ndarray] = None
+
+    @property
+    def pending_samples(self) -> int:
+        """Samples buffered but not yet part of a completed window."""
+        return 0 if self._buffer is None else len(self._buffer)
+
+    @property
+    def samples_seen(self) -> int:
+        """Total samples consumed so far (including the pending tail)."""
+        return self._consumed + self.pending_samples
+
+    def feed(self, samples: np.ndarray) -> SpectrumSequence:
+        """Consume one chunk; return the windows it completed (possibly
+        zero of them)."""
+        samples = np.asarray(samples)
+        if samples.ndim != 1:
+            raise SignalError(
+                f"chunk must be 1-D, got shape {samples.shape}"
+            )
+        chunk_complex = np.iscomplexobj(samples)
+        if self._is_complex is None:
+            self._is_complex = chunk_complex
+        elif chunk_complex and not self._is_complex:
+            raise SignalError(
+                "complex chunk fed into a stream that started real"
+            )
+        quality_flags = (
+            self._quality.feed(samples) if self._quality is not None else None
+        )
+        if self._buffer is None:
+            self._buffer = samples.copy()
+        elif len(samples):
+            self._buffer = np.concatenate([self._buffer, samples])
+        buf = self._buffer
+        w, hop = self.window_samples, self.hop
+        n = 1 + (len(buf) - w) // hop if len(buf) >= w else 0
+        if n <= 0:
+            return self._empty_sequence(quality_flags)
+        local_starts = np.arange(n) * hop
+        frames = np.lib.stride_tricks.sliding_window_view(buf, w)[local_starts]
+        power, freqs = _transform_frames(
+            frames, self._is_complex, self._taper_arr, self._detrend,
+            self._fold, w, self.sample_rate,
+        )
+        self._freqs = freqs
+        starts = self._consumed + local_starts
+        times = self.t0 + (starts + w / 2.0) / self.sample_rate
+        self._consumed += n * hop
+        self._buffer = buf[n * hop:].copy()
+        if OBS.enabled:
+            record_count("core.stft", "stream_chunks")
+            record_count("core.stft", "stream_windows", n)
+        return SpectrumSequence(
+            freqs=freqs,
+            times=times,
+            power=power,
+            window_duration=w / self.sample_rate,
+            hop_duration=hop / self.sample_rate,
+            quality=quality_flags,
+        )
+
+    def _empty_sequence(
+        self, quality_flags: Optional[np.ndarray]
+    ) -> SpectrumSequence:
+        freqs = self._freqs
+        if freqs is None:
+            # No window completed yet; the bin grid is still known from
+            # the stream mode and config.
+            if self._is_complex and not self._fold:
+                freqs = np.fft.fftshift(
+                    np.fft.fftfreq(self.window_samples, 1.0 / self.sample_rate)
+                )
+            else:
+                freqs = np.fft.rfftfreq(
+                    self.window_samples, 1.0 / self.sample_rate
+                )
+        return SpectrumSequence(
+            freqs=freqs,
+            times=np.empty(0),
+            power=np.empty((0, len(freqs))),
+            window_duration=self.window_samples / self.sample_rate,
+            hop_duration=self.hop / self.sample_rate,
+            quality=quality_flags,
+        )

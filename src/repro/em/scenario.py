@@ -56,6 +56,15 @@ class EmTrace:
         """Whether [start, end) overlaps any acquisition-fault span."""
         return any(f.overlaps(start, end) for f in self.fault_spans)
 
+    def iter_chunks(self, chunk_samples: int):
+        """Yield the captured IQ as consecutive :class:`Signal` chunks.
+
+        The streaming-ingestion view of a capture -- what a live receiver
+        delivering ``chunk_samples`` at a time would hand a
+        :class:`~repro.stream.StreamingMonitor`.
+        """
+        return self.iq.iter_chunks(chunk_samples)
+
 
 @dataclass
 class EmScenario:
@@ -128,3 +137,17 @@ class EmScenario:
             inputs=result.inputs,
             fault_spans=fault_spans,
         )
+
+    def capture_chunks(
+        self,
+        chunk_samples: int,
+        seed: Optional[int] = None,
+        inputs: Optional[Mapping[str, float]] = None,
+    ):
+        """Capture one run and yield its IQ in ``chunk_samples`` pieces.
+
+        The source feed for streaming sessions: pass the iterator as a
+        :meth:`~repro.stream.FleetScheduler.add_session` ``source`` to
+        replay a device's capture chunk by chunk.
+        """
+        return self.capture(seed=seed, inputs=inputs).iter_chunks(chunk_samples)

@@ -187,7 +187,7 @@ def run_depth_injection_interaction(
                 )
                 simulator.clear_injections()
                 metrics = aggregate_metrics(
-                    [detector.monitor_trace(t).metrics for t in traces]
+                    [detector.monitor(t).metrics for t in traces]
                 )
                 if metrics.detection_latency is not None:
                     latencies.setdefault((depth, size), []).append(

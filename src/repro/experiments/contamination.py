@@ -79,7 +79,7 @@ def _benchmark_curves(
         )
         fn_values = []
         for trace in traces:
-            report = fixed.monitor_trace(trace)
+            report = fixed.monitor(trace)
             fn = rejection_false_negative_rate(
                 report.result, trace.injected_spans, window_s,
                 fixed.model.hop_duration,
@@ -93,7 +93,7 @@ def _benchmark_curves(
 
         # Figure 7: latency of the trained (per-region n) detector.
         trained = aggregate_metrics(
-            [detector.monitor_trace(t).metrics for t in traces]
+            [detector.monitor(t).metrics for t in traces]
         )
         lat_points.append(
             (rate * 100,

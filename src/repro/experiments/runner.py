@@ -287,7 +287,7 @@ def monitor_traces(
 ) -> RunMetrics:
     """Monitor a set of traces and aggregate their metrics."""
     with span("monitor_traces"):
-        reports = [detector.monitor_trace(trace) for trace in traces]
+        reports = [detector.monitor(trace) for trace in traces]
         return aggregate_metrics([r.metrics for r in reports])
 
 

@@ -142,9 +142,9 @@ def _evaluate_benchmark(
     )
     simulator.clear_injections()
 
-    clean = [detector.monitor_trace(t).metrics for t in clean_traces]
-    loops = [detector.monitor_trace(t).metrics for t in loop_traces]
-    bursts = [detector.monitor_trace(t).metrics for t in burst_traces]
+    clean = [detector.monitor(t).metrics for t in clean_traces]
+    loops = [detector.monitor(t).metrics for t in loop_traces]
+    bursts = [detector.monitor(t).metrics for t in burst_traces]
 
     everything = aggregate_metrics(clean + loops + bursts)
     injected = aggregate_metrics(loops + bursts)

@@ -1,0 +1,27 @@
+"""Streaming monitoring: chunked online scoring and fleet multiplexing.
+
+This package is the online serving shape of the reproduction
+(DESIGN.md D17):
+
+- :class:`StreamingMonitor` -- Algorithm 1 over arbitrary-size sample
+  chunks with O(1) steady-state memory, bit-identical to the batch
+  :meth:`~repro.core.monitor.Monitor.run_signal` path.
+- :class:`FleetScheduler` / :class:`FleetSession` -- many concurrent
+  device sessions in one process, sharing trained models by reference,
+  with round-robin chunk dispatch and bounded aggregate memory.
+- :class:`StreamSummary` -- the closing statistics of one stream.
+
+The stateful STFT front end lives in :mod:`repro.core.stft`
+(:class:`~repro.core.stft.StreamingStft`,
+:class:`~repro.core.stft.StreamingQuality`).
+"""
+
+from repro.stream.engine import StreamingMonitor, StreamSummary
+from repro.stream.fleet import FleetScheduler, FleetSession
+
+__all__ = [
+    "StreamingMonitor",
+    "StreamSummary",
+    "FleetScheduler",
+    "FleetSession",
+]

@@ -1,0 +1,332 @@
+"""The streaming monitor engine: Algorithm 1 over chunked IQ.
+
+EDDIE's monitoring algorithm is inherently online -- it scores STSs
+window by window -- but :meth:`Monitor.run_signal` needs the whole
+capture in memory before the first verdict. :class:`StreamingMonitor`
+closes that gap: it accepts arbitrary-size sample chunks via
+:meth:`~StreamingMonitor.feed`, carries the STFT tail across chunk
+boundaries (:class:`~repro.core.stft.StreamingStft`), extracts peaks and
+quality flags per completed window, and drives the same
+:meth:`Monitor.step` state machine -- including PR 2's batched K-S hot
+path, which is reused unchanged. Steady-state memory is O(1) in the
+stream length: the residual sample tail, the monitor's bounded rolling
+history, and (optionally) per-chunk results the caller has not consumed.
+
+Bit-identity contract (DESIGN.md D17): for any chunking of the same
+signal, concatenating the per-chunk results equals
+``Monitor.run_signal``'s result exactly. With ``quality_gating`` enabled
+the gap/dead flags remain exact, while the clipped/energy-outlier flags
+use causal running statistics (see
+:class:`~repro.core.stft.StreamingQuality`) -- a fielded receiver cannot
+consult the end of a capture it has not seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.core.model import EddieModel
+from repro.core.monitor import AnomalyReport, Monitor, MonitorResult
+from repro.core.peaks import peak_matrix
+from repro.core.stft import SpectrumSequence, StreamingQuality, StreamingStft
+from repro.errors import MonitoringError, SignalError
+from repro.obs import OBS, span
+from repro.types import Signal
+
+__all__ = ["StreamingMonitor", "StreamSummary"]
+
+ChunkLike = Union[np.ndarray, Signal]
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """Closing statistics of one monitoring stream.
+
+    Attributes:
+        session_id: the fleet session this stream belonged to (empty for
+            standalone streams).
+        chunks: chunks fed.
+        samples: raw samples consumed (including the residual tail).
+        windows: STSs scored or skipped.
+        reports: every anomaly/desync report, in time order.
+        unscorable_fraction: share of windows skipped as unscorable.
+        status: ``'ok'`` or ``'degraded'`` (same criterion as batch runs).
+        stopped_early: whether early-exit ended the stream at the first
+            anomaly.
+    """
+
+    session_id: str
+    chunks: int
+    samples: int
+    windows: int
+    reports: List[AnomalyReport] = field(default_factory=list)
+    unscorable_fraction: float = 0.0
+    status: str = "ok"
+    stopped_early: bool = False
+
+    @property
+    def detected(self) -> bool:
+        return any(r.kind == "anomaly" for r in self.reports)
+
+
+class StreamingMonitor:
+    """Chunked, stateful front end over :class:`~repro.core.monitor.Monitor`.
+
+    Args:
+        model: the trained :class:`~repro.core.model.EddieModel`. Shared
+            by reference between sessions -- its per-region sorted
+            references are precomputed once and reused by every monitor
+            bound to it.
+        batched: use the vectorized K-S hot path (bit-identical to the
+            reference path either way).
+        early_exit: stop scoring at the first ``anomaly`` report; the
+            chunk result is truncated just after the reporting window and
+            later ``feed`` calls return nothing.
+        keep_history: retain per-chunk results so :meth:`result` can
+            reassemble the full stream-wide :class:`MonitorResult`.
+            Costs O(stream length); leave off for long-lived sessions.
+        t0: absolute time of the first sample fed.
+        session_id: label used in summaries and per-session metrics.
+    """
+
+    def __init__(
+        self,
+        model: EddieModel,
+        *,
+        batched: bool = True,
+        early_exit: bool = False,
+        keep_history: bool = False,
+        t0: float = 0.0,
+        session_id: str = "",
+    ) -> None:
+        self.model = model
+        self.session_id = session_id
+        cfg = model.config
+        self._cfg = cfg
+        self._monitor = Monitor(model, batched=batched)
+        quality = None
+        if cfg.quality_gating:
+            quality = StreamingQuality(
+                cfg.window_samples,
+                cfg.overlap,
+                clip_fraction=cfg.clip_fraction,
+                gap_samples=cfg.gap_samples,
+                dead_fraction=cfg.dead_fraction,
+                energy_outlier_mads=cfg.energy_outlier_mads,
+            )
+        self._stft = StreamingStft(
+            model.sample_rate,
+            cfg.window_samples,
+            cfg.overlap,
+            t0=t0,
+            quality=quality,
+        )
+        self._early_exit = bool(early_exit)
+        self._keep_history = bool(keep_history)
+        self._chunk_results: Optional[List[MonitorResult]] = (
+            [] if keep_history else None
+        )
+        self._chunks = 0
+        self._windows = 0
+        self._unscorable = 0
+        self._reports: List[AnomalyReport] = []
+        self._stopped = False
+        self._summary: Optional[StreamSummary] = None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def stopped(self) -> bool:
+        """True once early-exit fired or :meth:`finish` was called."""
+        return self._stopped or self._summary is not None
+
+    @property
+    def windows_seen(self) -> int:
+        return self._windows
+
+    @property
+    def reports(self) -> List[AnomalyReport]:
+        return list(self._reports)
+
+    @property
+    def current_region(self) -> str:
+        return self._monitor.current_region
+
+    @property
+    def status(self) -> str:
+        """Cumulative run status under the batch ``degraded`` criterion."""
+        if (
+            self._windows
+            and self._unscorable / self._windows
+            >= self._cfg.max_unscorable_fraction
+        ):
+            return "degraded"
+        return "ok"
+
+    def resident_bytes(self) -> int:
+        """Approximate bytes of stream state held right now.
+
+        Covers the residual STFT tail and the monitor's rolling history
+        buffers -- the quantities that must stay flat as the stream grows
+        (``keep_history`` results, if enabled, are counted too and are
+        the one intentionally unbounded part).
+        """
+        mon = self._monitor
+        total = mon._history.nbytes
+        for buf in mon._buffers.values():
+            total += buf._values.nbytes + buf._ages.nbytes
+        if self._stft._buffer is not None:
+            total += self._stft._buffer.nbytes
+        if self._chunk_results:
+            for r in self._chunk_results:
+                total += (
+                    r.times.nbytes
+                    + r.rejection_flags.nbytes
+                    + r.group_sizes.nbytes
+                    + r.unscorable_flags.nbytes
+                )
+        return total
+
+    # -- driving -------------------------------------------------------------
+
+    def feed(self, samples: ChunkLike) -> List[MonitorResult]:
+        """Consume one chunk of raw samples; return the results of every
+        window it completed.
+
+        Returns an empty list while the stream is still inside its first
+        window, after early-exit stopped it, or after :meth:`finish`.
+        Each returned :class:`MonitorResult` covers a contiguous stretch
+        of newly completed windows with chunk-local ``report_indices``;
+        :meth:`MonitorResult.concat` re-bases them when reassembling the
+        stream.
+        """
+        if self.stopped:
+            return []
+        if isinstance(samples, Signal):
+            if samples.sample_rate != self.model.sample_rate:
+                raise SignalError(
+                    f"chunk sample rate {samples.sample_rate} does not "
+                    f"match the model's {self.model.sample_rate}"
+                )
+            samples = samples.samples
+        with span("stream.feed"):
+            seq = self._stft.feed(np.asarray(samples))
+            self._chunks += 1
+            if len(seq) == 0:
+                return []
+            result = self._score_windows(seq)
+        if self._keep_history:
+            self._chunk_results.append(result)
+        return [result]
+
+    def _score_windows(self, seq: SpectrumSequence) -> MonitorResult:
+        cfg = self._cfg
+        mon = self._monitor
+        peaks = peak_matrix(
+            seq, cfg.energy_fraction, cfg.max_peaks, cfg.peak_prominence,
+            cfg.diffuse_features,
+        )
+        quality = seq.quality
+        n = len(seq)
+        tracked: List[str] = []
+        reports: List[AnomalyReport] = []
+        report_indices: List[int] = []
+        rejection_flags = np.zeros(n, dtype=bool)
+        unscorable_flags = np.zeros(n, dtype=bool)
+        group_sizes = np.zeros(n, dtype=int)
+        stop_at: Optional[int] = None
+        for i in range(n):
+            q = int(quality[i]) if quality is not None else 0
+            report, rejected = mon.step(
+                peaks[i], float(seq.times[i]), quality=q
+            )
+            tracked.append(mon.current_region)
+            rejection_flags[i] = rejected
+            unscorable_flags[i] = mon.last_unscorable
+            group_sizes[i] = self.model.profile(mon.current_region).group_size
+            if report is not None:
+                reports.append(report)
+                report_indices.append(i)
+                if self._early_exit and report.kind == "anomaly":
+                    stop_at = i + 1
+                    break
+        if stop_at is not None:
+            self._stopped = True
+            peaks = peaks[:stop_at]
+            rejection_flags = rejection_flags[:stop_at]
+            unscorable_flags = unscorable_flags[:stop_at]
+            group_sizes = group_sizes[:stop_at]
+            quality = quality[:stop_at] if quality is not None else None
+            seq = seq.slice(0, stop_at)
+        self._windows += len(tracked)
+        self._unscorable += int(unscorable_flags.sum())
+        self._reports.extend(reports)
+        if OBS.enabled:
+            mon._flush_obs_windows(
+                peaks, tracked, reports, rejection_flags, unscorable_flags
+            )
+        return MonitorResult(
+            times=np.asarray(seq.times, dtype=float),
+            tracked=tracked,
+            reports=reports,
+            rejection_flags=rejection_flags,
+            group_sizes=group_sizes,
+            unscorable_flags=unscorable_flags,
+            quality=quality,
+            report_indices=report_indices,
+            status=self.status,
+        )
+
+    def finish(self) -> StreamSummary:
+        """Close the stream: flush run-level metrics, return the summary.
+
+        Idempotent -- a second call returns the same summary without
+        double-counting.
+        """
+        if self._summary is not None:
+            return self._summary
+        if OBS.enabled:
+            self._monitor._flush_obs_run(self.status)
+        self._summary = StreamSummary(
+            session_id=self.session_id,
+            chunks=self._chunks,
+            samples=self._stft.samples_seen,
+            windows=self._windows,
+            reports=list(self._reports),
+            unscorable_fraction=(
+                self._unscorable / self._windows if self._windows else 0.0
+            ),
+            status=self.status,
+            stopped_early=self._stopped,
+        )
+        return self._summary
+
+    def result(self) -> MonitorResult:
+        """The stream-wide result (requires ``keep_history=True``)."""
+        if self._chunk_results is None:
+            raise MonitoringError(
+                "result() needs keep_history=True; only the summary is "
+                "retained in O(1) mode"
+            )
+        return MonitorResult.concat(
+            self._chunk_results,
+            max_unscorable_fraction=self._cfg.max_unscorable_fraction,
+        )
+
+    def run(self, chunks: Iterable[ChunkLike]) -> MonitorResult:
+        """Feed every chunk, finish, and return the merged result.
+
+        A convenience for scripts and tests; it accumulates per-chunk
+        results locally (O(stream length)), unlike pure ``feed`` loops.
+        """
+        collected: List[MonitorResult] = []
+        for chunk in chunks:
+            collected.extend(self.feed(chunk))
+        self.finish()
+        return MonitorResult.concat(
+            collected,
+            max_unscorable_fraction=self._cfg.max_unscorable_fraction,
+        )

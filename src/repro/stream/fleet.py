@@ -1,0 +1,226 @@
+"""Fleet session multiplexing: many concurrent monitoring streams.
+
+The ROADMAP's serving shape -- "heavy traffic from millions of users" --
+means one process holds many live device sessions, each a
+:class:`~repro.stream.engine.StreamingMonitor`, with chunks arriving
+interleaved. :class:`FleetScheduler` is that multiplexer:
+
+- sessions sharing a program share the trained :class:`EddieModel` *by
+  reference* (its per-region sorted references are precomputed once), so
+  per-session state is only the bounded stream state;
+- chunks are dispatched round-robin across sessions that carry a chunk
+  source, or pushed explicitly via :meth:`FleetScheduler.feed`;
+- per-session metrics (chunks, windows, reports) and dispatch spans flow
+  through :mod:`repro.obs` when observability is enabled;
+- aggregate memory is bounded: the scheduler refuses sessions beyond
+  ``max_sessions`` and sessions default to O(1) ``keep_history=False``.
+
+Sessions are fully independent state machines, so per-session results
+are identical to running each stream in isolation (asserted by
+``tests/test_streaming.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.model import EddieModel
+from repro.core.monitor import MonitorResult
+from repro.errors import ConfigurationError, MonitoringError
+from repro.obs import OBS, counter, span
+from repro.stream.engine import ChunkLike, StreamingMonitor, StreamSummary
+
+__all__ = ["FleetScheduler", "FleetSession"]
+
+ResultSink = Callable[[str, MonitorResult], None]
+
+
+@dataclass
+class FleetSession:
+    """One device's live monitoring stream inside the fleet."""
+
+    session_id: str
+    monitor: StreamingMonitor
+    source: Optional[Iterator[np.ndarray]] = None
+    chunks_fed: int = 0
+    done: bool = False
+    summary: Optional[StreamSummary] = None
+    results: List[MonitorResult] = field(default_factory=list)
+
+
+class FleetScheduler:
+    """Multiplexes many concurrent :class:`StreamingMonitor` sessions.
+
+    Args:
+        max_sessions: hard cap on concurrently open sessions; the
+            aggregate-memory bound is ``max_sessions`` times one session's
+            O(1) stream state.
+        early_exit: per-session early exit on the first anomaly (the
+            session is closed and its slot freed).
+        keep_history: retain per-chunk results on every session so
+            ``session.monitor.result()`` works (O(stream) per session --
+            test/debug use only).
+        on_result: optional callback invoked as ``on_result(session_id,
+            result)`` for every chunk result produced during dispatch;
+            this is the O(1)-memory way to consume fleet output.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int = 256,
+        early_exit: bool = False,
+        keep_history: bool = False,
+        on_result: Optional[ResultSink] = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ConfigurationError(
+                f"max_sessions must be >= 1, got {max_sessions}"
+            )
+        self.max_sessions = int(max_sessions)
+        self._early_exit = bool(early_exit)
+        self._keep_history = bool(keep_history)
+        self._on_result = on_result
+        self._sessions: Dict[str, FleetSession] = {}
+        self._closed: Dict[str, StreamSummary] = {}
+
+    # -- session lifecycle ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def session_ids(self) -> List[str]:
+        return list(self._sessions)
+
+    def session(self, session_id: str) -> FleetSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise MonitoringError(
+                f"no open session {session_id!r}"
+            ) from None
+
+    def add_session(
+        self,
+        session_id: str,
+        model: EddieModel,
+        *,
+        source: Optional[Iterable[np.ndarray]] = None,
+        batched: bool = True,
+        t0: float = 0.0,
+    ) -> FleetSession:
+        """Open a monitoring session for one device.
+
+        ``model`` may be shared across any number of sessions; each
+        session only adds its own bounded stream state. ``source``, when
+        given, is an iterable of sample chunks consumed round-robin by
+        :meth:`run` / :meth:`step_round`; without it the session is
+        push-mode and chunks arrive via :meth:`feed`.
+        """
+        if session_id in self._sessions:
+            raise ConfigurationError(
+                f"session {session_id!r} is already open"
+            )
+        if len(self._sessions) >= self.max_sessions:
+            raise ConfigurationError(
+                f"fleet is at its {self.max_sessions}-session capacity; "
+                f"close a session first"
+            )
+        monitor = StreamingMonitor(
+            model,
+            batched=batched,
+            early_exit=self._early_exit,
+            keep_history=self._keep_history,
+            t0=t0,
+            session_id=session_id,
+        )
+        session = FleetSession(
+            session_id=session_id,
+            monitor=monitor,
+            source=iter(source) if source is not None else None,
+        )
+        self._sessions[session_id] = session
+        if OBS.enabled:
+            counter("stream.fleet", "sessions_opened").inc()
+        return session
+
+    def close_session(self, session_id: str) -> StreamSummary:
+        """Close a session, free its slot, and return its summary."""
+        session = self.session(session_id)
+        session.done = True
+        session.summary = session.monitor.finish()
+        del self._sessions[session_id]
+        self._closed[session_id] = session.summary
+        if OBS.enabled:
+            counter("stream.fleet", "sessions_closed").inc()
+            counter(
+                "stream.fleet", f"session.{session_id}.windows"
+            ).inc(session.summary.windows)
+            counter(
+                "stream.fleet", f"session.{session_id}.reports"
+            ).inc(len(session.summary.reports))
+        return session.summary
+
+    @property
+    def summaries(self) -> Dict[str, StreamSummary]:
+        """Summaries of every session closed so far."""
+        return dict(self._closed)
+
+    # -- chunk dispatch ------------------------------------------------------
+
+    def feed(self, session_id: str, chunk: ChunkLike) -> List[MonitorResult]:
+        """Push one chunk into one session (push-mode ingestion)."""
+        session = self.session(session_id)
+        with span("fleet.dispatch"):
+            results = session.monitor.feed(chunk)
+        session.chunks_fed += 1
+        if self._keep_history:
+            session.results.extend(results)
+        if OBS.enabled:
+            counter("stream.fleet", "chunks_dispatched").inc()
+        if self._on_result is not None:
+            for result in results:
+                self._on_result(session_id, result)
+        return results
+
+    def step_round(self) -> int:
+        """One round-robin pass: feed one chunk to every sourced session.
+
+        Sessions whose source is exhausted -- or that early-exited -- are
+        closed and their slots freed. Returns the number of sourced
+        sessions still live after the pass.
+        """
+        live = 0
+        for session_id in list(self._sessions):
+            session = self._sessions.get(session_id)
+            if session is None or session.source is None:
+                continue
+            if session.monitor.stopped:
+                self.close_session(session_id)
+                continue
+            try:
+                chunk = next(session.source)
+            except StopIteration:
+                self.close_session(session_id)
+                continue
+            self.feed(session_id, chunk)
+            if session.monitor.stopped:
+                self.close_session(session_id)
+            else:
+                live += 1
+        return live
+
+    def run(self) -> Dict[str, StreamSummary]:
+        """Round-robin every sourced session to exhaustion.
+
+        Returns the summaries of all sessions closed so far (including
+        any closed before this call). Push-mode sessions (no source) are
+        left open.
+        """
+        while self.step_round():
+            pass
+        return self.summaries

@@ -75,6 +75,24 @@ class Signal:
             np.concatenate([self.samples, other.samples]), self.sample_rate, self.t0
         )
 
+    def iter_chunks(self, chunk_samples: int):
+        """Yield the signal as consecutive :class:`Signal` chunks.
+
+        Each chunk carries the correct ``t0``, so a consumer sees exactly
+        what a live receiver delivering ``chunk_samples`` at a time would
+        produce; the final chunk is the shorter remainder.
+        """
+        if chunk_samples < 1:
+            raise SignalError(
+                f"chunk_samples must be >= 1, got {chunk_samples}"
+            )
+        for start in range(0, len(self.samples), chunk_samples):
+            yield Signal(
+                self.samples[start : start + chunk_samples],
+                self.sample_rate,
+                self.t0 + start / self.sample_rate,
+            )
+
 
 @dataclass(frozen=True)
 class FaultSpan:

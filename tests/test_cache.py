@@ -175,7 +175,7 @@ class TestArtifactCache:
             simulator.set_loop_injection("L", injection_mix(4, 4), 1.0)
             traces = capture_traces(detector, [TINY.injected_seed(0)])
             simulator.clear_injections()
-            report = detector.monitor_trace(traces[0])
+            report = detector.monitor(traces[0])
             return report.metrics
 
         uncached = run_once()

@@ -68,7 +68,7 @@ class TestTraining:
 
 class TestMonitoring:
     def test_clean_run_no_detection(self, detector):
-        report = detector.monitor_program(seed=900)
+        report = detector.monitor(seed=900)
         assert isinstance(report, MonitorReport)
         assert not report.detected
         assert report.metrics.false_positive_rate < 5.0
@@ -77,7 +77,7 @@ class TestMonitoring:
         detector.source.simulator.set_loop_injection(
             "L", injection_mix(4, 4), 1.0
         )
-        report = detector.monitor_program(seed=901)
+        report = detector.monitor(seed=901)
         detector.source.simulator.clear_injections()
         assert report.detected
         assert report.metrics.detection_latency is not None
@@ -91,17 +91,18 @@ class TestMonitoring:
                 iterations=3000,
             )
         )
-        report = detector.monitor_program(seed=902)
+        report = detector.monitor(seed=902)
         detector.source.simulator.clear_injections()
         assert report.detected
 
     def test_monitor_signal_without_source(self, detector):
         trace = detector.source.capture(seed=903)
         standalone = TrainedDetector(detector.model, source=None)
-        result = standalone.monitor_signal(trace.iq)
-        assert len(result.times) > 0
+        report = standalone.monitor(trace.iq)
+        assert report.trace is None
+        assert len(report.result.times) > 0
         with pytest.raises(MonitoringError):
-            standalone.monitor_program(seed=1)
+            standalone.monitor(seed=1)
 
     def test_with_group_size_changes_latency_granularity(self, detector):
         fast = detector.with_group_size(8)
@@ -119,12 +120,55 @@ class TestMonitoring:
         assert relaxed.model.config.alpha == 0.05
 
     def test_determinism(self, detector):
-        a = detector.monitor_program(seed=905)
-        b = detector.monitor_program(seed=905)
+        a = detector.monitor(seed=905)
+        b = detector.monitor(seed=905)
         assert [r.time for r in a.result.reports] == [
             r.time for r in b.result.reports
         ]
         assert a.metrics.coverage == b.metrics.coverage
+
+
+class TestDeprecatedAliases:
+    """The pre-consolidation methods still work but warn."""
+
+    def test_monitor_program_alias(self, detector):
+        with pytest.warns(DeprecationWarning, match="monitor_program"):
+            report = detector.monitor_program(seed=920)
+        assert isinstance(report, MonitorReport)
+
+    def test_monitor_trace_alias(self, detector):
+        trace = detector.source.capture(seed=921)
+        with pytest.warns(DeprecationWarning, match="monitor_trace"):
+            report = detector.monitor_trace(trace)
+        assert report.trace is trace
+
+    def test_monitor_signal_alias_keeps_bare_result(self, detector):
+        trace = detector.source.capture(seed=922)
+        with pytest.warns(DeprecationWarning, match="monitor_signal"):
+            result = detector.monitor_signal(trace.iq)
+        # Back-compat: the old method returned a bare MonitorResult.
+        assert not isinstance(result, MonitorReport)
+        report = detector.monitor(trace.iq)
+        assert [r.time for r in result.reports] == [
+            r.time for r in report.result.reports
+        ]
+
+    def test_new_api_does_not_warn(self, detector):
+        import warnings
+
+        trace = detector.source.capture(seed=923)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            detector.monitor(trace)
+            detector.monitor(trace.iq)
+            detector.monitor(seed=924)
+
+    def test_monitor_rejects_seed_with_explicit_source(self, detector):
+        trace = detector.source.capture(seed=925)
+        with pytest.raises(MonitoringError):
+            detector.monitor(trace, seed=1)
+        with pytest.raises(MonitoringError):
+            detector.monitor(object())
 
 
 class TestMultiRegionTracking:
@@ -133,6 +177,6 @@ class TestMultiRegionTracking:
             multi_peak_loop_program(trips=12000), core=CORE, runs=5, seed=0,
             source="em",
         )
-        report = detector.monitor_program(seed=910)
+        report = detector.monitor(seed=910)
         assert "loop:L" in set(report.result.tracked)
         assert report.metrics.coverage > 50.0

@@ -58,11 +58,34 @@ class TestEddieConfig:
             {"group_sizes": ()},
             {"group_sizes": (1, 8)},
             {"max_peaks": 0},
+            {"window_samples": 4},
+            {"overlap": 1.0},
+            {"overlap": -0.1},
+            {"energy_fraction": 0.0},
+            {"energy_fraction": 1.0},
+            {"peak_prominence": -1.0},
+            {"statistic": "chi2"},
+            {"reference_cap": 0},
+            {"min_mon_values": 1},
+            {"clip_fraction": 0.0},
+            {"gap_samples": 0},
+            {"dead_fraction": 1.5},
+            {"energy_outlier_mads": 0.0},
+            {"resync_timeout": 0},
+            {"max_unscorable_fraction": 0.0},
         ],
     )
     def test_invalid_configs(self, kwargs):
         with pytest.raises(ConfigurationError):
             EddieConfig(**kwargs)
+
+    def test_construction_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            EddieConfig(512)  # noqa -- positional rejected by design
+
+    def test_validate_chains_and_returns_self(self):
+        cfg = EddieConfig()
+        assert cfg.validate() is cfg
 
 
 class TestRegionProfile:

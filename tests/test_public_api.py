@@ -1,0 +1,61 @@
+"""Lock of the stable public surface of the ``repro`` package.
+
+``tests/data/public_api.txt`` is the checked-in contract: one exported
+name per line, sorted. Any change to what ``repro`` exports -- adding,
+removing, or renaming -- must update that file in the same commit, which
+makes API changes reviewable instead of accidental.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+
+_SNAPSHOT = Path(__file__).parent / "data" / "public_api.txt"
+
+
+def snapshot_names():
+    return [
+        line.strip()
+        for line in _SNAPSHOT.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestPublicSurface:
+    def test_all_matches_snapshot(self):
+        assert sorted(repro.__all__) == snapshot_names(), (
+            "repro.__all__ changed; if intentional, regenerate "
+            "tests/data/public_api.txt in the same commit"
+        )
+
+    def test_every_export_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_lazy_exports_are_all_public(self):
+        # Everything importable lazily is also declared in __all__ --
+        # no shadow surface.
+        assert set(repro._LAZY_EXPORTS) <= set(repro.__all__)
+
+    def test_dir_covers_surface(self):
+        listing = dir(repro)
+        for name in repro.__all__:
+            assert name in listing
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.DefinitelyNotExported
+
+    def test_facade_classes_are_canonical(self):
+        # The lazy re-exports are the same objects as the defining
+        # modules', so isinstance checks hold across both import paths.
+        from repro.core.model import EddieConfig
+        from repro.core.monitor import Monitor
+        from repro.stream import FleetScheduler, StreamingMonitor
+
+        assert repro.EddieConfig is EddieConfig
+        assert repro.Monitor is Monitor
+        assert repro.StreamingMonitor is StreamingMonitor
+        assert repro.FleetScheduler is FleetScheduler

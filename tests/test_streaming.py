@@ -1,0 +1,365 @@
+"""Streaming engine: bit-identity with batch, fleet multiplexing, O(1) state.
+
+The load-bearing guarantee (DESIGN.md D17): for *any* chunking of the
+same signal, the streaming monitor's reassembled result equals
+``Monitor.run_signal`` exactly -- same windows, same tracked regions,
+same reports at the same indices, same status. The sweep below pins that
+across every MiBench program and chunk sizes chosen to stress the
+overlap buffer (primes, powers of two, sub-window sizes, whole-signal).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import Monitor, MonitorResult
+from repro.core.stft import (
+    QF_DEAD,
+    QF_GAPPED,
+    StreamingQuality,
+    StreamingStft,
+    stft,
+    window_quality,
+)
+from repro.em.faults import FaultInjector, SampleDropFault, SaturationFault
+from repro.em.scenario import EmScenario
+from repro.errors import ConfigurationError, MonitoringError, SignalError
+from repro.experiments.runner import Scale, build_detector
+from repro.programs.mibench import BENCHMARKS, INJECTION_LOOPS
+from repro.programs.workloads import injection_mix
+from repro.stream import FleetScheduler, StreamingMonitor
+from repro.types import Signal
+
+TINY = Scale(train_runs=2, clean_runs=1, injected_runs=1, group_sizes=(8, 16))
+
+_DETECTORS = {}
+
+
+def detector_for(name):
+    """One tiny-scale detector per program, built lazily and cached."""
+    if name not in _DETECTORS:
+        _DETECTORS[name] = build_detector(BENCHMARKS[name](), TINY, source="em")
+    return _DETECTORS[name]
+
+
+def assert_results_equal(streamed: MonitorResult, batch: MonitorResult):
+    np.testing.assert_array_equal(streamed.times, batch.times)
+    assert streamed.tracked == batch.tracked
+    assert streamed.reports == batch.reports
+    assert streamed.report_indices == batch.report_indices
+    np.testing.assert_array_equal(
+        streamed.rejection_flags, batch.rejection_flags
+    )
+    np.testing.assert_array_equal(streamed.group_sizes, batch.group_sizes)
+    np.testing.assert_array_equal(
+        streamed.unscorable_flags, batch.unscorable_flags
+    )
+    assert streamed.status == batch.status
+
+
+def stream_in_chunks(model, signal, chunk_samples):
+    monitor = StreamingMonitor(model, keep_history=True)
+    for start in range(0, len(signal.samples), chunk_samples):
+        monitor.feed(signal.samples[start : start + chunk_samples])
+    monitor.finish()
+    return monitor
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    @pytest.mark.parametrize("chunk_samples", [997, 4096, 4099])
+    def test_every_program_every_chunking(self, name, chunk_samples):
+        detector = detector_for(name)
+        signal = detector.source.capture(seed=TINY.monitor_seed(0)).iq
+        batch = Monitor(detector.model).run_signal(signal)
+        monitor = stream_in_chunks(detector.model, signal, chunk_samples)
+        assert_results_equal(monitor.result(), batch)
+
+    @pytest.mark.parametrize(
+        "chunk_samples",
+        # Sub-window primes, the hop, window +/- 1, and the whole signal.
+        [97, 256, 509, 511, 513, 1021, 2048, 10**9],
+    )
+    def test_chunk_size_sweep_stresses_overlap_buffer(self, chunk_samples):
+        detector = detector_for("bitcount")
+        signal = detector.source.capture(seed=TINY.monitor_seed(1)).iq
+        batch = Monitor(detector.model).run_signal(signal)
+        monitor = stream_in_chunks(detector.model, signal, chunk_samples)
+        assert_results_equal(monitor.result(), batch)
+
+    def test_injected_run_detects_identically(self):
+        detector = detector_for("bitcount")
+        detector.source.simulator.set_loop_injection(
+            INJECTION_LOOPS["bitcount"], injection_mix(4, 4), 1.0
+        )
+        try:
+            signal = detector.source.capture(seed=TINY.injected_seed(0)).iq
+        finally:
+            detector.source.simulator.clear_injections()
+        batch = Monitor(detector.model).run_signal(signal)
+        assert batch.reports, "injection must be detectable for this test"
+        monitor = stream_in_chunks(detector.model, signal, 1009)
+        assert_results_equal(monitor.result(), batch)
+
+    def test_signal_chunks_accepted_and_rate_checked(self):
+        detector = detector_for("dijkstra")
+        signal = detector.source.capture(seed=TINY.monitor_seed(2)).iq
+        batch = Monitor(detector.model).run_signal(signal)
+        monitor = StreamingMonitor(detector.model, keep_history=True)
+        for chunk in signal.iter_chunks(2999):
+            monitor.feed(chunk)
+        assert_results_equal(monitor.result(), batch)
+        with pytest.raises(SignalError):
+            monitor.feed(Signal(np.zeros(8), signal.sample_rate * 2))
+
+    def test_run_convenience_matches_feed_loop(self):
+        detector = detector_for("sha")
+        signal = detector.source.capture(seed=TINY.monitor_seed(3)).iq
+        batch = Monitor(detector.model).run_signal(signal)
+        result = StreamingMonitor(detector.model).run(
+            signal.iter_chunks(1777)
+        )
+        assert_results_equal(result, batch)
+
+
+class TestStreamingState:
+    def test_result_requires_keep_history(self):
+        detector = detector_for("bitcount")
+        monitor = StreamingMonitor(detector.model)
+        with pytest.raises(MonitoringError):
+            monitor.result()
+
+    def test_early_exit_stops_at_first_anomaly(self):
+        detector = detector_for("bitcount")
+        detector.source.simulator.set_loop_injection(
+            INJECTION_LOOPS["bitcount"], injection_mix(4, 4), 1.0
+        )
+        try:
+            signal = detector.source.capture(seed=TINY.injected_seed(1)).iq
+        finally:
+            detector.source.simulator.clear_injections()
+        monitor = StreamingMonitor(detector.model, early_exit=True)
+        fed_after_stop = 0
+        for chunk in signal.iter_chunks(4096):
+            out = monitor.feed(chunk)
+            if monitor.stopped:
+                fed_after_stop += 1
+                assert out == [] or out[-1].reports
+        assert monitor.stopped
+        assert fed_after_stop > 0
+        summary = monitor.finish()
+        assert summary.stopped_early
+        assert summary.detected
+        # The stream truncates right after the reporting window.
+        assert summary.reports[-1].kind == "anomaly"
+
+    def test_finish_is_idempotent(self):
+        detector = detector_for("bitcount")
+        monitor = StreamingMonitor(detector.model, session_id="dev-1")
+        monitor.feed(np.zeros(2048, dtype=complex))
+        first = monitor.finish()
+        assert monitor.finish() is first
+        assert first.session_id == "dev-1"
+        assert monitor.feed(np.zeros(2048, dtype=complex)) == []
+
+    def test_resident_state_is_flat(self):
+        detector = detector_for("bitcount")
+        signal = detector.source.capture(seed=TINY.monitor_seed(4)).iq
+        monitor = StreamingMonitor(detector.model)
+        sizes = []
+        for chunk in signal.iter_chunks(4096):
+            monitor.feed(chunk)
+            sizes.append(monitor.resident_bytes())
+        warm = sizes[len(sizes) // 2 :]
+        assert max(warm) <= 2 * min(warm)
+
+    def test_summary_counts(self):
+        detector = detector_for("gsm")
+        signal = detector.source.capture(seed=TINY.monitor_seed(5)).iq
+        monitor = StreamingMonitor(detector.model)
+        n_chunks = 0
+        for chunk in signal.iter_chunks(3001):
+            monitor.feed(chunk)
+            n_chunks += 1
+        summary = monitor.finish()
+        assert summary.chunks == n_chunks
+        assert summary.samples == len(signal.samples)
+        batch = Monitor(detector.model).run_signal(signal)
+        assert summary.windows == len(batch.times)
+
+
+class TestMonitorResultConcat:
+    def test_empty(self):
+        merged = MonitorResult.concat([])
+        assert len(merged.times) == 0
+        assert merged.reports == []
+        assert merged.status == "ok"
+
+    def test_report_indices_rebased(self):
+        detector = detector_for("bitcount")
+        detector.source.simulator.set_loop_injection(
+            INJECTION_LOOPS["bitcount"], injection_mix(4, 4), 1.0
+        )
+        try:
+            signal = detector.source.capture(seed=TINY.injected_seed(2)).iq
+        finally:
+            detector.source.simulator.clear_injections()
+        batch = Monitor(detector.model).run_signal(signal)
+        assert batch.report_indices
+        monitor = StreamingMonitor(detector.model, keep_history=True)
+        chunk_results = []
+        for chunk in signal.iter_chunks(997):
+            chunk_results.extend(monitor.feed(chunk))
+        # Per-chunk indices are chunk-local ...
+        assert all(
+            i < len(r.times) for r in chunk_results for i in r.report_indices
+        )
+        # ... and concat re-bases them to the global window axis.
+        assert monitor.result().report_indices == batch.report_indices
+
+
+class TestFleet:
+    def test_32_sessions_identical_to_isolated(self):
+        detector = detector_for("bitcount")
+        captures = [
+            detector.source.capture(seed=TINY.monitor_seed(100 + s))
+            for s in range(8)
+        ]
+        isolated = [
+            Monitor(detector.model).run_signal(c.iq).reports for c in captures
+        ]
+        fleet = FleetScheduler(max_sessions=32)
+        # 32 concurrent sessions over 8 distinct captures: session s
+        # replays capture s % 8, so correctness shows as groups of equal
+        # outcomes that match the isolated runs.
+        for s in range(32):
+            fleet.add_session(
+                f"dev-{s:03d}", detector.model,
+                source=captures[s % 8].iter_chunks(2048 + 64 * s),
+            )
+        assert len(fleet) == 32
+        summaries = fleet.run()
+        assert len(summaries) == 32
+        assert len(fleet) == 0
+        for s in range(32):
+            assert summaries[f"dev-{s:03d}"].reports == isolated[s % 8]
+
+    def test_capacity_and_duplicate_rejected(self):
+        detector = detector_for("bitcount")
+        fleet = FleetScheduler(max_sessions=1)
+        fleet.add_session("a", detector.model)
+        with pytest.raises(ConfigurationError):
+            fleet.add_session("a", detector.model)
+        with pytest.raises(ConfigurationError):
+            fleet.add_session("b", detector.model)
+        fleet.close_session("a")
+        fleet.add_session("b", detector.model)
+
+    def test_push_mode_feed_and_callback(self):
+        detector = detector_for("dijkstra")
+        signal = detector.source.capture(seed=TINY.monitor_seed(6)).iq
+        seen = []
+        fleet = FleetScheduler(
+            on_result=lambda sid, result: seen.append((sid, len(result.times)))
+        )
+        fleet.add_session("push-1", detector.model)
+        for chunk in signal.iter_chunks(4096):
+            fleet.feed("push-1", chunk)
+        summary = fleet.close_session("push-1")
+        assert summary.windows == sum(n for _, n in seen)
+        assert {sid for sid, _ in seen} == {"push-1"}
+        with pytest.raises(MonitoringError):
+            fleet.feed("push-1", signal.samples[:100])
+
+    def test_early_exit_frees_slots_during_round_robin(self):
+        detector = detector_for("bitcount")
+        detector.source.simulator.set_loop_injection(
+            INJECTION_LOOPS["bitcount"], injection_mix(4, 4), 1.0
+        )
+        try:
+            bad = detector.source.capture(seed=TINY.injected_seed(3))
+        finally:
+            detector.source.simulator.clear_injections()
+        n_chunks = len(list(bad.iter_chunks(4096)))
+        fleet = FleetScheduler(max_sessions=4, early_exit=True)
+        fleet.add_session("bad", detector.model,
+                          source=bad.iter_chunks(4096))
+        summaries = fleet.run()
+        assert len(fleet) == 0  # the slot was freed at the early exit
+        assert summaries["bad"].stopped_early
+        assert summaries["bad"].detected
+        # Early exit abandoned the rest of the source.
+        assert summaries["bad"].chunks < n_chunks
+
+
+class TestStreamingStft:
+    def test_matches_batch_stft(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=10_000) + 1j * rng.normal(size=10_000)
+        signal = Signal(samples, 1e6)
+        batch = stft(signal, window_samples=512, overlap=0.5)
+        streaming = StreamingStft(1e6, window_samples=512, overlap=0.5)
+        chunks = []
+        for start in range(0, len(samples), 613):
+            chunks.append(streaming.feed(samples[start : start + 613]))
+        power = np.concatenate([c.power for c in chunks if len(c)])
+        times = np.concatenate([c.times for c in chunks if len(c)])
+        np.testing.assert_array_equal(power, batch.power)
+        np.testing.assert_array_equal(times, batch.times)
+        assert streaming.samples_seen == len(samples)
+        assert streaming.pending_samples < 512
+
+    def test_real_stream_rejects_complex_chunk(self):
+        streaming = StreamingStft(1e6, window_samples=64)
+        streaming.feed(np.zeros(32))
+        with pytest.raises(SignalError):
+            streaming.feed(np.zeros(32, dtype=complex))
+
+    def test_t0_offsets_times(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(size=4096)
+        base = StreamingStft(1e6, window_samples=256).feed(samples)
+        offset = StreamingStft(1e6, window_samples=256, t0=1.5).feed(samples)
+        np.testing.assert_allclose(offset.times - base.times, 1.5)
+
+
+class TestStreamingQuality:
+    def _faulted_signal(self):
+        detector = detector_for("bitcount")
+        scenario = EmScenario.build(
+            BENCHMARKS["bitcount"](),
+            core=detector.source.simulator.core,
+            faults=FaultInjector(
+                faults=(
+                    SampleDropFault(rate_per_s=400.0),
+                    SaturationFault(rate_per_s=400.0),
+                )
+            ),
+        )
+        return scenario.capture(seed=7).iq
+
+    def test_gap_and_dead_flags_are_exact(self):
+        """Zero-run flags are causal, so they match batch bit-for-bit."""
+        signal = self._faulted_signal()
+        batch = window_quality(signal, window_samples=512, overlap=0.5)
+        streaming = StreamingQuality(512, 0.5)
+        flags = []
+        for chunk in signal.iter_chunks(733):
+            flags.append(streaming.feed(chunk.samples))
+        streamed = np.concatenate(flags)
+        assert len(streamed) == len(batch)
+        mask = QF_GAPPED | QF_DEAD
+        np.testing.assert_array_equal(streamed & mask, batch & mask)
+
+    def test_causal_flags_agree_on_clean_windows(self):
+        """Running statistics converge to the capture-global ones."""
+        signal = self._faulted_signal()
+        batch = window_quality(signal, window_samples=512, overlap=0.5)
+        streaming = StreamingQuality(
+            512, 0.5, full_scale=float(np.abs(signal.samples).max())
+        )
+        flags = []
+        for chunk in signal.iter_chunks(4096):
+            flags.append(streaming.feed(chunk.samples))
+        streamed = np.concatenate(flags)
+        agreement = np.mean((streamed != 0) == (batch != 0))
+        assert agreement > 0.95
