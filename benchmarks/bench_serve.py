@@ -1,0 +1,237 @@
+"""Serving benchmark: session throughput, chunk RTT, and shed behavior.
+
+Exercises the :mod:`repro.serve` stack over real loopback TCP --
+
+- **latency**: one strict request/response session (``window=1``)
+  measures the full chunk round trip (frame encode, socket, queue, DSP
+  in the worker pool, REPORT back): p50/p99 per chunk,
+- **throughput**: N concurrent clients each replay a full capture on
+  its own connection: sessions/sec and aggregate windows/sec,
+- **shedding**: with every fleet slot held, a burst of OPENs must all
+  be refused with the typed ``at_capacity`` error, the holders must
+  stream on unharmed, and a freed slot must admit again
+
+-- and writes ``BENCH_serve.json`` at the repo root.
+
+Run as pytest (``REPRO_SCALE=quick`` by default) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --clients 8
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.experiments.runner import Scale, build_detector
+from repro.programs.mibench import BENCHMARKS
+from repro.serve import EddieClient, ModelRegistry, ServerConfig, serve_in_thread
+from repro.serve.client import replay
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_OUTPUT = _REPO_ROOT / "BENCH_serve.json"
+
+_CHUNK_SAMPLES = 4096
+_PROGRAM = "bitcount"
+
+
+def _latency(address, trace):
+    """Strict request/response chunk round trips on one session."""
+    host, port = address
+    latencies = []
+    with EddieClient(host, port, window=1) as client:
+        client.open(_PROGRAM, t0=trace.iq.t0)
+        for chunk in trace.iq.iter_chunks(_CHUNK_SAMPLES):
+            started = time.perf_counter()
+            client.send(chunk)
+            client.drain()
+            latencies.append(time.perf_counter() - started)
+        summary = client.close()
+    lat = np.asarray(latencies)
+    return {
+        "chunks": len(lat),
+        "chunk_samples": _CHUNK_SAMPLES,
+        "windows": summary.windows,
+        "p50_rtt_us": float(np.median(lat) * 1e6),
+        "p99_rtt_us": float(np.quantile(lat, 0.99) * 1e6),
+        "max_rtt_us": float(lat.max() * 1e6),
+    }
+
+
+def _throughput(address, trace, clients, sessions_per_client):
+    """N concurrent clients, each replaying full captures."""
+    host, port = address
+    summaries = []
+    lock = threading.Lock()
+    errors = []
+
+    def worker():
+        try:
+            for _ in range(sessions_per_client):
+                _, summary = replay(
+                    host, port, _PROGRAM, trace,
+                    chunk_samples=_CHUNK_SAMPLES,
+                )
+                with lock:
+                    summaries.append(summary)
+        except Exception as error:  # pragma: no cover - surfaced below
+            with lock:
+                errors.append(repr(error))
+
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    sessions = len(summaries)
+    windows = sum(s.windows for s in summaries)
+    return {
+        "clients": clients,
+        "sessions": sessions,
+        "errors": errors,
+        "seconds": elapsed,
+        "sessions_per_sec": sessions / elapsed if elapsed else None,
+        "windows_per_sec": windows / elapsed if elapsed else None,
+        "all_sessions_clean": not errors and all(
+            s.status == "ok" for s in summaries
+        ),
+    }
+
+
+def _shedding(registry, trace, capacity=2, burst=6):
+    """Hold every slot, burst OPENs, count typed refusals."""
+    chunks = list(trace.iq.iter_chunks(_CHUNK_SAMPLES))
+    with serve_in_thread(
+        registry, ServerConfig(max_sessions=capacity, worker_threads=2)
+    ) as handle:
+        host, port = handle.address
+        holders = [
+            EddieClient(host, port).connect() for _ in range(capacity)
+        ]
+        try:
+            for client in holders:
+                client.open(_PROGRAM, t0=trace.iq.t0)
+                client.send(chunks[0])
+            shed = 0
+            for _ in range(burst):
+                with EddieClient(host, port) as attempt:
+                    try:
+                        attempt.open(_PROGRAM)
+                    except ServeError as error:
+                        if error.code == "at_capacity":
+                            shed += 1
+            # Holders stream on unharmed after the burst.
+            clean = True
+            for client in holders:
+                for chunk in chunks[1:]:
+                    client.send(chunk)
+                client.drain()
+                clean &= client.close().status == "ok"
+        finally:
+            for client in holders:
+                client.disconnect()
+        # A freed slot admits again.
+        with EddieClient(host, port) as client:
+            client.open(_PROGRAM)
+            client.close()
+        stats = handle.stats
+        attempts = capacity + burst + 1
+        return {
+            "capacity": capacity,
+            "open_attempts": attempts,
+            "shed": shed,
+            "shed_all_over_capacity": shed == burst,
+            "shed_rate": shed / attempts,
+            "holders_clean": clean,
+            "server_sessions_shed": stats.sessions_shed,
+            "readmitted_after_close": True,
+        }
+
+
+def run_benchmark(scale_name="quick", clients=8, sessions_per_client=2):
+    scale = {"quick": Scale.quick, "default": Scale.default,
+             "paper": Scale.paper}[scale_name]()
+    detector = build_detector(BENCHMARKS[_PROGRAM](), scale, source="em")
+    trace = detector.source.capture(seed=scale.monitor_seed(0))
+    with tempfile.TemporaryDirectory() as root:
+        registry = ModelRegistry(root)
+        registry.publish(detector.model, _PROGRAM)
+        with serve_in_thread(
+            registry,
+            ServerConfig(max_sessions=max(clients, 4), worker_threads=4),
+        ) as handle:
+            report = {
+                "benchmark": "serve",
+                "scale": scale_name,
+                "trace_samples": len(trace.iq),
+                "latency": _latency(handle.address, trace),
+                "throughput": _throughput(
+                    handle.address, trace, clients, sessions_per_client
+                ),
+            }
+        report["shedding"] = _shedding(registry, trace)
+    _OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _format(report):
+    lat = report["latency"]
+    thr = report["throughput"]
+    shed = report["shedding"]
+    return "\n".join([
+        f"serving benchmark (scale={report['scale']}, "
+        f"{report['trace_samples']:,} samples/capture)",
+        f"  chunk RTT          : p50 {lat['p50_rtt_us']:.0f} us, "
+        f"p99 {lat['p99_rtt_us']:.0f} us ({lat['chunks']} chunks)",
+        f"  throughput         : {thr['clients']} clients -> "
+        f"{thr['sessions_per_sec']:.1f} sessions/s, "
+        f"{thr['windows_per_sec']:,.0f} windows/s "
+        f"(clean={thr['all_sessions_clean']})",
+        f"  load shedding      : {shed['shed']}/{shed['open_attempts']} "
+        f"OPENs shed at capacity {shed['capacity']} "
+        f"(rate {shed['shed_rate']:.0%}, holders "
+        f"clean={shed['holders_clean']})",
+        f"  -> {_OUTPUT}",
+    ])
+
+
+def test_serve_benchmark(scale, show):
+    import os
+
+    scale_name = os.environ.get("REPRO_SCALE", "quick")
+    report = run_benchmark(scale_name=scale_name, clients=4)
+    show(_format(report))
+    assert report["throughput"]["all_sessions_clean"], (
+        report["throughput"]["errors"]
+    )
+    assert report["shedding"]["shed_all_over_capacity"]
+    assert report["shedding"]["holders_clean"]
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="quick",
+                        choices=("quick", "default", "paper"))
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--sessions-per-client", type=int, default=2)
+    args = parser.parse_args()
+    result = run_benchmark(
+        scale_name=args.scale,
+        clients=args.clients,
+        sessions_per_client=args.sessions_per_client,
+    )
+    print(_format(result))
+    ok = (
+        result["throughput"]["all_sessions_clean"]
+        and result["shedding"]["shed_all_over_capacity"]
+        and result["shedding"]["holders_clean"]
+    )
+    sys.exit(0 if ok else 1)

@@ -33,14 +33,20 @@ The most convenient entry point is :class:`repro.Eddie`::
 
 For online serving, :class:`repro.StreamingMonitor` scores IQ chunks as
 they arrive and :class:`repro.FleetScheduler` multiplexes many device
-sessions in one process (see :mod:`repro.stream`).
+sessions in one process (see :mod:`repro.stream`). :mod:`repro.serve`
+turns that into a networked service: publish trained models to a
+:class:`repro.ModelRegistry`, run an :class:`repro.EddieServer`, and
+stream captures from devices with :class:`repro.EddieClient`.
 """
 
 from repro.errors import (
     AnalysisError,
     ConfigurationError,
     MonitoringError,
+    ProtocolError,
+    RegistryError,
     ReproError,
+    ServeError,
     SignalError,
     SimulationError,
     TrainingError,
@@ -64,6 +70,12 @@ _LAZY_EXPORTS = {
     "StreamSummary": "repro.stream",
     "FleetScheduler": "repro.stream",
     "FleetSession": "repro.stream",
+    "EddieServer": "repro.serve",
+    "ServerConfig": "repro.serve",
+    "EddieClient": "repro.serve",
+    "ModelRegistry": "repro.serve",
+    "RegistryEntry": "repro.serve",
+    "serve_in_thread": "repro.serve",
 }
 
 __all__ = [
@@ -78,10 +90,19 @@ __all__ = [
     "StreamSummary",
     "FleetScheduler",
     "FleetSession",
+    "EddieServer",
+    "ServerConfig",
+    "EddieClient",
+    "ModelRegistry",
+    "RegistryEntry",
+    "serve_in_thread",
     "ReproError",
     "AnalysisError",
     "ConfigurationError",
     "MonitoringError",
+    "ProtocolError",
+    "RegistryError",
+    "ServeError",
     "SignalError",
     "SimulationError",
     "TrainingError",

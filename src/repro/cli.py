@@ -5,6 +5,9 @@ Subcommands:
 - ``train``      train a detector on a built-in benchmark, save the model
 - ``monitor``    run clean/injected monitoring runs against a saved model
 - ``stream``     feed captures chunk-by-chunk through the streaming fleet
+- ``publish``    publish a trained model into a serving registry
+- ``serve``      serve EM monitoring over TCP from a registry
+- ``client``     stream captures to a running ``eddie serve``
 - ``experiment`` regenerate one of the paper's tables/figures
 - ``obs``        work with run manifests (``obs diff A B``)
 - ``list``       list benchmarks and experiments
@@ -14,6 +17,9 @@ Examples::
     eddie train bitcount -o bitcount.npz --runs 8
     eddie monitor bitcount bitcount.npz --inject-loop --seed 7
     eddie stream bitcount bitcount.npz --sessions 8 --chunk-samples 4096
+    eddie publish bitcount.npz --registry runs/registry
+    eddie serve --registry runs/registry --port 7453
+    eddie client bitcount@latest --port 7453 --benchmark bitcount
     eddie experiment table1 --scale quick
     eddie experiment table2 --trace --manifest-dir runs/
     eddie obs diff runs/table2_quick.json other/table2_quick.json
@@ -182,6 +188,67 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="stop each session at its first anomaly")
     stream.add_argument("--quality-gating", action="store_true",
                         help="causal acquisition-quality gating per window")
+
+    publish = sub.add_parser(
+        "publish", help="publish a trained model into a serving registry"
+    )
+    publish.add_argument("model", help="model file from `eddie train`")
+    publish.add_argument("--registry", required=True, metavar="DIR",
+                         help="registry directory (created if missing)")
+    publish.add_argument("--name", default=None,
+                         help="model name (default: the trained program)")
+    publish.add_argument("--version", type=int, default=None,
+                         help="explicit version (default: latest + 1)")
+
+    serve = sub.add_parser(
+        "serve", help="serve EM monitoring over TCP from a model registry"
+    )
+    serve.add_argument("--registry", required=True, metavar="DIR",
+                       help="registry directory from `eddie publish`")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7453)
+    serve.add_argument("--max-sessions", type=int, default=64,
+                       help="fleet capacity; OPENs beyond it are shed "
+                            "with a typed at_capacity error")
+    serve.add_argument("--evict-idle", action="store_true",
+                       help="admit over-capacity sessions by evicting the "
+                            "least-recently-fed one instead of shedding "
+                            "the newcomer")
+    serve.add_argument("--queue-depth", type=int, default=8,
+                       help="per-session bound on decoded-but-unscored "
+                            "chunks (ingestion backpressure)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="DSP thread-pool size")
+
+    client = sub.add_parser(
+        "client", help="stream captures to a running `eddie serve`"
+    )
+    client.add_argument("model_spec",
+                        help="registry spec: name, name@N, name@latest, "
+                             "or fp:HEXPREFIX")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=7453)
+    client.add_argument("--trace", action="append", default=[],
+                        metavar="FILE",
+                        help="captured trace .npz to replay (repeatable); "
+                             "mutually exclusive with --benchmark")
+    client.add_argument("--benchmark", choices=sorted(BENCHMARKS),
+                        default=None,
+                        help="synthesize captures to stream instead of "
+                             "replaying trace files")
+    client.add_argument("--runs", type=int, default=1,
+                        help="captures to synthesize with --benchmark")
+    client.add_argument("--seed", type=int, default=1000)
+    client.add_argument("--clock", type=float, default=1e8)
+    client.add_argument("--inject-loop", action="store_true",
+                        help="inject into the hot loop (see `eddie monitor`)")
+    client.add_argument("--contamination", type=float, default=1.0)
+    client.add_argument("--chunk-samples", type=int, default=4096)
+    client.add_argument("--window", type=int, default=8,
+                        help="chunks kept in flight before blocking on "
+                             "REPORTs")
+    client.add_argument("--stats", action="store_true",
+                        help="print the server's STATS snapshot afterwards")
 
     inspect = sub.add_parser(
         "inspect", help="show a benchmark's region-level state machine"
@@ -498,6 +565,114 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_publish(args: argparse.Namespace) -> int:
+    from repro.serve import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    entry = registry.publish(
+        load_model(args.model), args.name, version=args.version
+    )
+    print(
+        f"published {entry.spec} (fp:{entry.fingerprint[:12]}) "
+        f"-> {entry.path}"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import EddieServer, ModelRegistry, ServerConfig
+
+    registry = ModelRegistry(args.registry)
+    entries = registry.list_entries()
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        evict_idle=args.evict_idle,
+        queue_depth=args.queue_depth,
+        worker_threads=args.workers,
+    )
+
+    async def _run() -> None:
+        server = EddieServer(registry, config=config)
+        await server.start()
+        host, port = server.address
+        print(
+            f"serving on {host}:{port} -- {len(entries)} published "
+            f"model(s) in {registry.root}, max {config.max_sessions} "
+            f"sessions ({'evict-idle' if config.evict_idle else 'shed'} "
+            f"at capacity)"
+        )
+        for entry in entries:
+            print(f"  {entry.spec:32s} fp:{entry.fingerprint[:12]}")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.serve import EddieClient
+
+    if bool(args.trace) == (args.benchmark is not None):
+        raise ConfigurationError(
+            "give exactly one of --trace or --benchmark"
+        )
+    if args.trace:
+        from repro.serialize import load_trace
+
+        captures = [(path, load_trace(path)) for path in args.trace]
+    else:
+        scenario = _make_source(args.benchmark, "em", args.clock)
+        if args.inject_loop:
+            scenario.simulator.set_loop_injection(
+                INJECTION_LOOPS[args.benchmark], injection_mix(4, 4),
+                args.contamination,
+            )
+        captures = [
+            (
+                f"{args.benchmark} seed {args.seed + k}",
+                scenario.capture(seed=args.seed + k),
+            )
+            for k in range(args.runs)
+        ]
+    # One connection per capture: the server scopes a connection to a
+    # single monitoring session.
+    for label, trace in captures:
+        with EddieClient(args.host, args.port, window=args.window) as cli:
+            cli.open(args.model_spec, t0=trace.iq.t0)
+            for report in cli.replay(
+                trace, chunk_samples=args.chunk_samples
+            ):
+                print(
+                    f"  anomaly t={report.time * 1e3:9.3f} ms "
+                    f"region={report.region} streak={report.streak}"
+                )
+            s = cli.last_summary
+            print(
+                f"{label}: chunks={s.chunks} windows={s.windows} "
+                f"reports={len(s.reports)} detected={s.detected} "
+                f"status={s.status}"
+            )
+    if args.stats:
+        with EddieClient(args.host, args.port) as cli:
+            stats = cli.stats()
+        print(
+            f"server: open={stats['sessions_open']}"
+            f"/{stats['max_sessions']} "
+            f"opened={stats['sessions_opened']} "
+            f"shed={stats['sessions_shed']} "
+            f"evicted={stats['sessions_evicted']} "
+            f"chunks={stats['chunks']} reports={stats['reports']}"
+        )
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.cfg.graph import ControlFlowGraph
     from repro.cfg.loops import find_loops
@@ -550,6 +725,9 @@ def main(argv: Optional[list] = None) -> int:
         "capture": _cmd_capture,
         "monitor-trace": _cmd_monitor_trace,
         "stream": _cmd_stream,
+        "publish": _cmd_publish,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
         "inspect": _cmd_inspect,
         "list": _cmd_list,
     }

@@ -36,3 +36,30 @@ class TrainingError(ReproError):
 
 class MonitoringError(ReproError):
     """EDDIE monitoring was invoked with an unusable model or trace."""
+
+
+class ServeError(ReproError):
+    """A serving-layer failure (protocol, registry, or remote session).
+
+    Carries a machine-readable ``code`` so clients can react to the
+    server's typed ERROR frames (e.g. ``'at_capacity'`` for load
+    shedding) without parsing the human-readable message.
+    """
+
+    def __init__(self, message: str, *, code: str = "internal") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ProtocolError(ServeError):
+    """A malformed, truncated, or out-of-order wire frame."""
+
+    def __init__(self, message: str, *, code: str = "bad_frame") -> None:
+        super().__init__(message, code=code)
+
+
+class RegistryError(ServeError):
+    """A model-registry lookup or publish failed."""
+
+    def __init__(self, message: str, *, code: str = "unknown_model") -> None:
+        super().__init__(message, code=code)

@@ -60,6 +60,7 @@ from repro.obs.metrics import (
     record_count,
     reset_metrics,
     snapshot,
+    snapshot_module,
 )
 from repro.obs.trace import (
     OBS,
@@ -112,6 +113,7 @@ __all__ = [
     "reset_metrics",
     "reset_tracing",
     "snapshot",
+    "snapshot_module",
     "span",
     "write_manifest",
 ]

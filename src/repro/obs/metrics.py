@@ -283,6 +283,23 @@ def snapshot() -> Dict[str, Dict[str, Any]]:
     return out
 
 
+def snapshot_module(module: str) -> Dict[str, Dict[str, Any]]:
+    """Like :func:`snapshot`, restricted to one module's instruments.
+
+    The serving layer's STATS frames use this to export only the
+    ``repro.serve`` instruments instead of the whole process registry.
+    """
+    with _registry_lock:
+        items = sorted(_registry.items())
+    out: Dict[str, Dict[str, Any]] = {
+        "counters": {}, "gauges": {}, "histograms": {},
+    }
+    for (mod, name), instrument in items:
+        if mod == module:
+            out[instrument.kind + "s"][f"{mod}/{name}"] = instrument.to_dict()
+    return out
+
+
 def merge_snapshot(snap: Dict[str, Dict[str, Any]]) -> None:
     """Fold a worker process's snapshot into this process's registry.
 

@@ -19,15 +19,35 @@ from repro.em.scenario import EmTrace
 from repro.errors import ConfigurationError
 from repro.types import FaultSpan, RegionInterval, RegionTimeline, Signal
 
-__all__ = ["save_model", "load_model", "save_trace", "load_trace"]
+__all__ = [
+    "config_fingerprint",
+    "save_model",
+    "load_model",
+    "save_trace",
+    "load_trace",
+]
 
 _FORMAT_VERSION = 1
+
+
+def config_fingerprint(config: EddieConfig) -> str:
+    """SHA-256 fingerprint of a pipeline config (via :mod:`repro.cache`).
+
+    Stored in model metadata so loaders (and the model registry) can
+    detect a corrupted or hand-edited config section without trusting
+    the file's own claims about itself.
+    """
+    # Imported lazily: repro.cache imports this module at top level.
+    from repro.cache import fingerprint
+
+    return fingerprint("eddie-config", config)
 
 
 def save_model(model: EddieModel, path: Union[str, Path]) -> None:
     """Write a trained model to ``path`` (.npz)."""
     meta = {
         "format_version": _FORMAT_VERSION,
+        "config_fingerprint": config_fingerprint(model.config),
         "program_name": model.program_name,
         "sample_rate": model.sample_rate,
         "initial_regions": model.initial_regions,
@@ -90,6 +110,16 @@ def load_model(path: Union[str, Path]) -> EddieModel:
         cfg_dict = dict(meta["config"])
         cfg_dict["group_sizes"] = tuple(cfg_dict["group_sizes"])
         config = EddieConfig(**cfg_dict)
+        expected = meta.get("config_fingerprint")
+        if expected is not None and expected != config_fingerprint(config):
+            # Legacy files lack the field and load unchecked; a present
+            # but wrong value means the config section was altered after
+            # save (corruption or a mislabeled artifact).
+            raise ConfigurationError(
+                f"{path}: config fingerprint mismatch -- the file's "
+                f"config section does not match its recorded fingerprint "
+                f"(corrupted or mislabeled model artifact)"
+            )
         profiles = {}
         for i, region_meta in enumerate(meta["regions"]):
             profiles[region_meta["name"]] = RegionProfile(

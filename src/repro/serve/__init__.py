@@ -1,0 +1,62 @@
+"""repro.serve -- networked EM-monitoring service (DESIGN.md D18).
+
+Four layers, each usable alone:
+
+- :mod:`repro.serve.protocol` -- length-prefixed binary framing for IQ
+  chunks and JSON control messages, with protocol-version negotiation;
+- :mod:`repro.serve.registry` -- versioned on-disk model registry with
+  content addressing and a shared in-memory LRU;
+- :mod:`repro.serve.server` -- asyncio TCP server multiplexing sessions
+  onto a :class:`~repro.stream.FleetScheduler` with backpressure and
+  load shedding;
+- :mod:`repro.serve.client` -- synchronous client + replay helper whose
+  remote reports are bit-identical to a local
+  :class:`~repro.stream.StreamingMonitor` run.
+"""
+
+from repro.serve.client import EddieClient, replay
+from repro.serve.protocol import (
+    PROTOCOL_VERSIONS,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    decode_chunk,
+    encode_chunk,
+    encode_frame,
+    error_frame,
+    json_frame,
+    negotiate_version,
+    parse_json,
+)
+from repro.serve.registry import ModelRegistry, RegistryEntry, model_fingerprint
+from repro.serve.server import (
+    EddieServer,
+    ServerConfig,
+    ServerHandle,
+    ServerStats,
+    serve_in_thread,
+)
+
+__all__ = [
+    "EddieClient",
+    "EddieServer",
+    "Frame",
+    "FrameDecoder",
+    "FrameType",
+    "ModelRegistry",
+    "PROTOCOL_VERSIONS",
+    "RegistryEntry",
+    "ServerConfig",
+    "ServerHandle",
+    "ServerStats",
+    "decode_chunk",
+    "encode_chunk",
+    "encode_frame",
+    "error_frame",
+    "json_frame",
+    "model_fingerprint",
+    "negotiate_version",
+    "parse_json",
+    "replay",
+    "serve_in_thread",
+]

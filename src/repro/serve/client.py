@@ -1,0 +1,316 @@
+"""Synchronous serving client: stream a capture, collect the verdicts.
+
+:class:`EddieClient` speaks the :mod:`repro.serve.protocol` framing over
+a blocking socket, which keeps device-side integration trivial (an IoT
+probe is a loop around ``capture -> send``, not an event loop). Chunk
+sends are pipelined behind a bounded window: up to ``window`` CHUNKs may
+be in flight before the client blocks reading REPORTs, so loopback and
+LAN round trips overlap with the server's DSP instead of serializing
+with it. ``window=1`` degrades to strict request/response -- the shape
+the latency benchmark measures.
+
+The :meth:`EddieClient.replay` generator is the deployment loop in
+miniature: it streams an :class:`~repro.em.scenario.EmTrace` /
+:class:`~repro.types.Signal` via ``iter_chunks`` and yields each
+:class:`~repro.core.monitor.AnomalyReport` as the server emits it --
+bit-identical to a local :class:`~repro.stream.StreamingMonitor` run on
+the same trace (``tests/test_serve.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import deque
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.monitor import AnomalyReport
+from repro.errors import ProtocolError, ServeError
+from repro.serve.protocol import (
+    Frame,
+    FrameType,
+    PROTOCOL_VERSIONS,
+    encode_chunk,
+    json_frame,
+    parse_json,
+    recv_frame,
+    report_from_json,
+    send_frame,
+    summary_from_json,
+)
+from repro.stream.engine import StreamSummary
+from repro.types import Signal
+
+__all__ = ["EddieClient", "replay"]
+
+ChunkSource = Union[Signal, np.ndarray, Iterable]
+
+
+def _as_chunks(source: ChunkSource, chunk_samples: int) -> Iterator:
+    """Normalize a trace/signal/array/iterable into sample chunks."""
+    if hasattr(source, "iter_chunks"):  # Signal or EmTrace
+        return iter(source.iter_chunks(chunk_samples))
+    if isinstance(source, np.ndarray):
+        return iter(
+            Signal(source, 1.0).iter_chunks(chunk_samples)
+        )  # rate unused: raw arrays carry no rate to check
+    return iter(source)
+
+
+class EddieClient:
+    """One monitoring session against an :class:`EddieServer`.
+
+    Usage::
+
+        with EddieClient(host, port) as client:
+            client.open("bitcount@latest", t0=trace.iq.t0)
+            for report in client.replay(trace, chunk_samples=4096):
+                alert(report)
+            summary = client.close()
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        window: int = 8,
+    ) -> None:
+        if window < 1:
+            raise ServeError(f"window must be >= 1, got {window}")
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.window = int(window)
+        self._sock: Optional[socket.socket] = None
+        self._session: Optional[str] = None
+        self._model_info: Dict[str, Any] = {}
+        self._seq = 0
+        self._outstanding: deque = deque()
+        self._windows = 0
+        self._status = "ok"
+        self.last_summary: Optional[StreamSummary] = None
+        self.protocol_version: Optional[int] = None
+
+    # -- connection lifecycle -------------------------------------------------
+
+    def connect(self) -> "EddieClient":
+        """Dial the server and negotiate a protocol version (HELLO)."""
+        if self._sock is not None:
+            raise ServeError("client is already connected")
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._sock.setsockopt(
+            socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+        )
+        send_frame(self._sock, json_frame(FrameType.HELLO, {
+            "versions": list(PROTOCOL_VERSIONS),
+        }))
+        reply = self._expect(FrameType.HELLO)
+        self.protocol_version = int(parse_json(reply).get("version", 0))
+        return self
+
+    def __enter__(self) -> "EddieClient":
+        if self._sock is None:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.disconnect()
+
+    def disconnect(self) -> None:
+        """Drop the connection without the CLOSE handshake."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._session = None
+
+    # -- session --------------------------------------------------------------
+
+    @property
+    def session_id(self) -> Optional[str]:
+        return self._session
+
+    @property
+    def model_info(self) -> Dict[str, Any]:
+        """The registry entry the server bound this session to."""
+        return dict(self._model_info)
+
+    def open(self, model_spec: str, *, t0: float = 0.0) -> Dict[str, Any]:
+        """Open a monitoring session for ``model_spec``.
+
+        Raises :class:`ServeError` with the server's typed code when the
+        session is refused -- ``code='at_capacity'`` is the load-shed
+        signal a probe should back off on.
+        """
+        self._require_socket()
+        if self._session is not None:
+            raise ServeError("a session is already open on this client")
+        send_frame(self._sock, json_frame(FrameType.OPEN, {
+            "model": model_spec,
+            "t0": t0,
+        }))
+        ack = parse_json(self._expect(FrameType.OPEN))
+        self._session = str(ack.get("session"))
+        self._model_info = dict(ack.get("model", {}))
+        self._seq = 0
+        self._outstanding.clear()
+        self._windows = 0
+        self._status = "ok"
+        self.last_summary = None
+        return ack
+
+    def send(self, samples: Union[Signal, np.ndarray]) -> List[AnomalyReport]:
+        """Stream one chunk; return reports that arrived meanwhile.
+
+        Keeps at most ``window`` chunks in flight: when the window is
+        full the call blocks reading REPORT frames first, which is how
+        server-side backpressure propagates into the caller.
+        """
+        self._require_session()
+        if isinstance(samples, Signal):
+            samples = samples.samples
+        collected: List[AnomalyReport] = []
+        while len(self._outstanding) >= self.window:
+            collected.extend(self._read_report())
+        self._seq += 1
+        send_frame(self._sock, encode_chunk(self._seq, samples))
+        self._outstanding.append(self._seq)
+        return collected
+
+    def drain(self) -> List[AnomalyReport]:
+        """Block until every in-flight chunk has been acknowledged."""
+        self._require_session()
+        collected: List[AnomalyReport] = []
+        while self._outstanding:
+            collected.extend(self._read_report())
+        return collected
+
+    def close(self) -> StreamSummary:
+        """Finish the session: drain, CLOSE, return the server summary."""
+        self._require_session()
+        self.drain()
+        send_frame(self._sock, json_frame(FrameType.CLOSE, {}))
+        summary = summary_from_json(
+            parse_json(self._expect(FrameType.CLOSE))
+        )
+        self.last_summary = summary
+        self._session = None
+        return summary
+
+    def replay(
+        self,
+        source: ChunkSource,
+        *,
+        chunk_samples: int = 4096,
+    ) -> Iterator[AnomalyReport]:
+        """Stream a capture chunk-by-chunk, yielding reports as they come.
+
+        ``source`` may be an :class:`EmTrace`, a :class:`Signal`, a raw
+        sample array, or any iterable of chunks. After the generator is
+        exhausted the session is closed and ``last_summary`` holds the
+        server's :class:`StreamSummary`.
+        """
+        self._require_session()
+        for chunk in _as_chunks(source, chunk_samples):
+            for report in self.send(chunk):
+                yield report
+        for report in self.drain():
+            yield report
+        self.close()
+
+    # -- health ---------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's STATS health snapshot (valid any time)."""
+        self._require_socket()
+        send_frame(self._sock, json_frame(FrameType.STATS, {}))
+        return parse_json(self._expect(FrameType.STATS))
+
+    @property
+    def windows_seen(self) -> int:
+        """Windows the server has scored for this session so far."""
+        return self._windows
+
+    @property
+    def status(self) -> str:
+        """The session's running status from the latest REPORT."""
+        return self._status
+
+    # -- frame plumbing -------------------------------------------------------
+
+    def _require_socket(self) -> None:
+        if self._sock is None:
+            raise ServeError("client is not connected; call connect()")
+
+    def _require_session(self) -> None:
+        self._require_socket()
+        if self._session is None:
+            raise ServeError("no open session; call open() first")
+
+    def _recv(self) -> Frame:
+        frame = recv_frame(self._sock)
+        if frame is None:
+            raise ProtocolError(
+                "server closed the connection", code="connection_closed"
+            )
+        return frame
+
+    def _expect(self, ftype: FrameType) -> Frame:
+        frame = self._recv()
+        if frame.type == FrameType.ERROR:
+            err = parse_json(frame)
+            raise ServeError(
+                str(err.get("message", "server error")),
+                code=str(err.get("code", "internal")),
+            )
+        if frame.type != ftype:
+            raise ProtocolError(
+                f"expected {ftype.name}, got {frame.type.name}"
+            )
+        return frame
+
+    def _read_report(self) -> List[AnomalyReport]:
+        payload = parse_json(self._expect(FrameType.REPORT))
+        seq = payload.get("seq")
+        if not self._outstanding or seq != self._outstanding[0]:
+            raise ProtocolError(
+                f"REPORT for chunk {seq!r} arrived out of order "
+                f"(expected {self._outstanding[0] if self._outstanding else None})"
+            )
+        self._outstanding.popleft()
+        self._windows += int(payload.get("windows", 0))
+        self._status = str(payload.get("status", self._status))
+        return [report_from_json(r) for r in payload.get("reports", [])]
+
+
+def replay(
+    host: str,
+    port: int,
+    model_spec: str,
+    source: ChunkSource,
+    *,
+    chunk_samples: int = 4096,
+    window: int = 8,
+    timeout: float = 30.0,
+) -> Tuple[List[AnomalyReport], StreamSummary]:
+    """One-call replay: open a session, stream ``source``, close.
+
+    Returns ``(reports, summary)``; ``reports`` is exactly what a local
+    :class:`~repro.stream.StreamingMonitor` would have produced on the
+    same chunking.
+    """
+    t0 = 0.0
+    if hasattr(source, "iq"):  # EmTrace
+        t0 = source.iq.t0
+    elif isinstance(source, Signal):
+        t0 = source.t0
+    with EddieClient(host, port, timeout=timeout, window=window) as client:
+        client.open(model_spec, t0=t0)
+        reports = list(client.replay(source, chunk_samples=chunk_samples))
+        return reports, client.last_summary

@@ -1,0 +1,318 @@
+"""Versioned on-disk model registry with a shared in-memory LRU.
+
+Fleet-scale serving stands or falls on giving many probes the *same*
+reference model without bespoke per-device plumbing (PAPERS.md, the
+synthetic-fingerprinting line of work). The registry is that shared
+source of truth:
+
+- **Layout**: ``<root>/<name>/v{NNNNN}.npz`` (the model, via
+  :mod:`repro.serialize`'s lossless codec) plus a ``.json`` sidecar with
+  the publish metadata, so listing never deserializes reference arrays.
+- **Addressing**: ``name`` (latest), ``name@latest``, ``name@N``, or a
+  content address ``fp:<hex-prefix>`` over the model fingerprint --
+  the same canonical SHA-256 hashing :mod:`repro.cache` uses, covering
+  config, region profiles, and reference arrays.
+- **Integrity**: publish records both the full model fingerprint and the
+  config fingerprint; load recomputes the model fingerprint and
+  :func:`repro.serialize.load_model` independently verifies the config
+  fingerprint, so a corrupted or mislabeled artifact is refused instead
+  of silently mis-monitoring a fleet.
+- **Atomicity**: artifacts and sidecars are written to a temp file in
+  the destination directory and ``os.replace``-d, so concurrent
+  publishers and a live server sharing one registry directory never see
+  torn entries.
+- **LRU**: deserialized :class:`~repro.core.model.EddieModel` instances
+  are cached by fingerprint and shared by reference across sessions
+  (per-region sorted references precompute once per model, not per
+  device) -- the same sharing :class:`~repro.stream.FleetScheduler`
+  relies on in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.model import EddieModel
+from repro.errors import RegistryError
+from repro.obs import OBS, record_count
+from repro.serialize import config_fingerprint, load_model, save_model
+
+__all__ = ["ModelRegistry", "RegistryEntry"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION_RE = re.compile(r"^v(\d{5})\.npz$")
+
+
+def model_fingerprint(model: EddieModel) -> str:
+    """Content address of a trained model (config + profiles + arrays)."""
+    from repro.cache import fingerprint
+
+    return fingerprint("eddie-model", model)
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One published model version."""
+
+    name: str
+    version: int
+    fingerprint: str
+    path: Path
+    meta: Dict = field(default_factory=dict, compare=False)
+
+    @property
+    def spec(self) -> str:
+        return f"{self.name}@{self.version}"
+
+
+class ModelRegistry:
+    """Publish/resolve/load trained models under a registry directory."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        cache_size: int = 8,
+    ) -> None:
+        if cache_size < 0:
+            raise RegistryError(
+                f"cache_size must be >= 0, got {cache_size}",
+                code="internal",
+            )
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.cache_size = int(cache_size)
+        self._lru: "OrderedDict[str, EddieModel]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- publishing -----------------------------------------------------------
+
+    def publish(
+        self,
+        model: EddieModel,
+        name: Optional[str] = None,
+        *,
+        version: Optional[int] = None,
+    ) -> RegistryEntry:
+        """Write one model version; returns its entry.
+
+        ``name`` defaults to the model's program name; ``version``
+        defaults to one past the latest published version (1 for a new
+        name). Publishing an explicit version that already exists is an
+        error -- published versions are immutable.
+        """
+        name = name if name is not None else model.program_name
+        if not _NAME_RE.match(name):
+            raise RegistryError(
+                f"invalid model name {name!r}: use letters, digits, "
+                f"'.', '_', '-'",
+                code="internal",
+            )
+        model_dir = self.root / name
+        model_dir.mkdir(parents=True, exist_ok=True)
+        existing = self._versions(name)
+        if version is None:
+            version = (max(existing) + 1) if existing else 1
+        elif version in existing:
+            raise RegistryError(
+                f"{name}@{version} is already published; versions are "
+                f"immutable",
+                code="internal",
+            )
+        elif version < 1:
+            raise RegistryError(
+                f"version must be >= 1, got {version}", code="internal"
+            )
+        path = model_dir / f"v{version:05d}.npz"
+        meta = {
+            "name": name,
+            "version": version,
+            "fingerprint": model_fingerprint(model),
+            "config_fingerprint": config_fingerprint(model.config),
+            "program_name": model.program_name,
+            "sample_rate": model.sample_rate,
+            "regions": len(model.profiles),
+            "created_at": time.time(),
+        }
+        self._atomic_write(path, lambda tmp: save_model(model, tmp))
+        self._atomic_write(
+            path.with_suffix(".json"),
+            lambda tmp: tmp.write_text(
+                json.dumps(meta, indent=2, sort_keys=True)
+            ),
+        )
+        if OBS.enabled:
+            record_count("repro.serve.registry", "published")
+        return RegistryEntry(
+            name=name,
+            version=version,
+            fingerprint=meta["fingerprint"],
+            path=path,
+            meta=meta,
+        )
+
+    @staticmethod
+    def _atomic_write(path: Path, writer) -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=path.suffix
+        )
+        os.close(fd)
+        tmp = Path(tmp_name)
+        try:
+            writer(tmp)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    # -- listing / resolution -------------------------------------------------
+
+    def _versions(self, name: str) -> List[int]:
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            return []
+        versions = []
+        for entry in model_dir.iterdir():
+            match = _VERSION_RE.match(entry.name)
+            if match:
+                versions.append(int(match.group(1)))
+        return sorted(versions)
+
+    def _entry(self, name: str, version: int) -> RegistryEntry:
+        path = self.root / name / f"v{version:05d}.npz"
+        sidecar = path.with_suffix(".json")
+        meta: Dict = {}
+        if sidecar.exists():
+            try:
+                meta = json.loads(sidecar.read_text())
+            except (OSError, json.JSONDecodeError):
+                meta = {}
+        return RegistryEntry(
+            name=name,
+            version=version,
+            fingerprint=str(meta.get("fingerprint", "")),
+            path=path,
+            meta=meta,
+        )
+
+    def list_entries(self) -> List[RegistryEntry]:
+        """Every published version, sorted by (name, version)."""
+        entries: List[RegistryEntry] = []
+        for model_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            for version in self._versions(model_dir.name):
+                entries.append(self._entry(model_dir.name, version))
+        return entries
+
+    def resolve(self, spec: str) -> RegistryEntry:
+        """Resolve ``name``, ``name@latest``, ``name@N``, or ``fp:HEX``."""
+        if not isinstance(spec, str) or not spec:
+            raise RegistryError(f"invalid model spec {spec!r}")
+        if spec.startswith("fp:"):
+            return self._resolve_fingerprint(spec[3:])
+        name, _, version_part = spec.partition("@")
+        if not _NAME_RE.match(name):
+            raise RegistryError(f"invalid model spec {spec!r}")
+        versions = self._versions(name)
+        if not versions:
+            raise RegistryError(f"no model named {name!r} in {self.root}")
+        if version_part in ("", "latest"):
+            return self._entry(name, versions[-1])
+        try:
+            version = int(version_part.lstrip("v"))
+        except ValueError:
+            raise RegistryError(
+                f"invalid version {version_part!r} in spec {spec!r}"
+            ) from None
+        if version not in versions:
+            raise RegistryError(
+                f"{name}@{version} is not published (have "
+                f"{', '.join(map(str, versions))})"
+            )
+        return self._entry(name, version)
+
+    def _resolve_fingerprint(self, prefix: str) -> RegistryEntry:
+        prefix = prefix.lower()
+        if len(prefix) < 6:
+            raise RegistryError(
+                f"fingerprint prefix {prefix!r} too short (use >= 6 hex "
+                f"digits)"
+            )
+        matches = [
+            e for e in self.list_entries()
+            if e.fingerprint.startswith(prefix)
+        ]
+        if not matches:
+            raise RegistryError(f"no published model matches fp:{prefix}")
+        distinct = {e.fingerprint for e in matches}
+        if len(distinct) > 1:
+            raise RegistryError(
+                f"fp:{prefix} is ambiguous ({len(distinct)} distinct "
+                f"models); use a longer prefix"
+            )
+        # Identical content published under several names/versions:
+        # any entry serves; pick the newest deterministically.
+        return max(matches, key=lambda e: (e.name, e.version))
+
+    # -- loading --------------------------------------------------------------
+
+    def load(self, spec: str) -> Tuple[EddieModel, RegistryEntry]:
+        """Resolve and deserialize a model, via the shared LRU.
+
+        A hit returns the *same* :class:`EddieModel` instance earlier
+        sessions got -- model state is immutable during monitoring, and
+        sharing it is what keeps per-session memory at just the stream
+        state. A miss deserializes, verifies the content fingerprint
+        against the sidecar, and caches.
+        """
+        entry = self.resolve(spec)
+        with self._lock:
+            model = self._lru.get(entry.fingerprint)
+            if model is not None:
+                self._lru.move_to_end(entry.fingerprint)
+                self.cache_hits += 1
+                if OBS.enabled:
+                    record_count("repro.serve.registry", "lru_hits")
+                return model, entry
+            self.cache_misses += 1
+        if OBS.enabled:
+            record_count("repro.serve.registry", "lru_misses")
+        try:
+            model = load_model(entry.path)
+        except FileNotFoundError:
+            raise RegistryError(
+                f"{entry.spec}: artifact file is missing"
+            ) from None
+        except Exception as error:
+            raise RegistryError(
+                f"{entry.spec}: failed to load ({error})",
+                code="model_corrupt",
+            ) from error
+        if entry.fingerprint and model_fingerprint(model) != entry.fingerprint:
+            raise RegistryError(
+                f"{entry.spec}: content fingerprint mismatch (corrupted "
+                f"or mislabeled artifact)",
+                code="model_corrupt",
+            )
+        if self.cache_size:
+            with self._lock:
+                self._lru[entry.fingerprint] = model
+                self._lru.move_to_end(entry.fingerprint)
+                while len(self._lru) > self.cache_size:
+                    self._lru.popitem(last=False)
+        return model, entry
+
+    @property
+    def cached_fingerprints(self) -> List[str]:
+        with self._lock:
+            return list(self._lru)

@@ -1,0 +1,683 @@
+"""The asyncio EM-monitoring server: sessions over TCP, DSP in threads.
+
+One accepted connection is one monitoring session. The event loop owns
+all connection and frame bookkeeping; the CPU-heavy DSP (STFT, peak
+extraction, K-S scoring via :meth:`StreamingMonitor.feed`) runs in a
+bounded thread pool, so slow clients never stall the loop and the loop
+never stalls the math. numpy releases the GIL across the hot kernels,
+so ``worker_threads`` sessions genuinely overlap.
+
+Flow control, inward and outward:
+
+- **Ingestion backpressure**: each session has a bounded
+  ``asyncio.Queue`` of decoded chunks. When the DSP falls behind, the
+  queue fills, the connection's read loop blocks on ``put``, the kernel
+  socket buffer fills, and TCP pushes back on the device -- no unbounded
+  buffering anywhere in the path.
+- **Slow readers**: REPORT frames go through ``drain()``, so a client
+  that stops reading blocks only its own session's worker (and then,
+  transitively, its own ingestion).
+- **Load shedding**: an OPEN that arrives with the fleet at
+  ``max_sessions`` is refused with a typed ``ERROR at_capacity`` frame
+  -- the connection is turned away cleanly instead of surfacing
+  :class:`FleetScheduler`'s in-process raise -- unless ``evict_idle``
+  is set, in which case the scheduler closes the stalest session
+  (notifying it with ``ERROR evicted``) and admits the newcomer.
+
+STATS frames are answered at any point after HELLO with a JSON health
+snapshot (open sessions, shed/evicted counts, chunk/report totals, and
+the ``repro.serve`` metric instruments when observability is enabled).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ProtocolError, RegistryError, ServeError
+from repro.obs import OBS, counter, histogram, snapshot_module
+from repro.serve import protocol
+from repro.serve.protocol import (
+    ERR_AT_CAPACITY,
+    ERR_BAD_FRAME,
+    ERR_BAD_STATE,
+    ERR_EVICTED,
+    ERR_INTERNAL,
+    ERR_UNSUPPORTED_VERSION,
+    FrameType,
+    error_frame,
+    json_frame,
+    negotiate_version,
+    parse_json,
+    read_frame,
+)
+from repro.serve.registry import ModelRegistry
+from repro.stream import FleetScheduler, StreamSummary
+
+__all__ = ["EddieServer", "ServerConfig", "ServerHandle", "serve_in_thread"]
+
+_LATENCY_EDGES_MS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+                     100.0, 250.0, 1000.0)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one :class:`EddieServer`.
+
+    Attributes:
+        host: bind address (loopback by default; expose deliberately).
+        port: bind port; 0 lets the kernel pick (read ``address`` after
+            start).
+        max_sessions: fleet capacity; OPENs beyond it are shed (or, with
+            ``evict_idle``, displace the stalest session).
+        evict_idle: admit over-capacity OPENs by evicting the
+            least-recently-fed session instead of shedding the newcomer.
+        queue_depth: per-session bound on decoded-but-unscored chunks;
+            the ingestion backpressure knob.
+        worker_threads: size of the shared DSP thread pool.
+        registry_cache: deserialized models kept hot in the registry LRU
+            (only used when the server builds its own registry).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_sessions: int = 64
+    evict_idle: bool = False
+    queue_depth: int = 8
+    worker_threads: int = 4
+    registry_cache: int = 8
+
+
+@dataclass
+class ServerStats:
+    """Cumulative serving counters (loop-thread mutated, lock-free)."""
+
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    sessions_shed: int = 0
+    sessions_evicted: int = 0
+    chunks: int = 0
+    samples: int = 0
+    windows: int = 0
+    reports: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    protocol_errors: int = 0
+
+
+@dataclass
+class _SessionState:
+    """Per-connection serving state (loop-side only)."""
+
+    session_id: str
+    queue: asyncio.Queue
+    writer: asyncio.StreamWriter
+    wlock: asyncio.Lock
+    worker: Optional[asyncio.Task] = None
+    evicted: bool = False
+    reports_sent: int = 0
+    opened_at: float = field(default_factory=time.monotonic)
+
+
+class EddieServer:
+    """Serve EM-monitoring sessions from a model registry over TCP."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config or ServerConfig()
+        self.stats = ServerStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._fleet: Optional[FleetScheduler] = None
+        self._states: Dict[str, _SessionState] = {}
+        self._admission = asyncio.Lock()
+        self._session_seq = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise ServeError("server is already started")
+        cfg = self.config
+        self._loop = asyncio.get_running_loop()
+        self._pool = ThreadPoolExecutor(
+            max_workers=cfg.worker_threads,
+            thread_name_prefix="eddie-serve",
+        )
+        self._fleet = FleetScheduler(
+            max_sessions=cfg.max_sessions,
+            evict_idle=cfg.evict_idle,
+            on_evict=self._on_evict,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, cfg.host, cfg.port
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` binds)."""
+        if self._server is None or not self._server.sockets:
+            raise ServeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def sessions_open(self) -> int:
+        return len(self._fleet) if self._fleet is not None else 0
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, abort live sessions, release the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for state in list(self._states.values()):
+            if state.worker is not None and not state.worker.done():
+                state.worker.cancel()
+                with contextlib.suppress(
+                    asyncio.CancelledError, Exception
+                ):
+                    await state.worker
+            state.writer.close()
+        self._states.clear()
+        if self._fleet is not None:
+            for session_id in self._fleet.session_ids:
+                with contextlib.suppress(Exception):
+                    self._fleet.close_session(session_id)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- health ---------------------------------------------------------------
+
+    def stats_payload(self) -> Dict:
+        """The STATS frame body: a JSON-able health snapshot."""
+        s = self.stats
+        payload = {
+            "sessions_open": self.sessions_open,
+            "max_sessions": self.config.max_sessions,
+            "evict_idle": self.config.evict_idle,
+            "sessions_opened": s.sessions_opened,
+            "sessions_closed": s.sessions_closed,
+            "sessions_shed": s.sessions_shed,
+            "sessions_evicted": s.sessions_evicted,
+            "chunks": s.chunks,
+            "samples": s.samples,
+            "windows": s.windows,
+            "reports": s.reports,
+            "bytes_in": s.bytes_in,
+            "bytes_out": s.bytes_out,
+            "protocol_errors": s.protocol_errors,
+            "registry": {
+                "lru_hits": self.registry.cache_hits,
+                "lru_misses": self.registry.cache_misses,
+                "cached": len(self.registry.cached_fingerprints),
+            },
+        }
+        if OBS.enabled:
+            payload["metrics"] = snapshot_module("repro.serve")
+        return payload
+
+    # -- connection handling --------------------------------------------------
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        wlock: asyncio.Lock,
+        data: bytes,
+    ) -> None:
+        async with wlock:
+            writer.write(data)
+            await writer.drain()
+        self.stats.bytes_out += len(data)
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        wlock = asyncio.Lock()
+        state: Optional[_SessionState] = None
+        try:
+            state = await self._handshake(reader, writer, wlock)
+            if state is not None:
+                state.worker = asyncio.get_running_loop().create_task(
+                    self._session_worker(state)
+                )
+                await self._ingest(reader, state)
+                # Wait for the worker to flush its final frames (the
+                # summary CLOSE, or nothing if the session aborted).
+                with contextlib.suppress(asyncio.CancelledError):
+                    await state.worker
+        except ProtocolError as error:
+            self.stats.protocol_errors += 1
+            with contextlib.suppress(Exception):
+                await self._send(
+                    writer, wlock, error_frame(ERR_BAD_FRAME, str(error))
+                )
+        except (ConnectionError, asyncio.TimeoutError):
+            pass
+        except Exception as error:  # keep the server alive, tell the peer
+            with contextlib.suppress(Exception):
+                await self._send(
+                    writer, wlock,
+                    error_frame(ERR_INTERNAL, f"internal error: {error}"),
+                )
+        finally:
+            if state is not None:
+                await self._reap_session(state)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _handshake(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        wlock: asyncio.Lock,
+    ) -> Optional[_SessionState]:
+        """HELLO negotiation and OPEN admission; None = turned away."""
+        # HELLO: version negotiation comes first on every connection.
+        frame = await read_frame(reader)
+        if frame is None:
+            return None
+        self.stats.bytes_in += len(frame) + protocol.HEADER.size
+        if frame.type != FrameType.HELLO:
+            await self._send(
+                writer, wlock,
+                error_frame(
+                    ERR_BAD_STATE,
+                    f"expected HELLO, got {frame.type.name}",
+                ),
+            )
+            return None
+        hello = parse_json(frame)
+        version = negotiate_version(hello.get("versions", ()))
+        if version is None:
+            await self._send(
+                writer, wlock,
+                error_frame(
+                    ERR_UNSUPPORTED_VERSION,
+                    f"no shared protocol version (server speaks "
+                    f"{list(protocol.PROTOCOL_VERSIONS)}, client offered "
+                    f"{hello.get('versions')})",
+                ),
+            )
+            return None
+        from repro import __version__
+
+        await self._send(
+            writer, wlock,
+            json_frame(FrameType.HELLO, {
+                "version": version,
+                "server": f"eddie-serve/{__version__}",
+            }),
+        )
+
+        # Control phase: STATS any number of times, then OPEN.
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                return None
+            self.stats.bytes_in += len(frame) + protocol.HEADER.size
+            if frame.type == FrameType.STATS:
+                await self._send(
+                    writer, wlock,
+                    json_frame(FrameType.STATS, self.stats_payload()),
+                )
+                continue
+            if frame.type == FrameType.OPEN:
+                break
+            await self._send(
+                writer, wlock,
+                error_frame(
+                    ERR_BAD_STATE,
+                    f"expected OPEN or STATS, got {frame.type.name}",
+                ),
+            )
+            return None
+
+        return await self._admit(parse_json(frame), writer, wlock)
+
+    async def _admit(
+        self,
+        open_payload: Dict,
+        writer: asyncio.StreamWriter,
+        wlock: asyncio.Lock,
+    ) -> Optional[_SessionState]:
+        spec = open_payload.get("model")
+        if not isinstance(spec, str) or not spec:
+            await self._send(
+                writer, wlock,
+                error_frame(ERR_BAD_FRAME, "OPEN needs a 'model' spec"),
+            )
+            return None
+        try:
+            t0 = float(open_payload.get("t0", 0.0))
+        except (TypeError, ValueError):
+            await self._send(
+                writer, wlock,
+                error_frame(ERR_BAD_FRAME, "OPEN 't0' must be a number"),
+            )
+            return None
+        async with self._admission:
+            # Shedding: with eviction off, turn the newcomer away with a
+            # typed error instead of letting the fleet raise -- surviving
+            # sessions never notice.
+            if (
+                len(self._fleet) >= self.config.max_sessions
+                and not self.config.evict_idle
+            ):
+                self.stats.sessions_shed += 1
+                if OBS.enabled:
+                    counter("repro.serve", "sessions_shed").inc()
+                await self._send(
+                    writer, wlock,
+                    error_frame(
+                        ERR_AT_CAPACITY,
+                        f"server is at its {self.config.max_sessions}-"
+                        f"session capacity; retry later",
+                    ),
+                )
+                return None
+            try:
+                model, entry = await asyncio.get_running_loop().run_in_executor(
+                    self._pool, self.registry.load, spec
+                )
+            except RegistryError as error:
+                await self._send(
+                    writer, wlock, error_frame(error.code, str(error))
+                )
+                return None
+            self._session_seq += 1
+            session_id = f"s{self._session_seq:06d}"
+            # May evict the stalest session (evict_idle=True); the
+            # on_evict hook notifies that connection.
+            self._fleet.add_session(session_id, model, t0=t0)
+        state = _SessionState(
+            session_id=session_id,
+            queue=asyncio.Queue(maxsize=self.config.queue_depth),
+            writer=writer,
+            wlock=wlock,
+        )
+        self._states[session_id] = state
+        self.stats.sessions_opened += 1
+        if OBS.enabled:
+            counter("repro.serve", "sessions_opened").inc()
+        await self._send(
+            writer, wlock,
+            json_frame(FrameType.OPEN, {
+                "session": session_id,
+                "model": {
+                    "name": entry.name,
+                    "version": entry.version,
+                    "fingerprint": entry.fingerprint,
+                    "program": model.program_name,
+                    "sample_rate": model.sample_rate,
+                },
+            }),
+        )
+        return state
+
+    async def _ingest(
+        self, reader: asyncio.StreamReader, state: _SessionState
+    ) -> None:
+        """Read loop: socket frames into the session's bounded queue."""
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                # Peer vanished without CLOSE: abort without a summary.
+                await state.queue.put(("abort", None, None))
+                return
+            self.stats.bytes_in += len(frame) + protocol.HEADER.size
+            if frame.type == FrameType.CHUNK:
+                seq, samples = protocol.decode_chunk(frame)
+                # Bounded put = the ingestion backpressure point.
+                await state.queue.put(("chunk", seq, samples))
+            elif frame.type == FrameType.CLOSE:
+                await state.queue.put(("close", None, None))
+                return
+            elif frame.type == FrameType.STATS:
+                await self._send(
+                    state.writer, state.wlock,
+                    json_frame(FrameType.STATS, self.stats_payload()),
+                )
+            else:
+                await self._send(
+                    state.writer, state.wlock,
+                    error_frame(
+                        ERR_BAD_STATE,
+                        f"unexpected {frame.type.name} frame mid-session",
+                    ),
+                )
+                await state.queue.put(("abort", None, None))
+                return
+
+    async def _session_worker(self, state: _SessionState) -> None:
+        """Drain the session queue through the DSP pool, emit REPORTs."""
+        loop = asyncio.get_running_loop()
+        fleet = self._fleet
+        lat_hist = (
+            histogram("repro.serve", "chunk_latency_ms", _LATENCY_EDGES_MS)
+            if OBS.enabled else None
+        )
+        try:
+            while True:
+                kind, seq, samples = await state.queue.get()
+                if kind == "close":
+                    summary = self._close_fleet_session(state.session_id)
+                    if summary is not None:
+                        await self._send(
+                            state.writer, state.wlock,
+                            json_frame(
+                                FrameType.CLOSE,
+                                protocol.summary_to_json(summary),
+                            ),
+                        )
+                    return
+                if kind == "abort":
+                    self._close_fleet_session(state.session_id)
+                    return
+                started = time.perf_counter()
+                try:
+                    results = await loop.run_in_executor(
+                        self._pool, fleet.feed, state.session_id, samples
+                    )
+                except Exception:
+                    # The session was evicted (or otherwise closed)
+                    # between dequeue and feed; the eviction path already
+                    # notified the peer.
+                    return
+                elapsed_ms = (time.perf_counter() - started) * 1e3
+                reports = [r for res in results for r in res.reports]
+                windows = sum(len(res.times) for res in results)
+                status = results[-1].status if results else "ok"
+                self.stats.chunks += 1
+                self.stats.samples += len(samples)
+                self.stats.windows += windows
+                self.stats.reports += len(reports)
+                state.reports_sent += len(reports)
+                if OBS.enabled:
+                    counter("repro.serve", "chunks").inc()
+                    counter("repro.serve", "windows").inc(windows)
+                    counter("repro.serve", "reports").inc(len(reports))
+                    lat_hist.record(elapsed_ms)
+                await self._send(
+                    state.writer, state.wlock,
+                    json_frame(FrameType.REPORT, {
+                        "seq": seq,
+                        "windows": windows,
+                        "status": status,
+                        "reports": [
+                            protocol.report_to_json(r) for r in reports
+                        ],
+                    }),
+                )
+        except (ConnectionError, asyncio.CancelledError):
+            self._close_fleet_session(state.session_id)
+            raise
+
+    def _close_fleet_session(
+        self, session_id: str
+    ) -> Optional[StreamSummary]:
+        try:
+            summary = self._fleet.close_session(session_id)
+        except Exception:
+            return None  # already closed (eviction or reap)
+        self.stats.sessions_closed += 1
+        if OBS.enabled:
+            counter("repro.serve", "sessions_closed").inc()
+        return summary
+
+    async def _reap_session(self, state: _SessionState) -> None:
+        """Last-resort cleanup when a connection ends abnormally."""
+        self._states.pop(state.session_id, None)
+        worker = state.worker
+        if worker is not None and not worker.done():
+            try:
+                state.queue.put_nowait(("abort", None, None))
+            except asyncio.QueueFull:
+                worker.cancel()
+            try:
+                await asyncio.wait_for(worker, timeout=10)
+            except (asyncio.TimeoutError, asyncio.CancelledError):
+                worker.cancel()
+                with contextlib.suppress(
+                    asyncio.CancelledError, Exception
+                ):
+                    await worker
+            except Exception:
+                pass
+        self._close_fleet_session(state.session_id)
+
+    # -- eviction -------------------------------------------------------------
+
+    def _on_evict(self, session_id: str, summary: StreamSummary) -> None:
+        """FleetScheduler evicted ``session_id`` to admit a newcomer."""
+        self.stats.sessions_evicted += 1
+        self.stats.sessions_closed += 1
+        if OBS.enabled:
+            counter("repro.serve", "sessions_evicted").inc()
+        state = self._states.get(session_id)
+        if state is None:
+            return
+        state.evicted = True
+        self._loop.create_task(self._notify_evicted(state))
+
+    async def _notify_evicted(self, state: _SessionState) -> None:
+        with contextlib.suppress(Exception):
+            await self._send(
+                state.writer, state.wlock,
+                error_frame(
+                    ERR_EVICTED,
+                    f"session {state.session_id} was evicted as the "
+                    f"stalest at capacity",
+                ),
+            )
+        # Closing the transport ends the connection's read loop, which
+        # aborts the worker through the normal reap path.
+        state.writer.close()
+
+
+# -- thread-hosted serving (sync callers: tests, benches, CLI clients) --------
+
+
+class ServerHandle:
+    """A server running on its own event-loop thread."""
+
+    def __init__(
+        self,
+        server: EddieServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.address
+
+    @property
+    def stats(self) -> ServerStats:
+        return self.server.stats
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop
+        )
+        with contextlib.suppress(Exception):
+            future.result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    registry: ModelRegistry,
+    config: Optional[ServerConfig] = None,
+) -> ServerHandle:
+    """Start an :class:`EddieServer` on a dedicated event-loop thread.
+
+    The synchronous entry point tests, benchmarks, and scripts use:
+    returns once the socket is bound, so ``handle.address`` is
+    immediately connectable. Stop with ``handle.stop()`` (or use it as a
+    context manager).
+    """
+    started = threading.Event()
+    holder: Dict[str, object] = {}
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        server = EddieServer(registry, config=config)
+        try:
+            loop.run_until_complete(server.start())
+        except Exception as error:  # surface bind failures to the caller
+            holder["error"] = error
+            started.set()
+            loop.close()
+            return
+        holder["server"] = server
+        holder["loop"] = loop
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            with contextlib.suppress(Exception):
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(
+        target=run, name="eddie-serve-loop", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=30):
+        raise ServeError("server failed to start within 30s")
+    if "error" in holder:
+        raise ServeError(f"server failed to start: {holder['error']}")
+    return ServerHandle(holder["server"], holder["loop"], thread)

@@ -36,6 +36,7 @@ from repro.stream.engine import ChunkLike, StreamingMonitor, StreamSummary
 __all__ = ["FleetScheduler", "FleetSession"]
 
 ResultSink = Callable[[str, MonitorResult], None]
+EvictSink = Callable[[str, StreamSummary], None]
 
 
 @dataclass
@@ -49,6 +50,7 @@ class FleetSession:
     done: bool = False
     summary: Optional[StreamSummary] = None
     results: List[MonitorResult] = field(default_factory=list)
+    last_fed: int = 0
 
 
 class FleetScheduler:
@@ -66,6 +68,15 @@ class FleetScheduler:
         on_result: optional callback invoked as ``on_result(session_id,
             result)`` for every chunk result produced during dispatch;
             this is the O(1)-memory way to consume fleet output.
+        evict_idle: when the fleet is at capacity, close the stalest
+            session (least recently fed, by dispatch order -- not wall
+            clock, so behavior is deterministic) to make room instead of
+            raising. The default keeps the hard raise: unattended
+            eviction is a serving policy, not a library default.
+        on_evict: optional callback invoked as ``on_evict(session_id,
+            summary)`` after an idle session was evicted for capacity;
+            lets a server notify the evicted device before reusing the
+            slot.
     """
 
     def __init__(
@@ -75,6 +86,8 @@ class FleetScheduler:
         early_exit: bool = False,
         keep_history: bool = False,
         on_result: Optional[ResultSink] = None,
+        evict_idle: bool = False,
+        on_evict: Optional[EvictSink] = None,
     ) -> None:
         if max_sessions < 1:
             raise ConfigurationError(
@@ -84,8 +97,11 @@ class FleetScheduler:
         self._early_exit = bool(early_exit)
         self._keep_history = bool(keep_history)
         self._on_result = on_result
+        self.evict_idle = bool(evict_idle)
+        self._on_evict = on_evict
         self._sessions: Dict[str, FleetSession] = {}
         self._closed: Dict[str, StreamSummary] = {}
+        self._feed_clock = 0
 
     # -- session lifecycle ---------------------------------------------------
 
@@ -126,10 +142,12 @@ class FleetScheduler:
                 f"session {session_id!r} is already open"
             )
         if len(self._sessions) >= self.max_sessions:
-            raise ConfigurationError(
-                f"fleet is at its {self.max_sessions}-session capacity; "
-                f"close a session first"
-            )
+            if not self.evict_idle:
+                raise ConfigurationError(
+                    f"fleet is at its {self.max_sessions}-session "
+                    f"capacity; close a session first"
+                )
+            self.evict_stalest()
         monitor = StreamingMonitor(
             model,
             batched=batched,
@@ -138,10 +156,12 @@ class FleetScheduler:
             t0=t0,
             session_id=session_id,
         )
+        self._feed_clock += 1
         session = FleetSession(
             session_id=session_id,
             monitor=monitor,
             source=iter(source) if source is not None else None,
+            last_fed=self._feed_clock,
         )
         self._sessions[session_id] = session
         if OBS.enabled:
@@ -165,6 +185,23 @@ class FleetScheduler:
             ).inc(len(session.summary.reports))
         return session.summary
 
+    def evict_stalest(self) -> StreamSummary:
+        """Close the least-recently-fed session to free a slot.
+
+        Ordering is the fleet's dispatch clock (every ``feed`` and
+        ``add_session`` ticks it), so "stalest" is deterministic and
+        time-source-free. Invokes ``on_evict`` after the close.
+        """
+        if not self._sessions:
+            raise MonitoringError("no open session to evict")
+        stalest = min(self._sessions.values(), key=lambda s: s.last_fed)
+        summary = self.close_session(stalest.session_id)
+        if OBS.enabled:
+            counter("stream.fleet", "sessions_evicted").inc()
+        if self._on_evict is not None:
+            self._on_evict(stalest.session_id, summary)
+        return summary
+
     @property
     def summaries(self) -> Dict[str, StreamSummary]:
         """Summaries of every session closed so far."""
@@ -178,6 +215,8 @@ class FleetScheduler:
         with span("fleet.dispatch"):
             results = session.monitor.feed(chunk)
         session.chunks_fed += 1
+        self._feed_clock += 1
+        session.last_fed = self._feed_clock
         if self._keep_history:
             session.results.extend(results)
         if OBS.enabled:

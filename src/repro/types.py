@@ -48,6 +48,23 @@ class Signal:
         return len(self.samples) / self.sample_rate
 
     @property
+    def nbytes(self) -> int:
+        """Bytes held by the sample array (ingestion accounting)."""
+        return self.samples.nbytes
+
+    def astype(self, dtype) -> "Signal":
+        """The same signal with samples cast to ``dtype``.
+
+        Returns ``self`` when the dtype already matches, so exact
+        pipelines (wire dtype == capture dtype) never copy or round.
+        """
+        if self.samples.dtype == np.dtype(dtype):
+            return self
+        return Signal(
+            self.samples.astype(dtype), self.sample_rate, self.t0
+        )
+
+    @property
     def t_end(self) -> float:
         """Absolute time just past the final sample."""
         return self.t0 + self.duration
