@@ -9,7 +9,12 @@ Exercises the :mod:`repro.serve` stack over real loopback TCP --
   its own connection: sessions/sec and aggregate windows/sec,
 - **shedding**: with every fleet slot held, a burst of OPENs must all
   be refused with the typed ``at_capacity`` error, the holders must
-  stream on unharmed, and a freed slot must admit again
+  stream on unharmed, and a freed slot must admit again,
+- **recovery** (DESIGN.md D19): a session streamed through a
+  :class:`~repro.serve.ChaosProxy` whose connection is killed several
+  times mid-stream must transparently resume from the server's
+  checkpoints -- p50/p99 resume latency, with zero windows lost and the
+  report stream bit-identical to a local run
 
 -- and writes ``BENCH_serve.json`` at the repo root.
 
@@ -19,6 +24,7 @@ Run as pytest (``REPRO_SCALE=quick`` by default) or directly::
 """
 
 import argparse
+import dataclasses
 import json
 import sys
 import tempfile
@@ -31,8 +37,15 @@ import numpy as np
 from repro.errors import ServeError
 from repro.experiments.runner import Scale, build_detector
 from repro.programs.mibench import BENCHMARKS
-from repro.serve import EddieClient, ModelRegistry, ServerConfig, serve_in_thread
+from repro.serve import (
+    ChaosProxy,
+    EddieClient,
+    ModelRegistry,
+    ServerConfig,
+    serve_in_thread,
+)
 from repro.serve.client import replay
+from repro.stream import StreamingMonitor
 
 _REPO_ROOT = Path(__file__).resolve().parents[1]
 _OUTPUT = _REPO_ROOT / "BENCH_serve.json"
@@ -156,6 +169,55 @@ def _shedding(registry, trace, capacity=2, burst=6):
         }
 
 
+def _recovery(registry, model, trace, kills=3):
+    """Kill the connection mid-stream; measure the cost of resuming."""
+    monitor = StreamingMonitor(model, t0=trace.iq.t0)
+    local_reports = []
+    chunks = list(trace.iq.iter_chunks(_CHUNK_SAMPLES))
+    for chunk in chunks:
+        for result in monitor.feed(chunk):
+            local_reports.extend(result.reports)
+    local_summary = monitor.finish()
+
+    kill_every = max(1, len(chunks) // (kills + 1))
+    with serve_in_thread(
+        registry,
+        ServerConfig(max_sessions=4, worker_threads=2, checkpoint_interval=2),
+    ) as handle:
+        with ChaosProxy(handle.address, seed=11) as proxy:
+            host, port = proxy.address
+            with EddieClient(
+                host, port, window=4,
+                backoff_base=0.02, backoff_max=0.25,
+            ) as client:
+                client.open(_PROGRAM, t0=trace.iq.t0)
+                reports = []
+                started = time.perf_counter()
+                for i, chunk in enumerate(chunks):
+                    reports.extend(client.send(chunk))
+                    if i and i % kill_every == 0 and client.reconnects < kills:
+                        reports.extend(client.drain())
+                        proxy.kill_connections()
+                reports.extend(client.drain())
+                summary = client.close()
+                elapsed = time.perf_counter() - started
+    identical = reports == local_reports and summary == dataclasses.replace(
+        local_summary, session_id=summary.session_id
+    )
+    lat = np.asarray(client.resume_latencies or [0.0])
+    return {
+        "kills": proxy.stats.kills,
+        "reconnects": client.reconnects,
+        "seconds": elapsed,
+        "recovery_p50_ms": float(np.median(lat) * 1e3),
+        "recovery_p99_ms": float(np.quantile(lat, 0.99) * 1e3),
+        "windows_local": local_summary.windows,
+        "windows_remote": client.windows_seen,
+        "windows_lost": local_summary.windows - client.windows_seen,
+        "bit_identical": identical,
+    }
+
+
 def run_benchmark(scale_name="quick", clients=8, sessions_per_client=2):
     scale = {"quick": Scale.quick, "default": Scale.default,
              "paper": Scale.paper}[scale_name]()
@@ -178,6 +240,7 @@ def run_benchmark(scale_name="quick", clients=8, sessions_per_client=2):
                 ),
             }
         report["shedding"] = _shedding(registry, trace)
+        report["recovery"] = _recovery(registry, detector.model, trace)
     _OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
@@ -186,6 +249,7 @@ def _format(report):
     lat = report["latency"]
     thr = report["throughput"]
     shed = report["shedding"]
+    rec = report["recovery"]
     return "\n".join([
         f"serving benchmark (scale={report['scale']}, "
         f"{report['trace_samples']:,} samples/capture)",
@@ -199,6 +263,11 @@ def _format(report):
         f"OPENs shed at capacity {shed['capacity']} "
         f"(rate {shed['shed_rate']:.0%}, holders "
         f"clean={shed['holders_clean']})",
+        f"  recovery           : {rec['kills']} kills -> "
+        f"{rec['reconnects']} resumes, p50 {rec['recovery_p50_ms']:.0f} ms, "
+        f"p99 {rec['recovery_p99_ms']:.0f} ms, "
+        f"windows lost {rec['windows_lost']} "
+        f"(bit-identical={rec['bit_identical']})",
         f"  -> {_OUTPUT}",
     ])
 
@@ -214,6 +283,8 @@ def test_serve_benchmark(scale, show):
     )
     assert report["shedding"]["shed_all_over_capacity"]
     assert report["shedding"]["holders_clean"]
+    assert report["recovery"]["windows_lost"] == 0, report["recovery"]
+    assert report["recovery"]["bit_identical"], report["recovery"]
 
 
 if __name__ == "__main__":
@@ -233,5 +304,7 @@ if __name__ == "__main__":
         result["throughput"]["all_sessions_clean"]
         and result["shedding"]["shed_all_over_capacity"]
         and result["shedding"]["holders_clean"]
+        and result["recovery"]["windows_lost"] == 0
+        and result["recovery"]["bit_identical"]
     )
     sys.exit(0 if ok else 1)

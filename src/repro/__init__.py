@@ -47,6 +47,7 @@ from repro.errors import (
     RegistryError,
     ReproError,
     ServeError,
+    ServeTimeoutError,
     SignalError,
     SimulationError,
     TrainingError,
@@ -68,6 +69,7 @@ _LAZY_EXPORTS = {
     "AnomalyReport": "repro.core.monitor",
     "StreamingMonitor": "repro.stream",
     "StreamSummary": "repro.stream",
+    "StreamSnapshot": "repro.stream",
     "FleetScheduler": "repro.stream",
     "FleetSession": "repro.stream",
     "EddieServer": "repro.serve",
@@ -76,6 +78,8 @@ _LAZY_EXPORTS = {
     "ModelRegistry": "repro.serve",
     "RegistryEntry": "repro.serve",
     "serve_in_thread": "repro.serve",
+    "ChaosConfig": "repro.serve",
+    "ChaosProxy": "repro.serve",
 }
 
 __all__ = [
@@ -88,6 +92,7 @@ __all__ = [
     "AnomalyReport",
     "StreamingMonitor",
     "StreamSummary",
+    "StreamSnapshot",
     "FleetScheduler",
     "FleetSession",
     "EddieServer",
@@ -96,6 +101,8 @@ __all__ = [
     "ModelRegistry",
     "RegistryEntry",
     "serve_in_thread",
+    "ChaosConfig",
+    "ChaosProxy",
     "ReproError",
     "AnalysisError",
     "ConfigurationError",
@@ -103,6 +110,7 @@ __all__ = [
     "ProtocolError",
     "RegistryError",
     "ServeError",
+    "ServeTimeoutError",
     "SignalError",
     "SimulationError",
     "TrainingError",

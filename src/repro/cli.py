@@ -219,6 +219,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             "chunks (ingestion backpressure)")
     serve.add_argument("--workers", type=int, default=4,
                        help="DSP thread-pool size")
+    serve.add_argument("--checkpoint-interval", type=int, default=16,
+                       metavar="CHUNKS",
+                       help="checkpoint each session to disk every N "
+                            "chunks so dropped clients can RESUME "
+                            "(0 disables checkpointing)")
+    serve.add_argument("--spill-dir", default=None, metavar="DIR",
+                       help="where session checkpoints are spilled "
+                            "(default: <registry>/.sessions); point "
+                            "successive servers at the same registry and "
+                            "spill dir to survive restarts")
 
     client = sub.add_parser(
         "client", help="stream captures to a running `eddie serve`"
@@ -247,6 +257,18 @@ def _build_parser() -> argparse.ArgumentParser:
     client.add_argument("--window", type=int, default=8,
                         help="chunks kept in flight before blocking on "
                              "REPORTs")
+    client.add_argument("--connect-timeout", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="deadline for dialing (and redialing) the "
+                             "server")
+    client.add_argument("--io-timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="deadline for each blocking send/recv once "
+                             "connected")
+    client.add_argument("--no-reconnect", action="store_true",
+                        help="fail on a dropped connection instead of "
+                             "resuming the session from the server's "
+                             "last checkpoint")
     client.add_argument("--stats", action="store_true",
                         help="print the server's STATS snapshot afterwards")
 
@@ -581,6 +603,8 @@ def _cmd_publish(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import contextlib
+    import signal
 
     from repro.serve import EddieServer, ModelRegistry, ServerConfig
 
@@ -593,6 +617,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         evict_idle=args.evict_idle,
         queue_depth=args.queue_depth,
         worker_threads=args.workers,
+        checkpoint_interval=args.checkpoint_interval,
+        spill_dir=args.spill_dir,
     )
 
     async def _run() -> None:
@@ -603,11 +629,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"serving on {host}:{port} -- {len(entries)} published "
             f"model(s) in {registry.root}, max {config.max_sessions} "
             f"sessions ({'evict-idle' if config.evict_idle else 'shed'} "
-            f"at capacity)"
+            f"at capacity), checkpoints every "
+            f"{config.checkpoint_interval or 'never'} chunk(s) "
+            f"-> {server.spill_dir}"
         )
         for entry in entries:
             print(f"  {entry.spec:32s} fp:{entry.fingerprint[:12]}")
-        await server.serve_forever()
+        # SIGTERM/SIGINT trigger a graceful drain: every live session is
+        # checkpointed and suspended, so clients resume against the next
+        # server pointed at the same registry + spill dir.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("draining...", file=sys.stderr)
+        final = await server.drain()
+        await server.stop()
+        print(
+            f"drained: {final['sessions_suspended']} session(s) "
+            f"suspended for resume, {final['checkpoints']} checkpoint(s) "
+            f"written",
+            file=sys.stderr,
+        )
 
     try:
         asyncio.run(_run())
@@ -644,7 +689,13 @@ def _cmd_client(args: argparse.Namespace) -> int:
     # One connection per capture: the server scopes a connection to a
     # single monitoring session.
     for label, trace in captures:
-        with EddieClient(args.host, args.port, window=args.window) as cli:
+        with EddieClient(
+            args.host, args.port,
+            window=args.window,
+            connect_timeout=args.connect_timeout,
+            io_timeout=args.io_timeout,
+            reconnect=not args.no_reconnect,
+        ) as cli:
             cli.open(args.model_spec, t0=trace.iq.t0)
             for report in cli.replay(
                 trace, chunk_samples=args.chunk_samples
@@ -654,11 +705,14 @@ def _cmd_client(args: argparse.Namespace) -> int:
                     f"region={report.region} streak={report.streak}"
                 )
             s = cli.last_summary
-            print(
+            line = (
                 f"{label}: chunks={s.chunks} windows={s.windows} "
                 f"reports={len(s.reports)} detected={s.detected} "
                 f"status={s.status}"
             )
+            if cli.reconnects:
+                line += f" (resumed {cli.reconnects}x mid-stream)"
+            print(line)
     if args.stats:
         with EddieClient(args.host, args.port) as cli:
             stats = cli.stats()

@@ -96,6 +96,30 @@ class _SortedDimHistory:
         values = self._values[: self._size]
         return values[self._ages[: self._size] >= min_age]
 
+    def export_state(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The occupied slots (values and ages), stale entries included.
+
+        Exporting the stale-but-not-yet-compacted entries too means a
+        restored buffer compacts at exactly the same push as the original
+        would have -- the restored monitor is state-equal, not merely
+        behavior-equal.
+        """
+        return (
+            self._values[: self._size].copy(),
+            self._ages[: self._size].copy(),
+        )
+
+    def restore_state(self, values: np.ndarray, ages: np.ndarray) -> None:
+        size = len(values)
+        if size > len(self._values) or size != len(ages):
+            raise MonitoringError(
+                f"dim-history snapshot carries {size} values for a buffer "
+                f"of capacity {len(self._values)}"
+            )
+        self._values[:size] = values
+        self._ages[:size] = ages
+        self._size = size
+
 
 @dataclass(frozen=True)
 class AnomalyReport:
@@ -600,6 +624,78 @@ class Monitor:
             return report, True
 
         return None, True
+
+    # -- checkpointing -------------------------------------------------------
+
+    def export_state(self) -> Tuple[dict, dict]:
+        """Full Algorithm-1 state as ``(meta, arrays)``.
+
+        Everything :meth:`step` reads or writes is covered: the rolling
+        history matrix and its cursor, the per-dimension sorted buffers,
+        the region belief, and every counter of the anomaly / transition /
+        quality state machines. ``_ks_scaled_stats`` is observability-only
+        and flushed per chunk on the streaming path, so it is reset rather
+        than carried.
+        """
+        meta = {
+            "hist_pos": self._hist_pos,
+            "filled": self._filled,
+            "push_count": self._push_count,
+            "current_region": self.current_region,
+            "anomaly_count": self._anomaly_count,
+            "change_counts": dict(self._change_counts),
+            "streak": self._streak,
+            "gap_pending": self._gap_pending,
+            "resync_remaining": self._resync_remaining,
+            "last_unscorable": self.last_unscorable,
+            "tracked_dims": list(self._tracked_dims),
+        }
+        arrays = {"history": self._history.copy()}
+        for dim, buf in self._buffers.items():
+            values, ages = buf.export_state()
+            arrays[f"dim{dim}.values"] = values
+            arrays[f"dim{dim}.ages"] = ages
+        return meta, arrays
+
+    def restore_state(self, meta: dict, arrays: dict) -> None:
+        """Adopt state exported by :meth:`export_state`.
+
+        The receiving monitor must be built from the same model/config
+        (callers verify via the config fingerprint); here we only check
+        the structural invariants that would otherwise corrupt state
+        silently.
+        """
+        if tuple(meta["tracked_dims"]) != self._tracked_dims:
+            raise MonitoringError(
+                f"monitor snapshot tracks dims {meta['tracked_dims']}, "
+                f"this model tracks {list(self._tracked_dims)}"
+            )
+        history = np.asarray(arrays["history"], dtype=float)
+        if history.shape != self._history.shape:
+            raise MonitoringError(
+                f"monitor snapshot history shape {history.shape} does not "
+                f"match this model's {self._history.shape}"
+            )
+        self._history[...] = history
+        self._hist_pos = int(meta["hist_pos"])
+        self._filled = int(meta["filled"])
+        self._push_count = int(meta["push_count"])
+        self.current_region = str(meta["current_region"])
+        self._anomaly_count = int(meta["anomaly_count"])
+        self._change_counts = {
+            str(k): int(v) for k, v in dict(meta["change_counts"]).items()
+        }
+        self._streak = int(meta["streak"])
+        self._gap_pending = bool(meta["gap_pending"])
+        resync = meta["resync_remaining"]
+        self._resync_remaining = None if resync is None else int(resync)
+        self.last_unscorable = bool(meta["last_unscorable"])
+        for dim in self._tracked_dims:
+            self._buffers[dim].restore_state(
+                np.asarray(arrays[f"dim{dim}.values"], dtype=float),
+                np.asarray(arrays[f"dim{dim}.ages"], dtype=np.int64),
+            )
+        self._ks_scaled_stats = []
 
     # -- resynchronization after acquisition gaps ---------------------------
 

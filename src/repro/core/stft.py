@@ -477,6 +477,56 @@ class StreamingQuality:
         self._buffer = buf[drop:].copy()
         return flags
 
+    # -- checkpointing -------------------------------------------------------
+
+    def export_state(self) -> tuple:
+        """State needed to resume this quality stream elsewhere.
+
+        Returns ``(meta, arrays)`` where ``meta`` is JSON-able and
+        ``arrays`` maps names to ndarrays. The baseline ring is exported
+        as its defined slots only; ring position and fill are carried in
+        ``meta`` so a restored stream continues bit-identically.
+        """
+        meta = {
+            "full_scale": self._full_scale,
+            "zero_carry": self._zero_carry,
+            "baseline_size": self._baseline_size,
+            "baseline_pos": self._baseline_pos,
+            "baseline_capacity": len(self._baseline),
+            "has_buffer": self._buffer is not None,
+        }
+        arrays = {
+            "baseline": self._baseline[: self._baseline_size].copy(),
+        }
+        if self._buffer is not None:
+            arrays["buffer"] = self._buffer.copy()
+        return meta, arrays
+
+    def restore_state(self, meta: dict, arrays: dict) -> None:
+        """Adopt state exported by :meth:`export_state`."""
+        if int(meta["baseline_capacity"]) != len(self._baseline):
+            raise SignalError(
+                f"quality snapshot has baseline capacity "
+                f"{meta['baseline_capacity']}, this stream uses "
+                f"{len(self._baseline)}"
+            )
+        self._full_scale = float(meta["full_scale"])
+        self._zero_carry = int(meta["zero_carry"])
+        size = int(meta["baseline_size"])
+        baseline = np.asarray(arrays["baseline"], dtype=float)
+        if len(baseline) != size:
+            raise SignalError(
+                f"quality snapshot carries {len(baseline)} baseline "
+                f"entries but declares {size}"
+            )
+        self._baseline[:size] = baseline
+        self._baseline_size = size
+        self._baseline_pos = int(meta["baseline_pos"])
+        if meta["has_buffer"]:
+            self._buffer = np.array(arrays["buffer"], copy=True)
+        else:
+            self._buffer = None
+
 
 class StreamingStft:
     """Chunked, stateful counterpart of :func:`stft`.
@@ -587,6 +637,57 @@ class StreamingStft:
             hop_duration=hop / self.sample_rate,
             quality=quality_flags,
         )
+
+    # -- checkpointing -------------------------------------------------------
+
+    def export_state(self) -> tuple:
+        """State needed to resume this STFT stream elsewhere.
+
+        Returns ``(meta, arrays)``: the residual sample tail (the carry
+        across chunk boundaries), the absolute consumed-sample cursor,
+        the real/complex stream mode, and -- when quality gating rides
+        along -- the quality stream's state under a ``quality`` namespace.
+        ``_freqs`` is deliberately not exported: it is a pure function of
+        the config and stream mode, recomputed on the next feed.
+        """
+        meta = {
+            "consumed": self._consumed,
+            "is_complex": self._is_complex,
+            "has_buffer": self._buffer is not None,
+            "has_quality": self._quality is not None,
+        }
+        arrays = {}
+        if self._buffer is not None:
+            arrays["buffer"] = self._buffer.copy()
+        if self._quality is not None:
+            q_meta, q_arrays = self._quality.export_state()
+            meta["quality"] = q_meta
+            for name, value in q_arrays.items():
+                arrays[f"quality.{name}"] = value
+        return meta, arrays
+
+    def restore_state(self, meta: dict, arrays: dict) -> None:
+        """Adopt state exported by :meth:`export_state`."""
+        if bool(meta["has_quality"]) != (self._quality is not None):
+            raise SignalError(
+                "snapshot and stream disagree about quality gating"
+            )
+        self._consumed = int(meta["consumed"])
+        is_complex = meta["is_complex"]
+        self._is_complex = None if is_complex is None else bool(is_complex)
+        if meta["has_buffer"]:
+            self._buffer = np.array(arrays["buffer"], copy=True)
+        else:
+            self._buffer = None
+        self._freqs = None
+        if self._quality is not None:
+            prefix = "quality."
+            q_arrays = {
+                name[len(prefix):]: value
+                for name, value in arrays.items()
+                if name.startswith(prefix)
+            }
+            self._quality.restore_state(meta["quality"], q_arrays)
 
     def _empty_sequence(
         self, quality_flags: Optional[np.ndarray]

@@ -51,6 +51,18 @@ class ServeError(ReproError):
         self.code = code
 
 
+class ServeTimeoutError(ServeError):
+    """A serving-layer I/O deadline expired (connect or per-operation).
+
+    Raised instead of a raw ``socket.timeout`` so callers can
+    distinguish "the server is slow or gone" from a protocol violation
+    and react (back off, reconnect) without catching OS-level types.
+    """
+
+    def __init__(self, message: str, *, code: str = "timeout") -> None:
+        super().__init__(message, code=code)
+
+
 class ProtocolError(ServeError):
     """A malformed, truncated, or out-of-order wire frame."""
 

@@ -8,9 +8,12 @@ plus one reference array per region.
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
+import zipfile
 from pathlib import Path
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
@@ -19,15 +22,23 @@ from repro.em.scenario import EmTrace
 from repro.errors import ConfigurationError
 from repro.types import FaultSpan, RegionInterval, RegionTimeline, Signal
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.stream.engine import StreamSnapshot
+
 __all__ = [
     "config_fingerprint",
     "save_model",
     "load_model",
     "save_trace",
     "load_trace",
+    "snapshot_to_bytes",
+    "snapshot_from_bytes",
+    "save_snapshot",
+    "load_snapshot",
 ]
 
 _FORMAT_VERSION = 1
+_SNAPSHOT_VERSION = 1
 
 
 def config_fingerprint(config: EddieConfig) -> str:
@@ -137,6 +148,106 @@ def load_model(path: Union[str, Path]) -> EddieModel:
         initial_regions=list(meta["initial_regions"]),
         sample_rate=float(meta["sample_rate"]),
     )
+
+
+def _snapshot_digest(meta: dict, arrays: dict) -> str:
+    """SHA-256 over the snapshot's canonical content.
+
+    Covers the metadata (canonical JSON) and every array's name, dtype,
+    shape, and raw bytes, in sorted name order. A torn spill file or
+    flipped bit fails verification instead of restoring garbage state.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(meta, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    )
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(arr.dtype).encode("utf-8"))
+        digest.update(str(arr.shape).encode("utf-8"))
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def snapshot_to_bytes(snapshot: "StreamSnapshot") -> bytes:
+    """Encode a stream snapshot as a self-verifying ``.npz`` blob.
+
+    The blob is versioned and stamped with a content digest (on top of
+    the config fingerprint the streaming engine already embeds), so the
+    serving layer can spill it to disk and trust what it reads back.
+    Uncompressed: spill files are checkpoint-cadence hot-path writes and
+    the arrays are mostly noise-like floats that compress poorly.
+    """
+    wrapper = {
+        "format_version": _SNAPSHOT_VERSION,
+        "kind": "stream-snapshot",
+        "digest": _snapshot_digest(snapshot.meta, snapshot.arrays),
+        "state": snapshot.meta,
+    }
+    buffer = io.BytesIO()
+    np.savez(buffer, meta=json.dumps(wrapper), **snapshot.arrays)
+    return buffer.getvalue()
+
+
+def snapshot_from_bytes(data: bytes) -> "StreamSnapshot":
+    """Decode and verify a blob written by :func:`snapshot_to_bytes`.
+
+    Raises :class:`ConfigurationError` (never a raw numpy/zipfile
+    traceback) when the blob is truncated, corrupted, or not a snapshot.
+    """
+    from repro.stream.engine import StreamSnapshot
+
+    try:
+        with np.load(io.BytesIO(bytes(data)), allow_pickle=False) as npz:
+            if "meta" not in npz.files:
+                raise ConfigurationError("not a stream snapshot (no metadata)")
+            wrapper = json.loads(str(npz["meta"]))
+            arrays = {
+                name: npz[name] for name in npz.files if name != "meta"
+            }
+    except ConfigurationError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError) as exc:
+        raise ConfigurationError(
+            f"corrupt or truncated stream snapshot: {exc}"
+        ) from exc
+    if wrapper.get("kind") != "stream-snapshot":
+        raise ConfigurationError("not a stream snapshot")
+    if wrapper.get("format_version") != _SNAPSHOT_VERSION:
+        raise ConfigurationError(
+            f"unsupported snapshot format version "
+            f"{wrapper.get('format_version')!r}"
+        )
+    meta = wrapper.get("state")
+    if not isinstance(meta, dict):
+        raise ConfigurationError("stream snapshot metadata is malformed")
+    if wrapper.get("digest") != _snapshot_digest(meta, arrays):
+        raise ConfigurationError(
+            "stream snapshot failed its integrity check (truncated or "
+            "corrupted blob)"
+        )
+    return StreamSnapshot(meta=meta, arrays=arrays)
+
+
+def save_snapshot(
+    snapshot: "StreamSnapshot", path: Union[str, Path]
+) -> None:
+    """Write a stream snapshot to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(snapshot_to_bytes(snapshot))
+
+
+def load_snapshot(path: Union[str, Path]) -> "StreamSnapshot":
+    """Load and verify a snapshot written by :func:`save_snapshot`."""
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot read stream snapshot {path}: {exc}"
+        ) from exc
+    return snapshot_from_bytes(data)
 
 
 def save_trace(trace: EmTrace, path: Union[str, Path]) -> None:

@@ -12,8 +12,15 @@ Four layers, each usable alone:
 - :mod:`repro.serve.client` -- synchronous client + replay helper whose
   remote reports are bit-identical to a local
   :class:`~repro.stream.StreamingMonitor` run.
+
+Plus the resilience pieces (DESIGN.md D19): revision-2 peers get
+session checkpoint/resume with exactly-once report delivery, clients
+reconnect transparently with capped backoff, servers drain gracefully,
+and :mod:`repro.serve.chaos` provides the deterministic fault-injection
+proxy the resilience suite and recovery benchmark drive it all with.
 """
 
+from repro.serve.chaos import ChaosConfig, ChaosProxy, ChaosStats
 from repro.serve.client import EddieClient, replay
 from repro.serve.protocol import (
     PROTOCOL_VERSIONS,
@@ -38,6 +45,9 @@ from repro.serve.server import (
 )
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosProxy",
+    "ChaosStats",
     "EddieClient",
     "EddieServer",
     "Frame",

@@ -1,0 +1,285 @@
+"""Deterministic network-fault injection for serving resilience tests.
+
+:class:`ChaosProxy` is an in-process TCP proxy that sits between an
+:class:`~repro.serve.client.EddieClient` and an
+:class:`~repro.serve.server.EddieServer` and misbehaves on purpose:
+
+- **resets** -- the connection is torn down with RST (``SO_LINGER`` 0),
+  the failure a crashed middlebox or NAT timeout produces;
+- **truncations** -- half of a buffered read is forwarded, then RST, so
+  the victim sees a mid-frame EOF;
+- **stalls** -- forwarding halts for ``stall_seconds`` and then the
+  connection is reset: the half-open black hole that exercises I/O
+  deadlines;
+- **delays** -- a latency spike of ``delay_seconds`` before forwarding.
+
+Faults are rolled per forwarded buffer from a ``random.Random`` seeded
+by ``(seed, connection index, direction)`` -- string seeding hashes via
+SHA-512, so a given seed reproduces the same fault schedule on any
+platform or process. The first ``grace_bytes`` of each direction are
+always forwarded faithfully, which lets handshakes succeed so faults
+land mid-stream where they hurt. :meth:`ChaosProxy.kill_connections`
+is the scripted counterpart: it resets every live connection at a
+moment the test chooses.
+
+The proxy is what ``tests/test_serve_resilience.py`` and the
+``bench_serve.py`` recovery benchmark drive their kill/resume scenarios
+with (DESIGN.md D19): a replay through a misbehaving proxy must produce
+bit-identical results to a local run, with zero windows lost or scored
+twice.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ServeError
+
+__all__ = ["ChaosConfig", "ChaosProxy", "ChaosStats"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault mix for one :class:`ChaosProxy`.
+
+    Rates are per forwarded buffer (after ``grace_bytes``) and must sum
+    to at most 1; the remainder is faithful forwarding.
+    """
+
+    reset_rate: float = 0.0
+    truncate_rate: float = 0.0
+    stall_rate: float = 0.0
+    delay_rate: float = 0.0
+    stall_seconds: float = 0.25
+    delay_seconds: float = 0.005
+    grace_bytes: int = 65536
+    buffer_bytes: int = 16384
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.reset_rate, self.truncate_rate,
+            self.stall_rate, self.delay_rate,
+        )
+        if any(rate < 0 for rate in rates):
+            raise ServeError("chaos fault rates must be >= 0")
+        if sum(rates) > 1.0:
+            raise ServeError(
+                f"chaos fault rates sum to {sum(rates):.3f} > 1"
+            )
+        if self.buffer_bytes < 1:
+            raise ServeError("buffer_bytes must be >= 1")
+
+
+@dataclass
+class ChaosStats:
+    """What the proxy actually did (thread-incremented, advisory)."""
+
+    connections: int = 0
+    resets: int = 0
+    truncations: int = 0
+    stalls: int = 0
+    delays: int = 0
+    kills: int = 0
+    bytes_forwarded: int = 0
+
+
+class ChaosProxy:
+    """A misbehaving TCP proxy in front of an upstream server."""
+
+    def __init__(
+        self,
+        upstream: Tuple[str, int],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[ChaosConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.upstream = (upstream[0], int(upstream[1]))
+        self.config = config or ChaosConfig()
+        self.seed = int(seed)
+        self.stats = ChaosStats()
+        self._host = host
+        self._port = int(port)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+        self._pairs: List[Tuple[socket.socket, socket.socket]] = []
+        self._conn_index = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "ChaosProxy":
+        if self._listener is not None:
+            raise ServeError("chaos proxy is already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(16)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Where clients should connect instead of the real server."""
+        if self._listener is None:
+            raise ServeError("chaos proxy is not started")
+        return self._listener.getsockname()[:2]
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            with contextlib.suppress(OSError):
+                self._listener.close()
+            self._listener = None
+        self.kill_connections()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2)
+            self._accept_thread = None
+
+    def __enter__(self) -> "ChaosProxy":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- scripted faults ------------------------------------------------------
+
+    def kill_connections(self) -> int:
+        """Reset every live proxied connection; returns how many."""
+        with self._lock:
+            pairs = list(self._pairs)
+            self._pairs.clear()
+        for pair in pairs:
+            self.stats.kills += 1
+            self._destroy(pair)
+        return len(pairs)
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return
+            try:
+                server = socket.create_connection(self.upstream, timeout=5)
+            except OSError:
+                with contextlib.suppress(OSError):
+                    client.close()
+                continue
+            for sock in (client, server):
+                with contextlib.suppress(OSError):
+                    sock.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                    )
+            pair = (client, server)
+            with self._lock:
+                self._conn_index += 1
+                index = self._conn_index
+                self._pairs.append(pair)
+            self.stats.connections += 1
+            for src, dst, direction in (
+                (client, server, "up"), (server, client, "down")
+            ):
+                threading.Thread(
+                    target=self._pump,
+                    args=(pair, src, dst, f"{index}|{direction}"),
+                    name=f"chaos-pump-{index}-{direction}",
+                    daemon=True,
+                ).start()
+
+    def _pump(
+        self,
+        pair: Tuple[socket.socket, socket.socket],
+        src: socket.socket,
+        dst: socket.socket,
+        tag: str,
+    ) -> None:
+        cfg = self.config
+        rng = random.Random(f"{self.seed}|{tag}")
+        forwarded = 0
+        try:
+            while True:
+                data = src.recv(cfg.buffer_bytes)
+                if not data:
+                    # Clean half-close: propagate EOF, keep the other
+                    # direction flowing.
+                    with contextlib.suppress(OSError):
+                        dst.shutdown(socket.SHUT_WR)
+                    return
+                if forwarded >= cfg.grace_bytes:
+                    action = self._roll(rng)
+                    if action == "reset":
+                        self.stats.resets += 1
+                        self._remove_and_destroy(pair)
+                        return
+                    if action == "truncate":
+                        self.stats.truncations += 1
+                        with contextlib.suppress(OSError):
+                            dst.sendall(data[: max(1, len(data) // 2)])
+                        self._remove_and_destroy(pair)
+                        return
+                    if action == "stall":
+                        self.stats.stalls += 1
+                        time.sleep(cfg.stall_seconds)
+                        self._remove_and_destroy(pair)
+                        return
+                    if action == "delay":
+                        self.stats.delays += 1
+                        time.sleep(cfg.delay_seconds)
+                dst.sendall(data)
+                forwarded += len(data)
+                self.stats.bytes_forwarded += len(data)
+        except OSError:
+            self._remove_and_destroy(pair)
+
+    def _roll(self, rng: random.Random) -> Optional[str]:
+        cfg = self.config
+        roll = rng.random()
+        edge = 0.0
+        for rate, action in (
+            (cfg.reset_rate, "reset"),
+            (cfg.truncate_rate, "truncate"),
+            (cfg.stall_rate, "stall"),
+            (cfg.delay_rate, "delay"),
+        ):
+            edge += rate
+            if roll < edge:
+                return action
+        return None
+
+    def _remove_and_destroy(
+        self, pair: Tuple[socket.socket, socket.socket]
+    ) -> None:
+        with self._lock:
+            if pair in self._pairs:
+                self._pairs.remove(pair)
+        self._destroy(pair)
+
+    @staticmethod
+    def _destroy(pair: Tuple[socket.socket, socket.socket]) -> None:
+        for sock in pair:
+            with contextlib.suppress(OSError):
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+            with contextlib.suppress(OSError):
+                sock.close()

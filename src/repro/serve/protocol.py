@@ -25,6 +25,20 @@ STATS is valid any time after HELLO and is answered immediately with a
 STATS frame. ERROR frames carry a machine-readable ``code`` (the
 constants below); ``at_capacity`` is the load-shedding rejection.
 
+Protocol revision 2 adds resumability (DESIGN.md D19). A v2 server
+periodically checkpoints each session's stream state to durable storage
+and acknowledges the checkpoint with ``CHECKPOINT_ACK {seq}`` -- "every
+chunk up to ``seq`` is durably scored; you may forget it". A client that
+loses its connection reconnects, re-HELLOs, and sends ``RESUME
+{session, token, delivered, window}`` instead of OPEN; the server
+restores the spilled state and replies with a RESUME frame carrying the
+durable sequence number plus any REPORT payloads the client had not yet
+seen (at most ``window`` of them -- the client's in-flight bound). The
+client then replays only chunks after the durable sequence number:
+exactly-once window scoring, exactly-once report delivery. Version
+negotiation keeps v1 clients working unchanged against v2 servers (they
+simply never see CHECKPOINT_ACK and cannot resume).
+
 Exactness: JSON floats are emitted with Python ``repr`` semantics and
 parse back to the identical double, and CHUNK payloads are raw
 little-endian sample bytes, so a replayed capture produces bit-identical
@@ -49,10 +63,13 @@ __all__ = [
     "ERR_AT_CAPACITY",
     "ERR_BAD_FRAME",
     "ERR_BAD_STATE",
+    "ERR_DRAINING",
     "ERR_EVICTED",
     "ERR_INTERNAL",
     "ERR_MODEL_CORRUPT",
+    "ERR_RESUME_REJECTED",
     "ERR_UNKNOWN_MODEL",
+    "ERR_UNKNOWN_SESSION",
     "ERR_UNSUPPORTED_VERSION",
     "Frame",
     "FrameDecoder",
@@ -80,8 +97,9 @@ HEADER = struct.Struct(">2sBBI")  # magic, type, flags, payload length
 CHUNK_HEADER = struct.Struct(">IB3x")  # seq, dtype code, padding
 
 #: Protocol revisions this build understands, newest last. HELLO
-#: negotiation picks the highest revision both ends share.
-PROTOCOL_VERSIONS: Tuple[int, ...] = (1,)
+#: negotiation picks the highest revision both ends share. Revision 2
+#: adds session resumability (RESUME / CHECKPOINT_ACK).
+PROTOCOL_VERSIONS: Tuple[int, ...] = (1, 2)
 
 #: Refuse payloads beyond this size (a corrupt length prefix must not
 #: make the peer allocate gigabytes). 16 MiB >> any sane IQ chunk.
@@ -96,6 +114,9 @@ ERR_EVICTED = "evicted"
 ERR_BAD_FRAME = "bad_frame"
 ERR_BAD_STATE = "bad_state"
 ERR_INTERNAL = "internal"
+ERR_DRAINING = "draining"
+ERR_UNKNOWN_SESSION = "unknown_session"
+ERR_RESUME_REJECTED = "resume_rejected"
 
 
 class FrameType(IntEnum):
@@ -106,6 +127,9 @@ class FrameType(IntEnum):
     CLOSE = 5
     ERROR = 6
     STATS = 7
+    # Protocol revision 2 (resumable sessions).
+    RESUME = 8
+    CHECKPOINT_ACK = 9
 
 
 # Wire dtype codes for CHUNK payloads. complex64 is the nominal live-SDR
@@ -326,8 +350,11 @@ def _recv_exactly(sock: socket.socket, n: int) -> bytes:
     while len(chunks) < n:
         part = sock.recv(n - len(chunks))
         if not part:
+            # Mid-frame EOF is a lost connection, not a malformed frame:
+            # typed so a reconnecting client can tell them apart.
             raise ProtocolError(
-                f"connection closed after {len(chunks)} of {n} bytes"
+                f"connection closed after {len(chunks)} of {n} bytes",
+                code="connection_closed",
             )
         chunks.extend(part)
     return bytes(chunks)

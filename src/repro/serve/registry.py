@@ -287,6 +287,15 @@ class ModelRegistry:
             self.cache_misses += 1
         if OBS.enabled:
             record_count("repro.serve.registry", "lru_misses")
+        if not entry.fingerprint:
+            # Publish always records the fingerprint atomically, so an
+            # entry without one means the sidecar was lost or torn --
+            # refuse rather than serve an unverifiable artifact.
+            raise RegistryError(
+                f"{entry.spec}: no recorded content fingerprint (missing "
+                f"or corrupt sidecar); republish the model",
+                code="model_corrupt",
+            )
         try:
             model = load_model(entry.path)
         except FileNotFoundError:
@@ -298,7 +307,7 @@ class ModelRegistry:
                 f"{entry.spec}: failed to load ({error})",
                 code="model_corrupt",
             ) from error
-        if entry.fingerprint and model_fingerprint(model) != entry.fingerprint:
+        if model_fingerprint(model) != entry.fingerprint:
             raise RegistryError(
                 f"{entry.spec}: content fingerprint mismatch (corrupted "
                 f"or mislabeled artifact)",

@@ -24,6 +24,28 @@ Flow control, inward and outward:
   is set, in which case the scheduler closes the stalest session
   (notifying it with ``ERROR evicted``) and admits the newcomer.
 
+Resilience (DESIGN.md D19), for protocol-revision-2 peers:
+
+- **Checkpointing**: every ``checkpoint_interval`` scored chunks the
+  session's full stream state (:meth:`StreamingMonitor.snapshot`) is
+  spilled atomically to ``spill_dir`` together with a short log of the
+  most recent REPORT payloads, then acknowledged to the client with a
+  ``CHECKPOINT_ACK`` carrying the durable sequence number. The client
+  prunes its replay buffer up to that point.
+- **Resumption**: a reconnecting client sends ``RESUME`` instead of
+  ``OPEN``. The server restores the monitor from the spill (verifying
+  the resume token), re-delivers any REPORTs past what the client saw,
+  and the client replays only unacknowledged chunks -- every window is
+  scored exactly once end to end.
+- **Suspension**: when a connection dies mid-session the worker takes
+  one final roll-forward checkpoint at the last scored chunk and
+  detaches the session instead of finishing it, minimizing recompute on
+  resume.
+- **Drain**: :meth:`EddieServer.drain` stops accepting, checkpoints
+  every live session, notifies each peer (``CHECKPOINT_ACK``, a final
+  STATS snapshot, then ``ERROR draining``), and returns the final stats
+  payload -- the SIGTERM path for zero-loss restarts.
+
 STATS frames are answered at any point after HELLO with a JSON health
 snapshot (open sessions, shed/evicted counts, chunk/report totals, and
 the ``repro.serve`` metric instruments when observability is enabled).
@@ -33,21 +55,37 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import hmac
+import os
+import secrets
+import tempfile
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.errors import ProtocolError, RegistryError, ServeError
+from repro.errors import (
+    ConfigurationError,
+    MonitoringError,
+    ProtocolError,
+    RegistryError,
+    ServeError,
+)
 from repro.obs import OBS, counter, histogram, snapshot_module
+from repro.serialize import load_snapshot, snapshot_to_bytes
 from repro.serve import protocol
 from repro.serve.protocol import (
     ERR_AT_CAPACITY,
     ERR_BAD_FRAME,
     ERR_BAD_STATE,
+    ERR_DRAINING,
     ERR_EVICTED,
     ERR_INTERNAL,
+    ERR_RESUME_REJECTED,
+    ERR_UNKNOWN_SESSION,
     ERR_UNSUPPORTED_VERSION,
     FrameType,
     error_frame,
@@ -57,12 +95,17 @@ from repro.serve.protocol import (
     read_frame,
 )
 from repro.serve.registry import ModelRegistry
-from repro.stream import FleetScheduler, StreamSummary
+from repro.stream import FleetScheduler, StreamingMonitor, StreamSummary
 
 __all__ = ["EddieServer", "ServerConfig", "ServerHandle", "serve_in_thread"]
 
 _LATENCY_EDGES_MS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
                      100.0, 250.0, 1000.0)
+
+# REPORT payloads retained beyond the client's declared window, so a
+# resume can re-deliver reports the abort-checkpoint rolled past even
+# when acks and reports crossed on the wire.
+_REPORT_LOG_MARGIN = 16
 
 
 @dataclass(frozen=True)
@@ -82,6 +125,12 @@ class ServerConfig:
         worker_threads: size of the shared DSP thread pool.
         registry_cache: deserialized models kept hot in the registry LRU
             (only used when the server builds its own registry).
+        checkpoint_interval: scored chunks between durable session
+            checkpoints for revision-2 peers; 0 disables checkpointing
+            (and therefore resume).
+        spill_dir: where session checkpoints live; defaults to a
+            ``.sessions`` directory inside the registry root, so a
+            restarted server pointed at the same registry finds them.
     """
 
     host: str = "127.0.0.1"
@@ -91,6 +140,8 @@ class ServerConfig:
     queue_depth: int = 8
     worker_threads: int = 4
     registry_cache: int = 8
+    checkpoint_interval: int = 16
+    spill_dir: Optional[str] = None
 
 
 @dataclass
@@ -101,6 +152,9 @@ class ServerStats:
     sessions_closed: int = 0
     sessions_shed: int = 0
     sessions_evicted: int = 0
+    sessions_resumed: int = 0
+    sessions_suspended: int = 0
+    checkpoints: int = 0
     chunks: int = 0
     samples: int = 0
     windows: int = 0
@@ -122,6 +176,16 @@ class _SessionState:
     evicted: bool = False
     reports_sent: int = 0
     opened_at: float = field(default_factory=time.monotonic)
+    protocol_version: int = 1
+    token: str = ""
+    window: int = 8
+    last_seq: int = 0
+    durable_seq: int = 0
+    since_checkpoint: int = 0
+    model_fp: str = ""
+    report_log: Deque[Dict] = field(default_factory=deque)
+    finalized: bool = False
+    suspended: bool = False
 
 
 class EddieServer:
@@ -143,6 +207,10 @@ class EddieServer:
         self._states: Dict[str, _SessionState] = {}
         self._admission = asyncio.Lock()
         self._session_seq = 0
+        self._draining = False
+        # Session ids carry a per-start epoch so ids never collide with
+        # spill files a previous life of this server left behind.
+        self._epoch = secrets.token_hex(4)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -161,6 +229,8 @@ class EddieServer:
             evict_idle=cfg.evict_idle,
             on_evict=self._on_evict,
         )
+        if cfg.checkpoint_interval > 0:
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
         self._server = await asyncio.start_server(
             self._handle_connection, cfg.host, cfg.port
         )
@@ -176,10 +246,42 @@ class EddieServer:
     def sessions_open(self) -> int:
         return len(self._fleet) if self._fleet is not None else 0
 
+    @property
+    def spill_dir(self) -> Path:
+        """Where session checkpoints are spilled."""
+        if self.config.spill_dir is not None:
+            return Path(self.config.spill_dir)
+        return self.registry.root / ".sessions"
+
     async def serve_forever(self) -> None:
         if self._server is None:
             await self.start()
         await self._server.serve_forever()
+
+    async def drain(self) -> Dict:
+        """Graceful shutdown phase one: suspend everything resumable.
+
+        Stops accepting connections, refuses further OPEN/RESUMEs with
+        ``ERROR draining``, and for every live session: checkpoints it,
+        acknowledges the durable sequence number, sends a final STATS
+        snapshot and ``ERROR draining``, then closes the connection.
+        Sessions that cannot be checkpointed (revision-1 peers,
+        checkpointing disabled) are closed outright. Returns the final
+        stats payload. Call :meth:`stop` afterwards to release the pool.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        workers = []
+        for state in list(self._states.values()):
+            if state.worker is not None and not state.worker.done():
+                await state.queue.put(("drain", None, None))
+                workers.append(state.worker)
+        if workers:
+            await asyncio.wait(workers, timeout=30)
+        return self.stats_payload()
 
     async def stop(self) -> None:
         """Stop accepting, abort live sessions, release the pool."""
@@ -213,10 +315,15 @@ class EddieServer:
             "sessions_open": self.sessions_open,
             "max_sessions": self.config.max_sessions,
             "evict_idle": self.config.evict_idle,
+            "draining": self._draining,
+            "checkpoint_interval": self.config.checkpoint_interval,
             "sessions_opened": s.sessions_opened,
             "sessions_closed": s.sessions_closed,
             "sessions_shed": s.sessions_shed,
             "sessions_evicted": s.sessions_evicted,
+            "sessions_resumed": s.sessions_resumed,
+            "sessions_suspended": s.sessions_suspended,
+            "checkpoints": s.checkpoints,
             "chunks": s.chunks,
             "samples": s.samples,
             "windows": s.windows,
@@ -292,7 +399,7 @@ class EddieServer:
         writer: asyncio.StreamWriter,
         wlock: asyncio.Lock,
     ) -> Optional[_SessionState]:
-        """HELLO negotiation and OPEN admission; None = turned away."""
+        """HELLO negotiation and OPEN/RESUME admission; None = turned away."""
         # HELLO: version negotiation comes first on every connection.
         frame = await read_frame(reader)
         if frame is None:
@@ -330,7 +437,7 @@ class EddieServer:
             }),
         )
 
-        # Control phase: STATS any number of times, then OPEN.
+        # Control phase: STATS any number of times, then OPEN or RESUME.
         while True:
             frame = await read_frame(reader)
             if frame is None:
@@ -343,23 +450,44 @@ class EddieServer:
                 )
                 continue
             if frame.type == FrameType.OPEN:
-                break
+                return await self._admit(
+                    parse_json(frame), writer, wlock, version
+                )
+            if frame.type == FrameType.RESUME:
+                return await self._admit_resume(
+                    parse_json(frame), writer, wlock, version
+                )
             await self._send(
                 writer, wlock,
                 error_frame(
                     ERR_BAD_STATE,
-                    f"expected OPEN or STATS, got {frame.type.name}",
+                    f"expected OPEN, RESUME, or STATS, got "
+                    f"{frame.type.name}",
                 ),
             )
             return None
 
-        return await self._admit(parse_json(frame), writer, wlock)
+    def _resumable(self, state: _SessionState) -> bool:
+        """Can this session checkpoint for later resumption?"""
+        return (
+            state.protocol_version >= 2
+            and self.config.checkpoint_interval > 0
+            and not state.evicted
+        )
+
+    @staticmethod
+    def _parse_window(payload: Dict) -> int:
+        try:
+            return max(1, min(1024, int(payload.get("window", 8))))
+        except (TypeError, ValueError):
+            return 8
 
     async def _admit(
         self,
         open_payload: Dict,
         writer: asyncio.StreamWriter,
         wlock: asyncio.Lock,
+        version: int,
     ) -> Optional[_SessionState]:
         spec = open_payload.get("model")
         if not isinstance(spec, str) or not spec:
@@ -374,6 +502,15 @@ class EddieServer:
             await self._send(
                 writer, wlock,
                 error_frame(ERR_BAD_FRAME, "OPEN 't0' must be a number"),
+            )
+            return None
+        if self._draining:
+            await self._send(
+                writer, wlock,
+                error_frame(
+                    ERR_DRAINING,
+                    "server is draining; retry against its successor",
+                ),
             )
             return None
         async with self._admission:
@@ -406,7 +543,7 @@ class EddieServer:
                 )
                 return None
             self._session_seq += 1
-            session_id = f"s{self._session_seq:06d}"
+            session_id = f"s{self._epoch}-{self._session_seq:06d}"
             # May evict the stalest session (evict_idle=True); the
             # on_evict hook notifies that connection.
             self._fleet.add_session(session_id, model, t0=t0)
@@ -415,15 +552,198 @@ class EddieServer:
             queue=asyncio.Queue(maxsize=self.config.queue_depth),
             writer=writer,
             wlock=wlock,
+            protocol_version=version,
+            window=self._parse_window(open_payload),
+            model_fp=entry.fingerprint,
         )
+        ack = {
+            "session": session_id,
+            "model": {
+                "name": entry.name,
+                "version": entry.version,
+                "fingerprint": entry.fingerprint,
+                "program": model.program_name,
+                "sample_rate": model.sample_rate,
+            },
+        }
+        if self._resumable(state):
+            state.token = secrets.token_hex(16)
+            ack["resume"] = {
+                "token": state.token,
+                "checkpoint_interval": self.config.checkpoint_interval,
+            }
         self._states[session_id] = state
         self.stats.sessions_opened += 1
         if OBS.enabled:
             counter("repro.serve", "sessions_opened").inc()
+        await self._send(writer, wlock, json_frame(FrameType.OPEN, ack))
+        return state
+
+    async def _admit_resume(
+        self,
+        payload: Dict,
+        writer: asyncio.StreamWriter,
+        wlock: asyncio.Lock,
+        version: int,
+    ) -> Optional[_SessionState]:
+        """Restore a suspended session from its spill file."""
+
+        async def refuse(code: str, message: str) -> None:
+            await self._send(writer, wlock, error_frame(code, message))
+
+        if version < 2:
+            await refuse(
+                ERR_BAD_STATE, "RESUME requires protocol revision >= 2"
+            )
+            return None
+        if self._draining:
+            await refuse(
+                ERR_DRAINING,
+                "server is draining; retry against its successor",
+            )
+            return None
+        if self.config.checkpoint_interval <= 0:
+            await refuse(
+                ERR_RESUME_REJECTED,
+                "checkpointing is disabled on this server",
+            )
+            return None
+        session_id = payload.get("session")
+        token = payload.get("token")
+        if (
+            not isinstance(session_id, str)
+            or not session_id
+            or not isinstance(token, str)
+            or os.sep in session_id
+            or session_id.startswith(".")
+        ):
+            await refuse(
+                ERR_BAD_FRAME, "RESUME needs a 'session' id and a 'token'"
+            )
+            return None
+        try:
+            delivered = int(payload.get("delivered", 0))
+        except (TypeError, ValueError):
+            await refuse(ERR_BAD_FRAME, "RESUME 'delivered' must be an int")
+            return None
+        async with self._admission:
+            old = self._states.get(session_id)
+            if old is not None:
+                # A half-dead connection still owns this id. Kick it:
+                # closing its transport runs the abort path, which spills
+                # the freshest state before we load it back.
+                old.writer.close()
+                if old.worker is not None and not old.worker.done():
+                    with contextlib.suppress(Exception):
+                        await asyncio.wait_for(
+                            asyncio.shield(old.worker), timeout=10
+                        )
+                if old.worker is not None and not old.worker.done():
+                    await refuse(
+                        ERR_RESUME_REJECTED,
+                        f"session {session_id!r} is still active",
+                    )
+                    return None
+            if (
+                len(self._fleet) >= self.config.max_sessions
+                and not self.config.evict_idle
+            ):
+                self.stats.sessions_shed += 1
+                await refuse(
+                    ERR_AT_CAPACITY,
+                    f"server is at its {self.config.max_sessions}-"
+                    f"session capacity; retry later",
+                )
+                return None
+            path = self._spill_path(session_id)
+            if not path.exists():
+                await refuse(
+                    ERR_UNKNOWN_SESSION,
+                    f"no checkpoint for session {session_id!r}",
+                )
+                return None
+
+            def load_work():
+                snap = load_snapshot(path)
+                serve_meta = snap.meta.get("serve")
+                if not isinstance(serve_meta, dict):
+                    raise ConfigurationError(
+                        "checkpoint lacks serving metadata"
+                    )
+                model, entry = self.registry.load(
+                    str(serve_meta.get("model", ""))
+                )
+                monitor = StreamingMonitor.restore(model, snap)
+                return serve_meta, model, entry, monitor
+
+            try:
+                serve_meta, model, entry, monitor = (
+                    await asyncio.get_running_loop().run_in_executor(
+                        self._pool, load_work
+                    )
+                )
+            except (ConfigurationError, MonitoringError, RegistryError) as error:
+                await refuse(
+                    ERR_RESUME_REJECTED,
+                    f"cannot restore session {session_id!r}: {error}",
+                )
+                return None
+            if not hmac.compare_digest(
+                str(serve_meta.get("token", "")), token
+            ):
+                await refuse(ERR_RESUME_REJECTED, "resume token mismatch")
+                return None
+            durable = int(serve_meta.get("seq", 0))
+            log = [
+                entry_ for entry_ in serve_meta.get("report_log", [])
+                if isinstance(entry_, dict)
+            ]
+            # Reports the client never saw but whose chunks it will NOT
+            # replay (they are <= the durable checkpoint): re-deliver
+            # from the retained log so nothing is lost or double-scored.
+            replayed = sorted(
+                (
+                    p for p in log
+                    if delivered < int(p.get("seq", -1)) <= durable
+                ),
+                key=lambda p: int(p.get("seq", 0)),
+            )
+            if len(replayed) != max(0, durable - delivered):
+                await refuse(
+                    ERR_RESUME_REJECTED,
+                    f"client is {durable - delivered} reports behind the "
+                    f"retained log; cannot resume exactly-once",
+                )
+                return None
+            window = self._parse_window(payload)
+            try:
+                self._fleet.attach_session(session_id, monitor)
+            except ConfigurationError as error:
+                await refuse(ERR_INTERNAL, str(error))
+                return None
+            state = _SessionState(
+                session_id=session_id,
+                queue=asyncio.Queue(maxsize=self.config.queue_depth),
+                writer=writer,
+                wlock=wlock,
+                protocol_version=version,
+                token=token,
+                window=window,
+                last_seq=durable,
+                durable_seq=durable,
+                model_fp=entry.fingerprint,
+            )
+            state.report_log.extend(log)
+            self._trim_report_log(state)
+            self._states[session_id] = state
+            self.stats.sessions_resumed += 1
+            if OBS.enabled:
+                counter("repro.serve", "sessions_resumed").inc()
         await self._send(
             writer, wlock,
-            json_frame(FrameType.OPEN, {
+            json_frame(FrameType.RESUME, {
                 "session": session_id,
+                "seq": durable,
                 "model": {
                     "name": entry.name,
                     "version": entry.version,
@@ -431,6 +751,7 @@ class EddieServer:
                     "program": model.program_name,
                     "sample_rate": model.sample_rate,
                 },
+                "reports": replayed,
             }),
         )
         return state
@@ -440,7 +761,16 @@ class EddieServer:
     ) -> None:
         """Read loop: socket frames into the session's bounded queue."""
         while True:
-            frame = await read_frame(reader)
+            try:
+                frame = await read_frame(reader)
+            except ProtocolError:
+                if state.finalized:
+                    return
+                raise
+            if state.finalized:
+                # The worker already took this session down (drain or a
+                # fatal sequencing error); nothing consumes the queue.
+                return
             if frame is None:
                 # Peer vanished without CLOSE: abort without a summary.
                 await state.queue.put(("abort", None, None))
@@ -469,6 +799,98 @@ class EddieServer:
                 await state.queue.put(("abort", None, None))
                 return
 
+    # -- checkpoint / spill ---------------------------------------------------
+
+    def _spill_path(self, session_id: str) -> Path:
+        return self.spill_dir / f"{session_id}.npz"
+
+    def _drop_spill(self, session_id: str) -> None:
+        with contextlib.suppress(OSError):
+            self._spill_path(session_id).unlink()
+
+    def _trim_report_log(self, state: _SessionState) -> None:
+        cap = state.window + _REPORT_LOG_MARGIN
+        while len(state.report_log) > cap:
+            state.report_log.popleft()
+
+    async def _checkpoint_session(self, state: _SessionState) -> bool:
+        """Spill the session's stream state; True when durable on disk."""
+        try:
+            session = self._fleet.session(state.session_id)
+        except Exception:
+            return False
+        monitor = session.monitor
+        serve_meta = {
+            "token": state.token,
+            "seq": state.last_seq,
+            "window": state.window,
+            "model": f"fp:{state.model_fp}",
+            "report_log": list(state.report_log),
+        }
+        path = self._spill_path(state.session_id)
+
+        def work() -> None:
+            snap = monitor.snapshot()
+            snap.meta["serve"] = serve_meta
+            blob = snapshot_to_bytes(snap)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".npz"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_name, path)
+            finally:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_name)
+
+        try:
+            await asyncio.get_running_loop().run_in_executor(
+                self._pool, work
+            )
+        except Exception:
+            return False
+        state.since_checkpoint = 0
+        state.durable_seq = state.last_seq
+        self.stats.checkpoints += 1
+        if OBS.enabled:
+            counter("repro.serve", "checkpoints").inc()
+        return True
+
+    async def _checkpoint_and_ack(self, state: _SessionState) -> bool:
+        ok = await self._checkpoint_session(state)
+        if ok:
+            with contextlib.suppress(ConnectionError, OSError):
+                await self._send(
+                    state.writer, state.wlock,
+                    json_frame(FrameType.CHECKPOINT_ACK, {
+                        "session": state.session_id,
+                        "seq": state.durable_seq,
+                    }),
+                )
+        return ok
+
+    @staticmethod
+    def _flush_queue(state: _SessionState) -> None:
+        while True:
+            try:
+                state.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+
+    def _suspend_fleet_session(self, state: _SessionState) -> bool:
+        try:
+            self._fleet.detach_session(state.session_id)
+        except Exception:
+            return False
+        state.suspended = True
+        self.stats.sessions_suspended += 1
+        if OBS.enabled:
+            counter("repro.serve", "sessions_suspended").inc()
+        return True
+
+    # -- session worker -------------------------------------------------------
+
     async def _session_worker(self, state: _SessionState) -> None:
         """Drain the session queue through the DSP pool, emit REPORTs."""
         loop = asyncio.get_running_loop()
@@ -481,7 +903,9 @@ class EddieServer:
             while True:
                 kind, seq, samples = await state.queue.get()
                 if kind == "close":
+                    state.finalized = True
                     summary = self._close_fleet_session(state.session_id)
+                    self._drop_spill(state.session_id)
                     if summary is not None:
                         await self._send(
                             state.writer, state.wlock,
@@ -492,7 +916,38 @@ class EddieServer:
                         )
                     return
                 if kind == "abort":
+                    state.finalized = True
+                    if self._resumable(state):
+                        # Roll-forward spill at the last scored chunk, so
+                        # a resume recomputes as little as possible.
+                        if await self._checkpoint_session(state):
+                            if self._suspend_fleet_session(state):
+                                return
                     self._close_fleet_session(state.session_id)
+                    return
+                if kind == "drain":
+                    await self._drain_session(state)
+                    return
+                if (
+                    state.protocol_version >= 2
+                    and seq != state.last_seq + 1
+                ):
+                    # Exactly-once depends on a gapless chunk sequence;
+                    # refuse rather than silently mis-score.
+                    state.finalized = True
+                    self._flush_queue(state)
+                    self.stats.protocol_errors += 1
+                    with contextlib.suppress(ConnectionError, OSError):
+                        await self._send(
+                            state.writer, state.wlock,
+                            error_frame(
+                                ERR_BAD_FRAME,
+                                f"chunk seq {seq} out of order (expected "
+                                f"{state.last_seq + 1})",
+                            ),
+                        )
+                    self._close_fleet_session(state.session_id)
+                    state.writer.close()
                     return
                 started = time.perf_counter()
                 try:
@@ -518,20 +973,72 @@ class EddieServer:
                     counter("repro.serve", "windows").inc(windows)
                     counter("repro.serve", "reports").inc(len(reports))
                     lat_hist.record(elapsed_ms)
+                payload = {
+                    "seq": seq,
+                    "windows": windows,
+                    "status": status,
+                    "reports": [
+                        protocol.report_to_json(r) for r in reports
+                    ],
+                }
+                state.last_seq = seq
+                state.since_checkpoint += 1
+                if self._resumable(state):
+                    state.report_log.append(payload)
+                    self._trim_report_log(state)
                 await self._send(
                     state.writer, state.wlock,
-                    json_frame(FrameType.REPORT, {
-                        "seq": seq,
-                        "windows": windows,
-                        "status": status,
-                        "reports": [
-                            protocol.report_to_json(r) for r in reports
-                        ],
-                    }),
+                    json_frame(FrameType.REPORT, payload),
                 )
+                if (
+                    self._resumable(state)
+                    and state.since_checkpoint
+                    >= self.config.checkpoint_interval
+                ):
+                    await self._checkpoint_and_ack(state)
         except (ConnectionError, asyncio.CancelledError):
             self._close_fleet_session(state.session_id)
             raise
+
+    async def _drain_session(self, state: _SessionState) -> None:
+        """Suspend one session for the drain path and notify the peer."""
+        state.finalized = True
+        # Queued-but-unscored chunks are past the checkpoint we are about
+        # to take; the client still holds them and replays them on
+        # resume. Emptying the queue also unblocks a reader mid-put.
+        self._flush_queue(state)
+        suspended = False
+        if self._resumable(state):
+            if await self._checkpoint_session(state):
+                suspended = self._suspend_fleet_session(state)
+        if suspended:
+            with contextlib.suppress(ConnectionError, OSError):
+                await self._send(
+                    state.writer, state.wlock,
+                    json_frame(FrameType.CHECKPOINT_ACK, {
+                        "session": state.session_id,
+                        "seq": state.durable_seq,
+                    }),
+                )
+        else:
+            self._close_fleet_session(state.session_id)
+        with contextlib.suppress(ConnectionError, OSError):
+            await self._send(
+                state.writer, state.wlock,
+                json_frame(FrameType.STATS, self.stats_payload()),
+            )
+        with contextlib.suppress(ConnectionError, OSError):
+            await self._send(
+                state.writer, state.wlock,
+                error_frame(
+                    ERR_DRAINING,
+                    f"session {state.session_id} suspended for drain; "
+                    f"resume against this server's successor"
+                    if suspended else
+                    f"session {state.session_id} closed for drain",
+                ),
+            )
+        state.writer.close()
 
     def _close_fleet_session(
         self, session_id: str
@@ -539,7 +1046,7 @@ class EddieServer:
         try:
             summary = self._fleet.close_session(session_id)
         except Exception:
-            return None  # already closed (eviction or reap)
+            return None  # already closed (eviction, suspend, or reap)
         self.stats.sessions_closed += 1
         if OBS.enabled:
             counter("repro.serve", "sessions_closed").inc()
@@ -547,7 +1054,11 @@ class EddieServer:
 
     async def _reap_session(self, state: _SessionState) -> None:
         """Last-resort cleanup when a connection ends abnormally."""
-        self._states.pop(state.session_id, None)
+        # A RESUME may already have handed this session id to a newer
+        # connection; only the current owner may tear the session down.
+        owner = self._states.get(state.session_id) is state
+        if owner:
+            self._states.pop(state.session_id, None)
         worker = state.worker
         if worker is not None and not worker.done():
             try:
@@ -564,7 +1075,8 @@ class EddieServer:
                     await worker
             except Exception:
                 pass
-        self._close_fleet_session(state.session_id)
+        if owner and not state.suspended:
+            self._close_fleet_session(state.session_id)
 
     # -- eviction -------------------------------------------------------------
 
@@ -574,6 +1086,9 @@ class EddieServer:
         self.stats.sessions_closed += 1
         if OBS.enabled:
             counter("repro.serve", "sessions_evicted").inc()
+        # An evicted session is gone for good; a stale spill must not
+        # let it rise from the dead with rolled-back state.
+        self._drop_spill(session_id)
         state = self._states.get(session_id)
         if state is None:
             return
@@ -619,6 +1134,15 @@ class ServerHandle:
     def stats(self) -> ServerStats:
         return self.server.stats
 
+    def drain(self, timeout: float = 30.0) -> Dict:
+        """Checkpoint and suspend every live session; returns final stats."""
+        if not self._thread.is_alive():
+            return self.server.stats_payload()
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(), self._loop
+        )
+        return future.result(timeout)
+
     def stop(self, timeout: float = 10.0) -> None:
         if not self._thread.is_alive():
             return
@@ -646,7 +1170,9 @@ def serve_in_thread(
     The synchronous entry point tests, benchmarks, and scripts use:
     returns once the socket is bound, so ``handle.address`` is
     immediately connectable. Stop with ``handle.stop()`` (or use it as a
-    context manager).
+    context manager). ``handle.drain()`` is the graceful half of a
+    restart: suspended sessions resume against the next server pointed
+    at the same registry.
     """
     started = threading.Event()
     holder: Dict[str, object] = {}

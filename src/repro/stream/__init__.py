@@ -10,17 +10,22 @@ This package is the online serving shape of the reproduction
   device sessions in one process, sharing trained models by reference,
   with round-robin chunk dispatch and bounded aggregate memory.
 - :class:`StreamSummary` -- the closing statistics of one stream.
+- :class:`StreamSnapshot` -- a stream's full resumable state
+  (:meth:`StreamingMonitor.snapshot` / :meth:`StreamingMonitor.restore`),
+  serialized by :mod:`repro.serialize` for the serving layer's
+  checkpoint/resume path (DESIGN.md D19).
 
 The stateful STFT front end lives in :mod:`repro.core.stft`
 (:class:`~repro.core.stft.StreamingStft`,
 :class:`~repro.core.stft.StreamingQuality`).
 """
 
-from repro.stream.engine import StreamingMonitor, StreamSummary
+from repro.stream.engine import StreamingMonitor, StreamSnapshot, StreamSummary
 from repro.stream.fleet import FleetScheduler, FleetSession
 
 __all__ = [
     "StreamingMonitor",
+    "StreamSnapshot",
     "StreamSummary",
     "FleetScheduler",
     "FleetSession",

@@ -36,9 +36,28 @@ from repro.errors import MonitoringError, SignalError
 from repro.obs import OBS, span
 from repro.types import Signal
 
-__all__ = ["StreamingMonitor", "StreamSummary"]
+__all__ = ["StreamSnapshot", "StreamingMonitor", "StreamSummary"]
 
 ChunkLike = Union[np.ndarray, Signal]
+
+_SNAPSHOT_KIND = "stream-snapshot"
+
+
+@dataclass(frozen=True)
+class StreamSnapshot:
+    """The complete resumable state of one monitoring stream.
+
+    ``meta`` is a JSON-able dict (counters, region belief, config
+    fingerprint, anomaly reports so far); ``arrays`` maps names to the
+    numeric state (STFT carry samples, rolling history, sorted
+    per-dimension buffers, quality baseline). The pair round-trips
+    losslessly through :func:`repro.serialize.snapshot_to_bytes`, and a
+    stream restored from it continues bit-identically to one that was
+    never interrupted (DESIGN.md D19).
+    """
+
+    meta: dict
+    arrays: dict
 
 
 @dataclass(frozen=True)
@@ -279,6 +298,117 @@ class StreamingMonitor:
             report_indices=report_indices,
             status=self.status,
         )
+
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> StreamSnapshot:
+        """Capture the stream's full resumable state.
+
+        The snapshot covers everything :meth:`feed` reads or writes --
+        STFT carry samples, the monitor's rolling history and sorted
+        buffers, region/streak/quality-gating state, and the stream's
+        cumulative counters and reports -- and is stamped with the
+        model's config fingerprint so :meth:`restore` can refuse a
+        mismatched model. Guarantee: feed N chunks, snapshot, restore,
+        feed M more produces exactly the results (and final summary) of
+        feeding all N+M chunks into one uninterrupted stream.
+
+        Only O(1)-memory streams are snapshottable: ``keep_history=True``
+        retains unbounded per-chunk results that do not belong in a
+        bounded checkpoint blob. Finished streams refuse too -- there is
+        nothing left to resume.
+        """
+        from repro.serialize import config_fingerprint
+
+        if self._summary is not None:
+            raise MonitoringError("cannot snapshot a finished stream")
+        if self._keep_history:
+            raise MonitoringError(
+                "snapshot() requires keep_history=False; history-keeping "
+                "streams hold unbounded per-chunk results"
+            )
+        mon_meta, mon_arrays = self._monitor.export_state()
+        stft_meta, stft_arrays = self._stft.export_state()
+        meta = {
+            "kind": _SNAPSHOT_KIND,
+            "config_fingerprint": config_fingerprint(self._cfg),
+            "program_name": self.model.program_name,
+            "session_id": self.session_id,
+            "t0": self._stft.t0,
+            "batched": self._monitor._batched,
+            "early_exit": self._early_exit,
+            "chunks": self._chunks,
+            "windows": self._windows,
+            "unscorable": self._unscorable,
+            "stopped": self._stopped,
+            "reports": [
+                [r.time, r.region, r.streak, r.kind] for r in self._reports
+            ],
+            "monitor": mon_meta,
+            "stft": stft_meta,
+        }
+        arrays = {}
+        for name, value in mon_arrays.items():
+            arrays[f"mon.{name}"] = value
+        for name, value in stft_arrays.items():
+            arrays[f"stft.{name}"] = value
+        return StreamSnapshot(meta=meta, arrays=arrays)
+
+    @classmethod
+    def restore(
+        cls, model: EddieModel, snapshot: StreamSnapshot
+    ) -> "StreamingMonitor":
+        """Rebuild a stream from a :meth:`snapshot` taken elsewhere.
+
+        ``model`` must be the same trained model (same config fingerprint
+        and program) the snapshot was taken under; anything else would
+        silently continue the stream against the wrong references.
+        """
+        from repro.serialize import config_fingerprint
+
+        meta = snapshot.meta
+        if meta.get("kind") != _SNAPSHOT_KIND:
+            raise MonitoringError("not a stream snapshot")
+        if meta.get("config_fingerprint") != config_fingerprint(model.config):
+            raise MonitoringError(
+                "snapshot was taken under a different pipeline config "
+                "than this model's (config fingerprint mismatch)"
+            )
+        if meta.get("program_name") != model.program_name:
+            raise MonitoringError(
+                f"snapshot belongs to program {meta.get('program_name')!r}, "
+                f"model was trained on {model.program_name!r}"
+            )
+        monitor = cls(
+            model,
+            batched=bool(meta["batched"]),
+            early_exit=bool(meta["early_exit"]),
+            keep_history=False,
+            t0=float(meta["t0"]),
+            session_id=str(meta["session_id"]),
+        )
+        monitor._chunks = int(meta["chunks"])
+        monitor._windows = int(meta["windows"])
+        monitor._unscorable = int(meta["unscorable"])
+        monitor._stopped = bool(meta["stopped"])
+        monitor._reports = [
+            AnomalyReport(
+                time=float(t), region=str(region), streak=int(streak),
+                kind=str(kind),
+            )
+            for t, region, streak, kind in meta["reports"]
+        ]
+
+        def sub(prefix: str) -> dict:
+            return {
+                name[len(prefix):]: value
+                for name, value in snapshot.arrays.items()
+                if name.startswith(prefix)
+            }
+
+        monitor._monitor.restore_state(meta["monitor"], sub("mon."))
+        monitor._stft.restore_state(meta["stft"], sub("stft."))
+        return monitor
 
     def finish(self) -> StreamSummary:
         """Close the stream: flush run-level metrics, return the summary.

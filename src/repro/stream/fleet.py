@@ -137,6 +137,51 @@ class FleetScheduler:
         :meth:`run` / :meth:`step_round`; without it the session is
         push-mode and chunks arrive via :meth:`feed`.
         """
+        self._claim_slot(session_id)
+        monitor = StreamingMonitor(
+            model,
+            batched=batched,
+            early_exit=self._early_exit,
+            keep_history=self._keep_history,
+            t0=t0,
+            session_id=session_id,
+        )
+        return self._register(session_id, monitor, source)
+
+    def attach_session(
+        self,
+        session_id: str,
+        monitor: StreamingMonitor,
+        *,
+        source: Optional[Iterable[np.ndarray]] = None,
+    ) -> FleetSession:
+        """Adopt an existing monitor -- e.g. one restored from a
+        checkpoint snapshot -- as a live fleet session.
+
+        Capacity and eviction rules are those of :meth:`add_session`;
+        the monitor continues from whatever state it carries, which is
+        how a serving process resumes a session another process (or an
+        earlier life of this one) checkpointed.
+        """
+        self._claim_slot(session_id)
+        monitor.session_id = session_id
+        return self._register(session_id, monitor, source)
+
+    def detach_session(self, session_id: str) -> FleetSession:
+        """Remove a session from the fleet *without* finishing it.
+
+        The monitor stays live and resumable (snapshot it, hand it to
+        another scheduler via :meth:`attach_session`) -- the counterpart
+        of :meth:`close_session` for suspend/handoff instead of
+        completion.
+        """
+        session = self.session(session_id)
+        del self._sessions[session_id]
+        if OBS.enabled:
+            counter("stream.fleet", "sessions_detached").inc()
+        return session
+
+    def _claim_slot(self, session_id: str) -> None:
         if session_id in self._sessions:
             raise ConfigurationError(
                 f"session {session_id!r} is already open"
@@ -148,14 +193,13 @@ class FleetScheduler:
                     f"capacity; close a session first"
                 )
             self.evict_stalest()
-        monitor = StreamingMonitor(
-            model,
-            batched=batched,
-            early_exit=self._early_exit,
-            keep_history=self._keep_history,
-            t0=t0,
-            session_id=session_id,
-        )
+
+    def _register(
+        self,
+        session_id: str,
+        monitor: StreamingMonitor,
+        source: Optional[Iterable[np.ndarray]],
+    ) -> FleetSession:
         self._feed_clock += 1
         session = FleetSession(
             session_id=session_id,

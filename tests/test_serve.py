@@ -396,7 +396,9 @@ class TestLoadShedding:
                     summary = fresh.close()
                 assert summary.chunks == 1
                 # The evicted peer finds out through a typed ERROR (or
-                # its closed transport, depending on timing).
+                # its closed transport, depending on timing). A client
+                # that auto-resumes instead finds its checkpoint
+                # deliberately dropped: unknown_session.
                 with pytest.raises((ServeError, OSError)) as excinfo:
                     for chunk in chunks[1:]:
                         stale.send(chunk)
@@ -404,7 +406,7 @@ class TestLoadShedding:
                     stale.close()
                 if isinstance(excinfo.value, ServeError):
                     assert excinfo.value.code in (
-                        "evicted", "connection_closed"
+                        "evicted", "connection_closed", "unknown_session"
                     )
             finally:
                 stale.disconnect()

@@ -1,0 +1,263 @@
+"""Stream checkpointing: snapshot/restore bit-identity (DESIGN.md D19).
+
+The load-bearing contract: feed N chunks, snapshot, restore into a
+fresh monitor, feed M more -- every report, window count, status, and
+the final summary are bit-identical to feeding N+M chunks straight
+through. The hypothesis sweep drives that across random chunk sizes,
+cut points, quality-gated configs, and several MiBench programs; the
+serialization tests pin the self-verifying spill codec the serving
+layer trusts its checkpoints to.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, MonitoringError
+from repro.experiments.runner import Scale, build_detector
+from repro.programs.mibench import BENCHMARKS, INJECTION_LOOPS
+from repro.programs.workloads import injection_mix
+from repro.serialize import (
+    load_snapshot,
+    save_snapshot,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
+from repro.stream import StreamingMonitor, StreamSnapshot
+
+TINY = Scale(train_runs=2, clean_runs=1, injected_runs=1, group_sizes=(8, 16))
+
+#: The snapshot sweep covers these programs end to end.
+PROGRAMS = ("bitcount", "sha", "dijkstra")
+
+_DETECTORS = {}
+_SIGNALS = {}
+
+
+def detector_for(name):
+    if name not in _DETECTORS:
+        _DETECTORS[name] = build_detector(BENCHMARKS[name](), TINY, source="em")
+    return _DETECTORS[name]
+
+
+def signal_for(name):
+    if name not in _SIGNALS:
+        detector = detector_for(name)
+        _SIGNALS[name] = detector.source.capture(
+            seed=TINY.monitor_seed(0)
+        ).iq
+    return _SIGNALS[name]
+
+
+def model_for(name, gated):
+    model = detector_for(name).model
+    return model.with_quality_gating(True) if gated else model
+
+
+def feed_all(monitor, chunks):
+    """Feed chunks, collecting (reports, windows, status) per chunk."""
+    seen = []
+    for chunk in chunks:
+        results = monitor.feed(chunk)
+        seen.append((
+            [r for res in results for r in res.reports],
+            sum(len(res.times) for res in results),
+            results[-1].status if results else None,
+        ))
+    return seen
+
+
+def snapshot_roundtrip(monitor):
+    """Snapshot -> bytes -> snapshot, as the serving spill path does."""
+    return snapshot_from_bytes(snapshot_to_bytes(monitor.snapshot()))
+
+
+class TestBitIdentity:
+    """snapshot(); restore(); continue == never interrupted at all."""
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        program=st.sampled_from(PROGRAMS),
+        chunk_samples=st.sampled_from((511, 997, 2048, 4099)),
+        cut_fraction=st.floats(0.05, 0.95),
+        gated=st.booleans(),
+    )
+    def test_resumed_stream_is_bit_identical(
+        self, program, chunk_samples, cut_fraction, gated
+    ):
+        model = model_for(program, gated)
+        signal = signal_for(program)
+        chunks = list(signal.iter_chunks(chunk_samples))
+        cut = max(1, min(len(chunks) - 1, int(len(chunks) * cut_fraction)))
+
+        straight = StreamingMonitor(model, t0=signal.t0)
+        interrupted = StreamingMonitor(model, t0=signal.t0)
+        straight_seen = feed_all(straight, chunks)
+        before = feed_all(interrupted, chunks[:cut])
+
+        resumed = StreamingMonitor.restore(
+            model, snapshot_roundtrip(interrupted)
+        )
+        after = feed_all(resumed, chunks[cut:])
+
+        assert before + after == straight_seen
+        resumed_summary = resumed.finish()
+        straight_summary = straight.finish()
+        assert resumed_summary == dataclasses.replace(
+            straight_summary, session_id=resumed_summary.session_id
+        )
+
+    def test_snapshot_mid_anomaly_preserves_detection(self):
+        # A snapshot taken while region state machines are mid-streak
+        # must not reset counters: the resumed stream still detects, at
+        # the same windows, with the same reports.
+        detector = detector_for("bitcount")
+        detector.source.simulator.set_loop_injection(
+            INJECTION_LOOPS["bitcount"], injection_mix(4, 4), 1.0
+        )
+        try:
+            signal = detector.source.capture(seed=TINY.injected_seed(0)).iq
+        finally:
+            detector.source.simulator.clear_injections()
+        chunks = list(signal.iter_chunks(1009))
+        straight = StreamingMonitor(detector.model, t0=signal.t0)
+        straight_seen = feed_all(straight, chunks)
+        assert any(reports for reports, _, _ in straight_seen), (
+            "injection must be detectable for this test"
+        )
+        for cut in (len(chunks) // 3, 2 * len(chunks) // 3):
+            interrupted = StreamingMonitor(detector.model, t0=signal.t0)
+            before = feed_all(interrupted, chunks[:cut])
+            resumed = StreamingMonitor.restore(
+                detector.model, snapshot_roundtrip(interrupted)
+            )
+            after = feed_all(resumed, chunks[cut:])
+            assert before + after == straight_seen
+
+    def test_repeated_snapshots_compose(self):
+        # Checkpoint cadence must not matter: snapshot/restore after
+        # every chunk equals one uninterrupted run.
+        model = detector_for("bitcount").model
+        signal = signal_for("bitcount")
+        chunks = list(signal.iter_chunks(4096))
+        straight = StreamingMonitor(model, t0=signal.t0)
+        straight_seen = feed_all(straight, chunks)
+        monitor = StreamingMonitor(model, t0=signal.t0)
+        seen = []
+        for chunk in chunks:
+            seen.extend(feed_all(monitor, [chunk]))
+            monitor = StreamingMonitor.restore(
+                model, snapshot_roundtrip(monitor)
+            )
+        assert seen == straight_seen
+        final = monitor.finish()
+        reference = straight.finish()
+        assert final == dataclasses.replace(
+            reference, session_id=final.session_id
+        )
+
+
+class TestRefusals:
+    def test_finished_stream_refuses_snapshot(self):
+        model = detector_for("bitcount").model
+        monitor = StreamingMonitor(model)
+        monitor.finish()
+        with pytest.raises(MonitoringError, match="finished"):
+            monitor.snapshot()
+
+    def test_keep_history_refuses_snapshot(self):
+        model = detector_for("bitcount").model
+        monitor = StreamingMonitor(model, keep_history=True)
+        with pytest.raises(MonitoringError, match="keep_history"):
+            monitor.snapshot()
+
+    def test_restore_refuses_wrong_model(self):
+        signal = signal_for("bitcount")
+        monitor = StreamingMonitor(detector_for("bitcount").model)
+        feed_all(monitor, list(signal.iter_chunks(4096))[:2])
+        snap = monitor.snapshot()
+        with pytest.raises(MonitoringError):
+            StreamingMonitor.restore(detector_for("sha").model, snap)
+
+    def test_restore_refuses_gating_mismatch(self):
+        # Same program, different pipeline config: the fingerprint check
+        # refuses rather than scoring against the wrong thresholds.
+        model = detector_for("bitcount").model
+        monitor = StreamingMonitor(model)
+        feed_all(monitor, list(signal_for("bitcount").iter_chunks(4096))[:2])
+        snap = monitor.snapshot()
+        with pytest.raises(MonitoringError, match="config fingerprint"):
+            StreamingMonitor.restore(model.with_quality_gating(True), snap)
+
+    def test_restore_refuses_non_snapshot_meta(self):
+        model = detector_for("bitcount").model
+        with pytest.raises(MonitoringError, match="not a stream snapshot"):
+            StreamingMonitor.restore(
+                model, StreamSnapshot(meta={"kind": "nope"}, arrays={})
+            )
+
+
+class TestSpillCodec:
+    """The self-verifying blob the serving layer spills to disk."""
+
+    def _snapshot(self):
+        monitor = StreamingMonitor(detector_for("bitcount").model)
+        feed_all(monitor, list(signal_for("bitcount").iter_chunks(4096))[:3])
+        return monitor.snapshot()
+
+    def test_file_roundtrip(self, tmp_path):
+        snap = self._snapshot()
+        path = tmp_path / "session.npz"
+        save_snapshot(snap, path)
+        loaded = load_snapshot(path)
+        assert loaded.meta == snap.meta
+        assert set(loaded.arrays) == set(snap.arrays)
+        for name, arr in snap.arrays.items():
+            assert np.array_equal(loaded.arrays[name], arr, equal_nan=True)
+
+    def test_truncated_blob_is_refused(self):
+        blob = snapshot_to_bytes(self._snapshot())
+        for cut in (1, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(ConfigurationError):
+                snapshot_from_bytes(blob[:cut])
+
+    def test_flipped_bit_is_refused(self):
+        blob = bytearray(snapshot_to_bytes(self._snapshot()))
+        # Flip a byte well inside an array member's data, past the zip
+        # local headers -- without the digest this would load "fine".
+        blob[len(blob) // 2] ^= 0x40
+        with pytest.raises(ConfigurationError):
+            snapshot_from_bytes(bytes(blob))
+
+    def test_garbage_is_refused(self):
+        with pytest.raises(ConfigurationError):
+            snapshot_from_bytes(b"not a zip file at all")
+
+    def test_missing_file_is_refused(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_snapshot(tmp_path / "absent.npz")
+
+    def test_digest_mismatch_is_refused(self):
+        # A structurally valid npz whose recorded digest does not match
+        # its content: exactly what a torn spill rewrite would produce.
+        import io
+        import json
+
+        snap = self._snapshot()
+        wrapper = {
+            "format_version": 1,
+            "kind": "stream-snapshot",
+            "digest": "0" * 64,
+            "state": snap.meta,
+        }
+        buffer = io.BytesIO()
+        np.savez(buffer, meta=json.dumps(wrapper), **snap.arrays)
+        with pytest.raises(ConfigurationError, match="integrity"):
+            snapshot_from_bytes(buffer.getvalue())
