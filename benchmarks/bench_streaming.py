@@ -7,8 +7,10 @@ Measures the serving properties DESIGN.md D17 promises --
 - resident stream state stays O(1) in the stream length,
 - streaming throughput relative to the batch ``run_signal`` path over
   the same samples,
-- a 32-session fleet round-robins to completion with per-session reports
-  identical to isolated runs
+- a fleet sweep (8/32/128/512 sessions) round-robins to completion
+  through the batch kernel with per-session reports identical to
+  isolated runs, reporting aggregate and per-session throughput plus
+  scaling efficiency relative to the smallest fleet
 
 -- and writes ``BENCH_streaming.json`` at the repo root.
 
@@ -33,6 +35,14 @@ _REPO_ROOT = Path(__file__).resolve().parents[1]
 _OUTPUT = _REPO_ROOT / "BENCH_streaming.json"
 
 _CHUNK_SAMPLES = 4096
+
+#: Session counts swept by the fleet benchmark.
+_FLEET_SWEEP = (8, 32, 128, 512)
+
+#: Distinct captures generated for the sweep; larger fleets cycle these
+#: so the isolated reference cost stays bounded while every session
+#: still streams a full, individually-checked signal.
+_MAX_DISTINCT_CAPTURES = 32
 
 
 def _long_stream(detector, scale, repeats):
@@ -103,21 +113,14 @@ def _throughput(detector, samples, sample_rate):
     }
 
 
-def _fleet(detector, scale, sessions):
+def _fleet_point(detector, captures, isolated, sessions):
     """Round-robin ``sessions`` concurrent streams; check vs isolation."""
-    captures = [
-        detector.source.capture(seed=scale.monitor_seed(100 + s))
-        for s in range(sessions)
-    ]
-    isolated = [
-        [r.time for r in detector.monitor(c).result.reports] for c in captures
-    ]
-
+    distinct = len(captures)
     fleet = FleetScheduler(max_sessions=sessions)
-    for s, capture in enumerate(captures):
+    for s in range(sessions):
         fleet.add_session(
             f"dev-{s:03d}", detector.model,
-            source=capture.iter_chunks(_CHUNK_SAMPLES),
+            source=captures[s % distinct].iter_chunks(_CHUNK_SAMPLES),
         )
     t0 = time.perf_counter()
     while fleet.step_round():
@@ -128,22 +131,56 @@ def _fleet(detector, scale, sessions):
         [r.time for r in summaries[f"dev-{s:03d}"].reports]
         for s in range(sessions)
     ]
+    expected = [isolated[s % distinct] for s in range(sessions)]
     windows = sum(s.windows for s in summaries.values())
+    wps = windows / elapsed if elapsed else None
     return {
         "sessions": sessions,
         "total_windows": windows,
         "seconds": elapsed,
-        "windows_per_sec": windows / elapsed if elapsed else None,
-        "identical_to_isolated": fleet_reports == isolated,
+        "windows_per_sec": wps,
+        "windows_per_sec_per_session": wps / sessions if wps else None,
+        "identical_to_isolated": fleet_reports == expected,
     }
 
 
-def run_benchmark(scale_name="quick", sessions=32, repeats=8):
+def _fleet_sweep(detector, scale, counts):
+    """Sweep fleet sizes over shared captures and isolated references.
+
+    ``scaling_efficiency`` is each point's aggregate throughput relative
+    to the smallest fleet's: 1.0 means adding sessions costs nothing,
+    below 1.0 quantifies the per-session overhead that batching cannot
+    amortize.
+    """
+    distinct = min(max(counts), _MAX_DISTINCT_CAPTURES)
+    captures = [
+        detector.source.capture(seed=scale.monitor_seed(100 + s))
+        for s in range(distinct)
+    ]
+    isolated = [
+        [r.time for r in detector.monitor(c).result.reports] for c in captures
+    ]
+    points = [
+        _fleet_point(detector, captures, isolated, n) for n in counts
+    ]
+    base = points[0]["windows_per_sec"]
+    for point in points:
+        point["scaling_efficiency"] = (
+            point["windows_per_sec"] / base
+            if base and point["windows_per_sec"] else None
+        )
+    return points
+
+
+def run_benchmark(scale_name="quick", sessions=32, repeats=8,
+                  sweep=_FLEET_SWEEP):
     scale = {"quick": Scale.quick, "default": Scale.default,
              "paper": Scale.paper}[scale_name]()
     detector = build_detector(BENCHMARKS["bitcount"](), scale, source="em")
     samples = _long_stream(detector, scale, repeats)
 
+    counts = tuple(sorted(set(sweep) | {sessions}))
+    points = _fleet_sweep(detector, scale, counts)
     report = {
         "benchmark": "streaming-engine",
         "scale": scale_name,
@@ -152,7 +189,10 @@ def run_benchmark(scale_name="quick", sessions=32, repeats=8):
         "throughput": _throughput(
             detector, samples, detector.model.sample_rate
         ),
-        "fleet": _fleet(detector, scale, sessions),
+        # "fleet" keeps its original single-point shape for existing
+        # consumers; the full sweep lives under "fleet_sweep".
+        "fleet": next(p for p in points if p["sessions"] == sessions),
+        "fleet_sweep": points,
     }
     _OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     return report
@@ -161,8 +201,7 @@ def run_benchmark(scale_name="quick", sessions=32, repeats=8):
 def _format(report):
     lat = report["latency"]
     thr = report["throughput"]
-    fleet = report["fleet"]
-    return "\n".join([
+    lines = [
         f"streaming benchmark (scale={report['scale']}, "
         f"{report['stream_samples']:,} samples)",
         f"  chunk latency      : median {lat['median_latency_us']:.0f} us, "
@@ -175,11 +214,17 @@ def _format(report):
         f"(flat={lat['memory_flat']})",
         f"  stream throughput  : {thr['stream_windows_per_sec']:,.0f} "
         f"windows/s ({thr['stream_vs_batch']:.2f}x batch)",
-        f"  fleet              : {fleet['sessions']} sessions, "
-        f"{fleet['windows_per_sec']:,.0f} windows/s, "
-        f"identical={fleet['identical_to_isolated']}",
-        f"  -> {_OUTPUT}",
-    ])
+    ]
+    for point in report["fleet_sweep"]:
+        lines.append(
+            f"  fleet x{point['sessions']:<4d}        : "
+            f"{point['windows_per_sec']:,.0f} windows/s aggregate, "
+            f"{point['windows_per_sec_per_session']:,.0f}/session, "
+            f"efficiency {point['scaling_efficiency']:.2f}, "
+            f"identical={point['identical_to_isolated']}"
+        )
+    lines.append(f"  -> {_OUTPUT}")
+    return "\n".join(lines)
 
 
 def test_streaming_benchmark(scale, show):
@@ -192,9 +237,11 @@ def test_streaming_benchmark(scale, show):
         "resident stream state grew with the stream length"
     )
     assert report["throughput"]["identical_windows"]
-    assert report["fleet"]["identical_to_isolated"], (
-        "fleet session reports diverged from isolated runs"
-    )
+    for point in report["fleet_sweep"]:
+        assert point["identical_to_isolated"], (
+            f"{point['sessions']}-session fleet reports diverged from "
+            f"isolated runs"
+        )
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ from repro.core.peaks import peak_matrix
 from repro.core.stats import (
     kolmogorov_sf,
     ks_critical_value,
+    ks_d_int_rows,
     ks_statistic_batch,
     two_sample_reject,
 )
@@ -109,6 +110,55 @@ class _SortedDimHistory:
             self._ages[: self._size].copy(),
         )
 
+    def insert_many(self, values: np.ndarray, ages: np.ndarray) -> None:
+        """Bulk insert of chronologically ordered (value, age) pairs.
+
+        One argsort + one merge instead of a searchsorted/tail-shift per
+        value -- the fast-path chunk commit pushes a whole chunk's
+        observations at once. Placement of equal values relative to
+        existing equal values may differ from repeated :meth:`insert`,
+        and values already outside every future query window are dropped
+        eagerly; :meth:`query` masks by age over sorted values, so query
+        results are identical either way (equal values are
+        interchangeable, dropped values unreachable).
+        """
+        k = len(values)
+        if k == 0:
+            return
+        cutoff = int(ages[-1]) - self._window
+        fresh = ages > cutoff
+        if not fresh.all():
+            values = values[fresh]
+            ages = ages[fresh]
+            k = len(values)
+        size = self._size
+        if size + k > len(self._values):
+            live = self._ages[:size] > cutoff
+            new_size = int(live.sum())
+            # Ages are unique per dimension, so live-old plus fresh-new is
+            # at most 2 * window - 1 entries: the compacted merge always
+            # fits the 2x over-allocated buffer.
+            self._values[:new_size] = self._values[:size][live]
+            self._ages[:new_size] = self._ages[:size][live]
+            size = new_size
+        order = np.argsort(values, kind="stable")
+        sorted_values = values[order]
+        sorted_ages = ages[order]
+        pos = np.searchsorted(self._values[:size], sorted_values, side="left")
+        new_pos = pos + np.arange(k)
+        total = size + k
+        merged_values = np.empty(total)
+        merged_ages = np.empty(total, dtype=np.int64)
+        old_mask = np.ones(total, dtype=bool)
+        old_mask[new_pos] = False
+        merged_values[new_pos] = sorted_values
+        merged_ages[new_pos] = sorted_ages
+        merged_values[old_mask] = self._values[:size]
+        merged_ages[old_mask] = self._ages[:size]
+        self._values[:total] = merged_values
+        self._ages[:total] = merged_ages
+        self._size = total
+
     def restore_state(self, values: np.ndarray, ages: np.ndarray) -> None:
         size = len(values)
         if size > len(self._values) or size != len(ages):
@@ -119,6 +169,267 @@ class _SortedDimHistory:
         self._values[:size] = values
         self._ages[:size] = ages
         self._size = size
+
+
+class _KsJob:
+    """One vectorized K-S work item of a chunk fast-path plan.
+
+    ``rows`` holds the sorted monitored sets (one per window, all of
+    count ``count``) to test against ``ref``; ``windows`` the chunk-local
+    window index of each row. ``rejected``/``d`` are filled by
+    :func:`score_ks_jobs`. Jobs from many sessions of one fleet group can
+    be pooled into a single call -- the kernel keys them by
+    ``(id(ref), count)`` so the shared reference is analyzed once.
+    """
+
+    __slots__ = ("dim", "ref", "m", "count", "rows", "windows",
+                 "rejected", "d")
+
+    def __init__(self, dim, ref, count, rows, windows):
+        self.dim = dim
+        self.ref = ref
+        self.m = len(ref)
+        self.count = count
+        self.rows = rows
+        self.windows = windows
+        self.rejected = None
+        self.d = None
+
+
+class _ChunkPlan:
+    """Read-only fast-path plan for one chunk of STSs (see
+    :meth:`Monitor.plan_chunk`)."""
+
+    __slots__ = ("k", "static_stop", "jobs", "peaks")
+
+    def __init__(self, k, static_stop, jobs, peaks):
+        self.k = k
+        self.static_stop = static_stop
+        self.jobs = jobs
+        self.peaks = peaks
+
+
+def plan_suffix(plan: _ChunkPlan, start: int) -> Optional[_ChunkPlan]:
+    """Re-slice an already-scored plan to its windows at/after ``start``.
+
+    When a scalar replay re-enters the fast path without ever leaving
+    the plan's straight line (the streaming engine tracks that invariant
+    for its score hints), the original plan's verdicts are still the
+    truth for the remaining windows: the replay pushed exactly the rows
+    the plan's sliding windows assumed. The remainder can therefore be
+    committed directly by slicing the scored jobs -- no K-S recomputed,
+    no history re-read. Returns None when nothing was planned at or
+    after ``start`` (windows past ``static_stop`` were never scored) or
+    when the plan was never scored; callers then re-plan from scratch.
+    """
+    if start <= 0 or start >= plan.static_stop or start >= plan.k:
+        return None
+    jobs: List[_KsJob] = []
+    for job in plan.jobs:
+        if job.rejected is None:
+            return None
+        pos = int(np.searchsorted(job.windows, start))
+        if pos == len(job.windows):
+            continue
+        sliced = _KsJob(
+            dim=job.dim,
+            ref=job.ref,
+            count=job.count,
+            rows=job.rows[pos:],
+            windows=job.windows[pos:] - start,
+        )
+        sliced.d = job.d[pos:]
+        sliced.rejected = job.rejected[pos:]
+        jobs.append(sliced)
+    return _ChunkPlan(
+        k=plan.k - start,
+        static_stop=plan.static_stop - start,
+        jobs=jobs,
+        peaks=plan.peaks[start:],
+    )
+
+
+def score_ks_jobs(jobs: Sequence[_KsJob], alpha: float) -> None:
+    """Score every job's rows through the shared-reference K-S kernel.
+
+    Jobs are pooled by ``(reference identity, monitored count)``: all
+    rows sharing both -- across windows, dimensions, and (in the fleet
+    kernel) sessions -- go through one :func:`ks_d_int_rows` call, and
+    the rejection threshold is the same cached
+    :func:`ks_critical_value` the scalar path compares against. Row
+    results are independent of the pooling, so decisions are
+    bit-identical to per-window scoring.
+    """
+    groups: Dict[Tuple[int, int], List[_KsJob]] = {}
+    for job in jobs:
+        groups.setdefault((id(job.ref), job.count), []).append(job)
+    for group in groups.values():
+        ref = group[0].ref
+        m = group[0].m
+        c = group[0].count
+        if len(group) == 1:
+            rows = group[0].rows
+        else:
+            rows = np.concatenate([job.rows for job in group], axis=0)
+        d = ks_d_int_rows(ref, rows) / (m * c)
+        rejected = d > ks_critical_value(m, c, alpha)
+        offset = 0
+        for job in group:
+            b = len(job.rows)
+            job.d = d[offset:offset + b]
+            job.rejected = rejected[offset:offset + b]
+            offset += b
+
+
+def plan_chunks_pooled(
+    entries: Sequence[tuple],
+) -> List[Optional[_ChunkPlan]]:
+    """Plan many sessions' chunks in pooled vectorized passes.
+
+    ``entries`` is a sequence of ``(monitor, peaks, quality)`` triples,
+    one per session, each covering one chunk. Sessions in *steady state*
+    -- same region profile object (hence same model, group size, test
+    dimensions, references), same chunk window count, full history, and
+    no quality-flagged windows -- are bucketed together, and each
+    bucket's monitored-set construction (history tails, validity counts,
+    sliding windows, row sort) runs as single numpy operations over a
+    ``(sessions, windows, group)`` stack instead of once per session.
+    Every per-window quantity is computed exactly as
+    :meth:`Monitor.plan_chunk` computes it, row for row, so the returned
+    plans are bit-identical to per-session planning; sessions that do
+    not fit a bucket (filling history, flagged windows) fall back to
+    :meth:`Monitor.plan_chunk`, and sessions whose entry state bars the
+    fast path altogether get ``None`` -- the same contract, per slot.
+
+    Planning never mutates monitor state; the caller scores the plans
+    (:func:`score_ks_jobs` pools rows fleet-wide by shared reference)
+    and commits each session's plan individually.
+    """
+    plans: List[Optional[_ChunkPlan]] = [None] * len(entries)
+    buckets: Dict[tuple, list] = {}
+    for i, (mon, peaks, quality) in enumerate(entries):
+        cfg = mon._cfg
+        k = int(peaks.shape[0])
+        if (
+            not mon._batched
+            or cfg.statistic != "ks"
+            or k == 0
+            or peaks.shape[1] != mon._width
+            or mon._gap_pending
+            or mon._resync_remaining is not None
+        ):
+            continue
+        profile = mon.model.profile(mon.current_region)
+        if not profile.testable():
+            continue
+        n = profile.group_size
+        flagged_windows = False
+        if cfg.quality_gating and quality is not None:
+            flagged_windows = bool(
+                (np.asarray(quality, dtype=np.uint8) & QF_UNSCORABLE).any()
+            )
+        if flagged_windows or mon._filled < n - 1:
+            plans[i] = mon.plan_chunk(peaks, quality)
+            continue
+        buckets.setdefault((id(profile), k), [profile, []])[1].append(i)
+
+    for (_, k), (profile, members) in buckets.items():
+        n = profile.group_size
+        mon0 = entries[members[0]][0]
+        cfg = mon0._cfg
+        test_dims = [
+            dim for dim in profile.test_dims
+            if len(profile.reference_dim(dim)) > 0
+        ]
+        all_dims = sorted(set(test_dims) | ({0} if profile.num_peaks > 0 else set()))
+        if not all_dims:
+            for i in members:
+                plans[i] = _ChunkPlan(k=k, static_stop=k, jobs=[],
+                                      peaks=entries[i][1])
+            continue
+        s_count = len(members)
+        length = n - 1 + k
+        peaks_stack = np.stack([entries[i][1] for i in members])
+        dim_col = {dim: j for j, dim in enumerate(all_dims)}
+        # Per-session history tails (the n-1 rows before this chunk) --
+        # the only per-session gather; everything after is one stacked op.
+        tails = np.empty((s_count, n - 1, len(all_dims)))
+        if n > 1:
+            size = mon0._history.shape[0]
+            offsets = np.arange(n - 1)
+            cols = np.asarray(all_dims)
+            for j, i in enumerate(members):
+                mon = entries[i][0]
+                idx = (mon._hist_pos - (n - 1) + offsets) % size
+                tails[j] = mon._history[idx[:, None], cols]
+
+        arrs = {}
+        counts = {}
+        for dim in all_dims:
+            arr = np.empty((s_count, length))
+            arr[:, : n - 1] = tails[:, :, dim_col[dim]]
+            arr[:, n - 1:] = peaks_stack[:, :, dim]
+            csum = np.zeros((s_count, length + 1), dtype=np.int64)
+            np.cumsum(~np.isnan(arr), axis=1, out=csum[:, 1:])
+            arrs[dim] = arr
+            counts[dim] = csum[:, n:] - csum[:, :-n]
+
+        # static_stop per session: first eligible window whose dim-0
+        # monitored set is too small (scalar territory from there on).
+        stops = np.full(s_count, k, dtype=np.int64)
+        if profile.num_peaks > 0:
+            short = counts[0] < cfg.min_mon_values
+            any_short = short.any(axis=1)
+            if any_short.any():
+                stops[any_short] = short.argmax(axis=1)[any_short]
+
+        jobs_by_session: List[list] = [[] for _ in members]
+        window_all = np.arange(k, dtype=np.int64)
+        for dim in test_dims:
+            ref = profile.reference_dim(dim)
+            arr = arrs[dim]
+            wins = np.lib.stride_tricks.sliding_window_view(arr, n, axis=1)
+            rows = np.sort(wins, axis=2)
+            cnt = counts[dim]
+            eligible = cnt >= cfg.min_mon_values
+            # Steady-state short-circuit: every window eligible at one
+            # constant count and no static stop -> one job per session,
+            # its rows a plain view of the pooled sort.
+            simple = (
+                (stops == k)
+                & eligible.all(axis=1)
+                & (cnt == cnt[:, :1]).all(axis=1)
+            )
+            for j, i in enumerate(members):
+                stop = int(stops[j])
+                if simple[j]:
+                    c = int(cnt[j, 0])
+                    jobs_by_session[j].append(_KsJob(
+                        dim=dim, ref=ref, count=c,
+                        rows=rows[j][:, :c], windows=window_all,
+                    ))
+                    continue
+                if stop == 0:
+                    continue
+                ok = eligible[j, :stop]
+                if not ok.any():
+                    continue
+                ok_counts = cnt[j, :stop][ok]
+                rows_ok = rows[j, :stop][ok]
+                window_idx = np.flatnonzero(ok)
+                for c in np.unique(ok_counts):
+                    sel = ok_counts == c
+                    jobs_by_session[j].append(_KsJob(
+                        dim=dim, ref=ref, count=int(c),
+                        rows=rows_ok[sel][:, : int(c)],
+                        windows=window_idx[sel],
+                    ))
+        for j, i in enumerate(members):
+            plans[i] = _ChunkPlan(
+                k=k, static_stop=int(stops[j]), jobs=jobs_by_session[j],
+                peaks=entries[i][1],
+            )
+    return plans
 
 
 @dataclass(frozen=True)
@@ -470,13 +781,27 @@ class Monitor:
 
     # -- one step of Algorithm 1 ------------------------------------------------
 
-    def step(self, peak_row: np.ndarray, time: float, quality: int = 0):
+    def step(
+        self,
+        peak_row: np.ndarray,
+        time: float,
+        quality: int = 0,
+        score_hint: "Optional[Dict[int, Tuple[int, float, bool]]]" = None,
+    ):
         """Process one STS; returns (report_or_None, current_test_rejected).
 
         ``quality`` is the window's acquisition-quality bitmask; with
         quality gating enabled, flagged windows are skipped as unscorable
         (streak suspended) and gap/dead windows additionally invalidate
         the history and schedule a resynchronization.
+
+        ``score_hint`` optionally carries this window's already-scored
+        current-region K-S results from a chunk plan, as ``dim ->
+        (monitored_count, d, rejected)``. The hint is trusted only when
+        every scored dimension matches the live monitored-group size
+        (see :meth:`_hinted_dims`); any mismatch falls back to scoring
+        from scratch, so a stale hint can cost time but never change a
+        decision. Candidate probes are always computed live.
         """
         self.last_unscorable = False
         if self._cfg.quality_gating and (quality & QF_UNSCORABLE):
@@ -541,7 +866,13 @@ class Monitor:
             dim: self._recent(profile.group_size, dim)
             for dim in profile.test_dims
         }
-        rejected_dims = self._score_dims(profile, mons)
+        rejected_dims = (
+            self._hinted_dims(profile, mons, score_hint)
+            if score_hint is not None
+            else None
+        )
+        if rejected_dims is None:
+            rejected_dims = self._score_dims(profile, mons)
         for dim in profile.test_dims:
             mon = mons[dim]
             if mon is None:
@@ -624,6 +955,199 @@ class Monitor:
             return report, True
 
         return None, True
+
+    # -- chunk fast path (vectorized optimistic scoring) ---------------------
+
+    def fast_path_ready(self) -> bool:
+        """Cheap entry gate for :meth:`plan_chunk`.
+
+        True when the monitor's *state* admits the optimistic fast path
+        right now (batched K-S, no pending gap resync, no active resync
+        search, testable region). The streaming engine consults this
+        before re-planning the remainder of a chunk mid-replay, so long
+        resync or untestable stretches do not pay planning costs per
+        window.
+        """
+        return (
+            self._batched
+            and self._cfg.statistic == "ks"
+            and not self._gap_pending
+            and self._resync_remaining is None
+            and self.model.profile(self.current_region).testable()
+        )
+
+    def plan_chunk(
+        self, peaks: np.ndarray, quality: Optional[np.ndarray]
+    ) -> Optional[_ChunkPlan]:
+        """Plan the vectorized fast path for one chunk of STS rows.
+
+        The fast path is *optimistic*: it assumes every window accepts
+        the current region, computes all windows' K-S decisions in bulk
+        (sliding-window monitored sets over the history tail plus the
+        chunk's own rows), and only if that assumption holds does
+        :meth:`commit_chunk` apply the whole chunk's state changes at
+        once. Planning is strictly read-only, so when any window rejects
+        -- or hits a branch the vectorized path does not model -- the
+        chunk (from that window on) replays through the unmodified
+        scalar :meth:`step`, which is why fast and scalar paths are
+        bit-identical by construction.
+
+        Returns ``None`` when the entry state already diverges from the
+        accept-only straight line: unbatched or non-K-S monitors, a
+        pending gap resync, an active resync search, or an untestable
+        (peak-less) current region. ``static_stop`` marks the first
+        window that must go scalar regardless of K-S outcomes (a
+        quality-flagged window, or an eligible window missing its dim-0
+        peaks, which the scalar path treats as a rejection).
+        """
+        cfg = self._cfg
+        k = int(peaks.shape[0])
+        if (
+            not self._batched
+            or cfg.statistic != "ks"
+            or k == 0
+            or peaks.shape[1] != self._width
+            or self._gap_pending
+            or self._resync_remaining is not None
+        ):
+            return None
+        profile = self.model.profile(self.current_region)
+        if not profile.testable():
+            return None
+        static_stop = k
+        if cfg.quality_gating and quality is not None:
+            flagged = np.flatnonzero(
+                np.asarray(quality, dtype=np.uint8) & QF_UNSCORABLE
+            )
+            if len(flagged):
+                static_stop = int(flagged[0])
+                if static_stop == 0:
+                    return None
+        n = profile.group_size
+        # A window is K-S eligible once the history (plus the chunk's own
+        # pushes up to it) holds n rows -- the _recent() gate.
+        first_eligible = max(0, n - self._filled - 1)
+
+        streams: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+        def dim_stream(dim: int, stop: int):
+            cached = streams.get(dim)
+            if cached is not None and len(cached[1]) >= stop:
+                return cached
+            if n > 1:
+                size = self._history.shape[0]
+                idx = (
+                    self._hist_pos - (n - 1) + np.arange(n - 1)
+                ) % size
+                prev = self._history[idx, dim]
+            else:
+                prev = np.empty(0)
+            arr = np.concatenate([prev, peaks[:stop, dim]])
+            csum = np.concatenate(
+                [[0], np.cumsum(~np.isnan(arr), dtype=np.int64)]
+            )
+            counts = csum[n:] - csum[:-n]
+            streams[dim] = (arr, counts)
+            return arr, counts
+
+        if profile.num_peaks > 0 and first_eligible < static_stop:
+            # Eligible windows whose dim-0 monitored set is too small take
+            # the missing-peaks anomaly branch in step(): scalar territory.
+            _, counts0 = dim_stream(0, static_stop)
+            short = np.flatnonzero(
+                counts0[first_eligible:static_stop] < cfg.min_mon_values
+            )
+            if len(short):
+                static_stop = first_eligible + int(short[0])
+
+        jobs: List[_KsJob] = []
+        if first_eligible < static_stop:
+            for dim in profile.test_dims:
+                ref = profile.reference_dim(dim)
+                if len(ref) == 0:
+                    continue
+                arr, counts = dim_stream(dim, static_stop)
+                counts = counts[first_eligible:static_stop]
+                ok = counts >= cfg.min_mon_values
+                if not ok.any():
+                    continue
+                windows = np.lib.stride_tricks.sliding_window_view(
+                    arr[: n - 1 + static_stop], n
+                )[first_eligible:static_stop]
+                # Ascending sort pushes the NaNs of each window past its
+                # count of real values; the leading count columns are
+                # exactly _recent()'s sorted monitored set.
+                rows_sorted = np.sort(windows[ok], axis=1)
+                window_idx = first_eligible + np.flatnonzero(ok)
+                ok_counts = counts[ok]
+                for c in np.unique(ok_counts):
+                    sel = ok_counts == c
+                    jobs.append(_KsJob(
+                        dim=dim,
+                        ref=ref,
+                        count=int(c),
+                        rows=rows_sorted[sel][:, : int(c)],
+                        windows=window_idx[sel],
+                    ))
+        return _ChunkPlan(k=k, static_stop=static_stop, jobs=jobs,
+                          peaks=peaks)
+
+    def commit_chunk(self, plan: _ChunkPlan) -> int:
+        """Apply a scored plan's accept-only prefix; return its length.
+
+        The prefix runs up to (excluding) the first window any scored job
+        rejected, capped by the plan's ``static_stop``. Committing
+        replays exactly what that many accepting :meth:`step` calls would
+        have done -- push every row into the rolling history and sorted
+        buffers, reset the anomaly/transition counters -- in a handful of
+        bulk numpy ops. Windows from the returned index on must go
+        through the scalar :meth:`step` (nothing about them has been
+        committed; planning never mutates).
+        """
+        first_bad = plan.static_stop
+        for job in plan.jobs:
+            if job.rejected is None:
+                raise MonitoringError("commit_chunk needs a scored plan")
+            hits = job.windows[job.rejected]
+            if len(hits) and int(hits[0]) < first_bad:
+                first_bad = int(hits[0])
+        if OBS.enabled:
+            for job in plan.jobs:
+                mask = job.windows < first_bad
+                if mask.any():
+                    scale = (
+                        job.m * job.count / (job.m + job.count)
+                    ) ** 0.5
+                    self._ks_scaled_stats.extend(
+                        (job.d[mask] * scale).tolist()
+                    )
+        if first_bad == 0:
+            return 0
+        rows = plan.peaks[:first_bad]
+        base = self._push_count
+        for dim in self._tracked_dims:
+            column = rows[:, dim]
+            mask = column == column  # not NaN
+            if mask.any():
+                self._buffers[dim].insert_many(
+                    column[mask], base + np.flatnonzero(mask)
+                )
+        size = self._history.shape[0]
+        take = rows[-size:] if first_bad > size else rows
+        offsets = (
+            self._hist_pos + (first_bad - len(take)) + np.arange(len(take))
+        ) % size
+        self._history[offsets] = take
+        self._hist_pos = (self._hist_pos + first_bad) % size
+        self._filled = min(self._filled + first_bad, size)
+        self._push_count += first_bad
+        # Every committed window accepted the current region: the last
+        # step of the prefix reset all streak state, exactly as below.
+        self._anomaly_count = 0
+        self._change_counts.clear()
+        self._streak = 0
+        self.last_unscorable = False
+        return first_bad
 
     # -- checkpointing -------------------------------------------------------
 
@@ -868,6 +1392,48 @@ class Monitor:
                     self._ks_scaled_stats.append(
                         float(d_stat) * (m * k / (m + k)) ** 0.5
                     )
+        return rejected
+
+    def _hinted_dims(
+        self,
+        profile: RegionProfile,
+        mons: Dict[int, Optional[np.ndarray]],
+        hint: "Dict[int, Tuple[int, float, bool]]",
+    ) -> Optional[Dict[int, bool]]:
+        """Current-region rejections replayed from a chunk plan's scores.
+
+        A chunk plan's K-S jobs already hold this window's exact-integer
+        D and rejection verdict per dimension (identical arithmetic to
+        :meth:`_score_dims`; see ``tests/test_fleet_kernel.py``), as long
+        as the history the plan assumed is the history the scalar replay
+        actually built -- the streaming engine tracks that invariant and
+        only passes hints while it holds. This method adds a local
+        defense: if any scorable dimension is missing from the hint or
+        its recorded monitored-group size disagrees with the live one,
+        it returns None and the caller rescores everything, so hints are
+        an optimization with no decision surface of their own. The OBS
+        scaled-statistic buffer is fed exactly as `_score_dims` would.
+        """
+        rejected: Dict[int, bool] = {}
+        scored: List[Tuple[int, int, float]] = []
+        for dim, mon in mons.items():
+            if mon is None:
+                rejected[dim] = False
+                continue
+            ref = profile.reference_dim(dim)
+            if len(ref) == 0:
+                rejected[dim] = False
+                continue
+            entry = hint.get(dim)
+            if entry is None or entry[0] != len(mon):
+                return None
+            rejected[dim] = bool(entry[2])
+            scored.append((len(ref), entry[0], entry[1]))
+        if OBS.enabled:
+            for m, k, d_stat in scored:
+                self._ks_scaled_stats.append(
+                    float(d_stat) * (m * k / (m + k)) ** 0.5
+                )
         return rejected
 
     def _rejects(self, profile: RegionProfile, dim: int, mon: np.ndarray) -> bool:

@@ -19,6 +19,7 @@ from repro.errors import SignalError
 __all__ = [
     "extract_peaks",
     "peak_matrix",
+    "peak_rows",
     "spectral_descriptors",
     "DEFAULT_ENERGY_FRACTION",
 ]
@@ -79,7 +80,11 @@ def extract_peaks(
     if len(idx) == 0:
         return np.empty(0), np.empty(0)
 
-    order = np.argsort(power[idx])[::-1][:max_peaks]
+    # Stable sort so ties in power break deterministically (by descending
+    # bin index after the reversal) -- the vectorized multi-window path
+    # (:func:`peak_rows`) orders ties the same way, keeping the two
+    # implementations bit-identical.
+    order = np.argsort(power[idx], kind="stable")[::-1][:max_peaks]
     chosen = idx[order]
     return freqs[chosen].copy(), power[chosen].copy()
 
@@ -103,6 +108,90 @@ def spectral_descriptors(power: np.ndarray, freqs: np.ndarray) -> Tuple[float, f
     return (centroid, spread)
 
 
+def peak_rows(
+    power: np.ndarray,
+    freqs: np.ndarray,
+    energy_fraction: float = DEFAULT_ENERGY_FRACTION,
+    max_peaks: int = 20,
+    min_prominence: float = 15.0,
+    descriptors: bool = False,
+) -> np.ndarray:
+    """Peak frequencies of many spectra at once, vectorized.
+
+    ``power`` has shape ``(n_windows, n_bins)``; the rows are independent,
+    so this is exactly :func:`extract_peaks` applied per row (and
+    :func:`spectral_descriptors` when ``descriptors``), bit-identical to
+    the scalar loop -- the fleet kernel calls it on the pooled power
+    matrix of a whole session group. The only per-window Python left is
+    the descriptor dot products, which stay looped so BLAS batching
+    cannot perturb their last-ulp rounding.
+
+    Per-window candidate selection is vectorized end to end: local-maxima
+    and threshold masks are 2-D ops, and the strongest-first ordering is
+    one lexsort over all candidate bins keyed ``(window, -power, -bin)``
+    -- the same order ``np.argsort(power[idx], kind='stable')[::-1]``
+    produces in :func:`extract_peaks`, ties included.
+    """
+    power = np.asarray(power, dtype=float)
+    freqs = np.asarray(freqs, dtype=float)
+    if power.ndim != 2:
+        raise SignalError(f"power must be 2-D, got shape {power.shape}")
+    if power.shape[1] != len(freqs):
+        raise SignalError(
+            f"power has {power.shape[1]} bins but freqs has {len(freqs)}"
+        )
+    if not 0.0 < energy_fraction < 1.0:
+        raise SignalError(
+            f"energy_fraction must be in (0, 1), got {energy_fraction}"
+        )
+    n_windows, n_bins = power.shape
+    width = max_peaks + (2 if descriptors else 0)
+    out = np.full((n_windows, width), np.nan)
+    if n_windows == 0:
+        return out
+
+    totals = power.sum(axis=1)
+    scorable = totals > 0
+    thresholds = energy_fraction * totals
+    if min_prominence > 0:
+        floors = min_prominence * np.median(power, axis=1)
+        thresholds = np.maximum(thresholds, floors)
+    left = np.empty_like(power)
+    right = np.empty_like(power)
+    left[:, 0] = -np.inf
+    left[:, 1:] = power[:, :-1]
+    right[:, -1] = -np.inf
+    right[:, :-1] = power[:, 1:]
+    is_peak = (
+        (power > left)
+        & (power >= right)
+        & (power >= thresholds[:, None])
+        & scorable[:, None]
+    )
+    win, bins = np.nonzero(is_peak)
+    if len(win):
+        # Candidates are already grouped by window (nonzero is row-major);
+        # order each window's group by descending power, ties by
+        # descending bin, in one lexsort over all candidates.
+        order = np.lexsort((-bins, -power[win, bins], win))
+        win = win[order]
+        bins = bins[order]
+        # Rank within each window = position minus the window's first slot.
+        first = np.zeros(len(win), dtype=np.int64)
+        new_window = np.empty(len(win), dtype=bool)
+        new_window[0] = True
+        new_window[1:] = win[1:] != win[:-1]
+        first[new_window] = np.flatnonzero(new_window)
+        first = np.maximum.accumulate(first)
+        rank = np.arange(len(win), dtype=np.int64) - first
+        keep = rank < max_peaks
+        out[win[keep], rank[keep]] = freqs[bins[keep]]
+    if descriptors:
+        for i in range(n_windows):
+            out[i, max_peaks:] = spectral_descriptors(power[i], freqs)
+    return out
+
+
 def peak_matrix(
     spectra: SpectrumSequence,
     energy_fraction: float = DEFAULT_ENERGY_FRACTION,
@@ -118,18 +207,10 @@ def peak_matrix(
     ``descriptors=True`` two extra columns are appended: the spectral
     centroid and bandwidth of each window (see
     :func:`spectral_descriptors`), giving shape
-    ``(n_windows, max_peaks + 2)``.
+    ``(n_windows, max_peaks + 2)``. Delegates to the vectorized
+    :func:`peak_rows`.
     """
-    width = max_peaks + (2 if descriptors else 0)
-    out = np.full((len(spectra), width), np.nan)
-    for i in range(len(spectra)):
-        freqs, _ = extract_peaks(
-            spectra.power[i], spectra.freqs, energy_fraction, max_peaks,
-            min_prominence,
-        )
-        out[i, : len(freqs)] = freqs
-        if descriptors:
-            out[i, max_peaks:] = spectral_descriptors(
-                spectra.power[i], spectra.freqs
-            )
-    return out
+    return peak_rows(
+        spectra.power, spectra.freqs, energy_fraction, max_peaks,
+        min_prominence, descriptors,
+    )

@@ -16,6 +16,7 @@ from repro.core.stats.ks import (
     kolmogorov_sf,
     ks_2samp,
     ks_critical_value,
+    ks_d_int_rows,
     ks_statistic,
     ks_statistic_batch,
     sorted_run_ends,
@@ -26,6 +27,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "ks_2samp",
     "ks_critical_value",
+    "ks_d_int_rows",
     "ks_statistic_batch",
     "kolmogorov_sf",
     "KsResult",

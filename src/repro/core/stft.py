@@ -409,11 +409,17 @@ class StreamingQuality:
     def feed(self, samples: np.ndarray) -> np.ndarray:
         """Quality flags of the windows completed by this chunk."""
         samples = np.asarray(samples)
-        if self._buffer is None:
-            self._buffer = samples.copy()
-        elif len(samples):
-            self._buffer = np.concatenate([self._buffer, samples])
-        buf = self._buffer
+        prev = self._buffer
+        if prev is not None and len(prev):
+            buf = np.concatenate([prev, samples])
+            private = True
+        else:
+            # Hop-aligned fast path: nothing carried over, so the chunk
+            # itself is the working buffer -- no full-chunk copy (the
+            # residual tail is copied below, and nothing here mutates
+            # ``buf``).
+            buf = samples
+            private = False
         if np.iscomplexobj(samples) and len(samples):
             amp_new = np.maximum(np.abs(samples.real), np.abs(samples.imag))
         else:
@@ -422,6 +428,7 @@ class StreamingQuality:
             self._full_scale = max(self._full_scale, float(amp_new.max()))
         w, hop = self._window, self._hop
         if len(buf) < w:
+            self._buffer = buf if private else buf.copy()
             return np.zeros(0, dtype=np.uint8)
         n = 1 + (len(buf) - w) // hop
         starts = np.arange(n) * hop
@@ -528,6 +535,21 @@ class StreamingQuality:
             self._buffer = None
 
 
+class _StagedStft:
+    """One chunk staged by :meth:`StreamingStft.begin_feed`: the frames
+    awaiting their spectral transform, plus the chunk's completed-window
+    bookkeeping (``frames`` is ``None`` when the chunk completed no
+    window)."""
+
+    __slots__ = ("frames", "quality_flags", "times", "n")
+
+    def __init__(self, frames, quality_flags, times, n):
+        self.frames = frames
+        self.quality_flags = quality_flags
+        self.times = times
+        self.n = n
+
+
 class StreamingStft:
     """Chunked, stateful counterpart of :func:`stft`.
 
@@ -591,7 +613,28 @@ class StreamingStft:
     def feed(self, samples: np.ndarray) -> SpectrumSequence:
         """Consume one chunk; return the windows it completed (possibly
         zero of them)."""
-        samples = np.asarray(samples)
+        staged = self.begin_feed(np.asarray(samples))
+        power = freqs = None
+        if staged.n:
+            power, freqs = self.transform(staged)
+        return self.finish_feed(staged, power, freqs)
+
+    def begin_feed(self, samples: np.ndarray) -> "_StagedStft":
+        """Stage one chunk: gather its completed frames and advance the
+        stream state, deferring the spectral transform.
+
+        The split lets the fleet kernel pool many sessions' staged frames
+        into one :func:`_transform_frames` call (per-row transform, so
+        pooling is bit-identical); :meth:`feed` is simply
+        ``begin_feed`` + :meth:`transform` + :meth:`finish_feed`.
+
+        When an incoming chunk aligns with the window hop (no residual
+        tail carried over), the chunk is processed in place: no
+        concatenation and no full-chunk copy -- only the new residual
+        tail (under one window of samples) is copied out. The returned
+        frames may alias the caller's chunk; nothing downstream mutates
+        them.
+        """
         if samples.ndim != 1:
             raise SignalError(
                 f"chunk must be 1-D, got shape {samples.shape}"
@@ -606,36 +649,55 @@ class StreamingStft:
         quality_flags = (
             self._quality.feed(samples) if self._quality is not None else None
         )
-        if self._buffer is None:
-            self._buffer = samples.copy()
-        elif len(samples):
-            self._buffer = np.concatenate([self._buffer, samples])
-        buf = self._buffer
+        prev = self._buffer
+        if prev is not None and len(prev):
+            buf = np.concatenate([prev, samples])
+            private = True
+        else:
+            buf = samples
+            private = False
         w, hop = self.window_samples, self.hop
         n = 1 + (len(buf) - w) // hop if len(buf) >= w else 0
         if n <= 0:
-            return self._empty_sequence(quality_flags)
+            self._buffer = buf if private else buf.copy()
+            return _StagedStft(None, quality_flags, np.empty(0), 0)
         local_starts = np.arange(n) * hop
         frames = np.lib.stride_tricks.sliding_window_view(buf, w)[local_starts]
-        power, freqs = _transform_frames(
-            frames, self._is_complex, self._taper_arr, self._detrend,
-            self._fold, w, self.sample_rate,
-        )
-        self._freqs = freqs
         starts = self._consumed + local_starts
         times = self.t0 + (starts + w / 2.0) / self.sample_rate
         self._consumed += n * hop
         self._buffer = buf[n * hop:].copy()
+        return _StagedStft(frames, quality_flags, times, n)
+
+    def transform(self, staged: "_StagedStft"):
+        """Spectral transform of a staged chunk's frames:
+        ``(power, freqs)``."""
+        return _transform_frames(
+            staged.frames, self._is_complex, self._taper_arr, self._detrend,
+            self._fold, self.window_samples, self.sample_rate,
+        )
+
+    def finish_feed(
+        self,
+        staged: "_StagedStft",
+        power: Optional[np.ndarray],
+        freqs: Optional[np.ndarray],
+    ) -> SpectrumSequence:
+        """Wrap a staged chunk and its (possibly pooled) spectra into the
+        chunk's :class:`SpectrumSequence`."""
+        if staged.n == 0:
+            return self._empty_sequence(staged.quality_flags)
+        self._freqs = freqs
         if OBS.enabled:
             record_count("core.stft", "stream_chunks")
-            record_count("core.stft", "stream_windows", n)
+            record_count("core.stft", "stream_windows", staged.n)
         return SpectrumSequence(
             freqs=freqs,
-            times=times,
+            times=staged.times,
             power=power,
-            window_duration=w / self.sample_rate,
-            hop_duration=hop / self.sample_rate,
-            quality=quality_flags,
+            window_duration=self.window_samples / self.sample_rate,
+            hop_duration=self.hop / self.sample_rate,
+            quality=staged.quality_flags,
         )
 
     # -- checkpointing -------------------------------------------------------

@@ -123,6 +123,13 @@ class ServerConfig:
         queue_depth: per-session bound on decoded-but-unscored chunks;
             the ingestion backpressure knob.
         worker_threads: size of the shared DSP thread pool.
+        kernel_batching: coalesce concurrently pending sessions' chunks
+            into single :meth:`FleetScheduler.feed_many` rounds, so
+            isomorphic sessions share one vectorized STFT/peak/K-S pass
+            (the fleet batch kernel, DESIGN.md D20) instead of each
+            paying its own. Per-session results and failure isolation
+            are unchanged; turn off to score every chunk on its own
+            pool thread as before.
         registry_cache: deserialized models kept hot in the registry LRU
             (only used when the server builds its own registry).
         checkpoint_interval: scored chunks between durable session
@@ -139,6 +146,7 @@ class ServerConfig:
     evict_idle: bool = False
     queue_depth: int = 8
     worker_threads: int = 4
+    kernel_batching: bool = True
     registry_cache: int = 8
     checkpoint_interval: int = 16
     spill_dir: Optional[str] = None
@@ -188,6 +196,90 @@ class _SessionState:
     suspended: bool = False
 
 
+class _KernelBatcher:
+    """Coalesces pending sessions' chunks into fleet kernel rounds.
+
+    Session workers :meth:`submit` their ``(session_id, samples)`` and
+    await the returned future instead of running ``fleet.feed`` on a
+    pool thread each. A single drainer task collects everything pending,
+    runs one :meth:`FleetScheduler.feed_many` round in the pool (the
+    cross-session batch kernel), and settles each submission with its
+    own result slot -- per-session exceptions land on that session's
+    future only, so one poisoned chunk never fails its round-mates.
+
+    Batching is self-clocking: while one round runs in the pool, new
+    submissions accumulate on the loop; the next round picks them all
+    up. No artificial latency is added -- a lone session dispatches in
+    rounds of one, a busy fleet in rounds of up-to-fleet-size. A worker
+    awaits its result before submitting its next chunk, so one round
+    never holds a session twice.
+    """
+
+    def __init__(self, fleet: FleetScheduler, pool: ThreadPoolExecutor) -> None:
+        self._fleet = fleet
+        self._pool = pool
+        self._pending: List[Tuple[str, object, asyncio.Future]] = []
+        self._wakeup = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await self._task
+            self._task = None
+        self._fail_pending(ServeError("server is stopping"))
+
+    def _fail_pending(self, error: Exception) -> None:
+        pending, self._pending = self._pending, []
+        for _, _, future in pending:
+            if not future.done():
+                future.set_exception(error)
+
+    def submit(self, session_id: str, samples) -> "asyncio.Future":
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append((session_id, samples, future))
+        self._wakeup.set()
+        return future
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            batch, self._pending = self._pending, []
+            if not batch:
+                continue
+            pairs = [(sid, samples) for sid, samples, _ in batch]
+            try:
+                slots = await loop.run_in_executor(
+                    self._pool,
+                    lambda: self._fleet.feed_many(
+                        pairs, return_errors=True
+                    ),
+                )
+            except Exception as error:
+                for _, _, future in batch:
+                    if not future.done():
+                        future.set_exception(error)
+                continue
+            if OBS.enabled:
+                counter("repro.serve", "kernel_rounds").inc()
+                counter("repro.serve", "kernel_batched_chunks").inc(
+                    len(batch)
+                )
+            for (_, _, future), slot in zip(batch, slots):
+                if future.done():
+                    continue
+                if isinstance(slot, Exception):
+                    future.set_exception(slot)
+                else:
+                    future.set_result(slot)
+
+
 class EddieServer:
     """Serve EM-monitoring sessions from a model registry over TCP."""
 
@@ -204,6 +296,7 @@ class EddieServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._fleet: Optional[FleetScheduler] = None
+        self._batcher: Optional[_KernelBatcher] = None
         self._states: Dict[str, _SessionState] = {}
         self._admission = asyncio.Lock()
         self._session_seq = 0
@@ -229,6 +322,9 @@ class EddieServer:
             evict_idle=cfg.evict_idle,
             on_evict=self._on_evict,
         )
+        if cfg.kernel_batching:
+            self._batcher = _KernelBatcher(self._fleet, self._pool)
+            self._batcher.start()
         if cfg.checkpoint_interval > 0:
             self.spill_dir.mkdir(parents=True, exist_ok=True)
         self._server = await asyncio.start_server(
@@ -289,6 +385,9 @@ class EddieServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._batcher is not None:
+            await self._batcher.stop()
+            self._batcher = None
         for state in list(self._states.values()):
             if state.worker is not None and not state.worker.done():
                 state.worker.cancel()
@@ -316,6 +415,7 @@ class EddieServer:
             "max_sessions": self.config.max_sessions,
             "evict_idle": self.config.evict_idle,
             "draining": self._draining,
+            "kernel_batching": self.config.kernel_batching,
             "checkpoint_interval": self.config.checkpoint_interval,
             "sessions_opened": s.sessions_opened,
             "sessions_closed": s.sessions_closed,
@@ -951,9 +1051,15 @@ class EddieServer:
                     return
                 started = time.perf_counter()
                 try:
-                    results = await loop.run_in_executor(
-                        self._pool, fleet.feed, state.session_id, samples
-                    )
+                    if self._batcher is not None:
+                        results = await self._batcher.submit(
+                            state.session_id, samples
+                        )
+                    else:
+                        results = await loop.run_in_executor(
+                            self._pool, fleet.feed, state.session_id,
+                            samples,
+                        )
                 except Exception:
                     # The session was evicted (or otherwise closed)
                     # between dequeue and feed; the eviction path already

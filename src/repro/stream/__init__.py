@@ -9,6 +9,9 @@ This package is the online serving shape of the reproduction
 - :class:`FleetScheduler` / :class:`FleetSession` -- many concurrent
   device sessions in one process, sharing trained models by reference,
   with round-robin chunk dispatch and bounded aggregate memory.
+- :class:`FleetKernel` -- the cross-session batch kernel behind
+  :meth:`FleetScheduler.feed_many`: one vectorized STFT / peak / K-S
+  pass over every isomorphic session of a round (DESIGN.md D20).
 - :class:`StreamSummary` -- the closing statistics of one stream.
 - :class:`StreamSnapshot` -- a stream's full resumable state
   (:meth:`StreamingMonitor.snapshot` / :meth:`StreamingMonitor.restore`),
@@ -20,6 +23,7 @@ The stateful STFT front end lives in :mod:`repro.core.stft`
 :class:`~repro.core.stft.StreamingQuality`).
 """
 
+from repro.stream.batchkernel import FleetKernel
 from repro.stream.engine import StreamingMonitor, StreamSnapshot, StreamSummary
 from repro.stream.fleet import FleetScheduler, FleetSession
 
@@ -27,6 +31,7 @@ __all__ = [
     "StreamingMonitor",
     "StreamSnapshot",
     "StreamSummary",
+    "FleetKernel",
     "FleetScheduler",
     "FleetSession",
 ]

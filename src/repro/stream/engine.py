@@ -29,7 +29,13 @@ from typing import Iterable, List, Optional, Union
 import numpy as np
 
 from repro.core.model import EddieModel
-from repro.core.monitor import AnomalyReport, Monitor, MonitorResult
+from repro.core.monitor import (
+    AnomalyReport,
+    Monitor,
+    MonitorResult,
+    plan_suffix,
+    score_ks_jobs,
+)
 from repro.core.peaks import peak_matrix
 from repro.core.stft import SpectrumSequence, StreamingQuality, StreamingStft
 from repro.errors import MonitoringError, SignalError
@@ -41,6 +47,33 @@ __all__ = ["StreamSnapshot", "StreamingMonitor", "StreamSummary"]
 ChunkLike = Union[np.ndarray, Signal]
 
 _SNAPSHOT_KIND = "stream-snapshot"
+
+
+def _plan_hints(plan, offset: int, start: int) -> Optional[dict]:
+    """Per-window score hints harvested from a scored chunk plan.
+
+    Maps each plan window at or after ``start`` (plan-relative; the
+    commit already consumed everything before it) to its per-dimension
+    ``(monitored_count, d, rejected)`` triple, keyed by the absolute
+    chunk index (``offset`` + plan index). Returns None when the plan's
+    jobs were never scored, in which case replay scores from scratch.
+    """
+    hints: dict = {}
+    for job in plan.jobs:
+        d = job.d
+        rej = job.rejected
+        if d is None or rej is None:
+            return None
+        dim = job.dim
+        count = job.count
+        wins = job.windows
+        for pos in range(int(np.searchsorted(wins, start)), len(wins)):
+            w = offset + int(wins[pos])
+            entry = hints.get(w)
+            if entry is None:
+                entry = hints[w] = {}
+            entry[dim] = (count, float(d[pos]), bool(rej[pos]))
+    return hints
 
 
 @dataclass(frozen=True)
@@ -224,6 +257,13 @@ class StreamingMonitor:
         """
         if self.stopped:
             return []
+        samples = self._coerce_chunk(samples)
+        if OBS.enabled:
+            with span("stream.feed"):
+                return self._feed_samples(samples)
+        return self._feed_samples(samples)
+
+    def _coerce_chunk(self, samples: ChunkLike) -> np.ndarray:
         if isinstance(samples, Signal):
             if samples.sample_rate != self.model.sample_rate:
                 raise SignalError(
@@ -231,23 +271,74 @@ class StreamingMonitor:
                     f"match the model's {self.model.sample_rate}"
                 )
             samples = samples.samples
-        with span("stream.feed"):
-            seq = self._stft.feed(np.asarray(samples))
-            self._chunks += 1
-            if len(seq) == 0:
-                return []
-            result = self._score_windows(seq)
-        if self._keep_history:
-            self._chunk_results.append(result)
-        return [result]
+        return np.asarray(samples)
 
-    def _score_windows(self, seq: SpectrumSequence) -> MonitorResult:
+    def _feed_samples(self, samples: np.ndarray) -> List[MonitorResult]:
+        staged = self._stft.begin_feed(samples)
+        power = freqs = None
+        if staged.n:
+            power, freqs = self._stft.transform(staged)
+        seq = self._emit_windows(staged, power, freqs)
+        if len(seq) == 0:
+            return []
         cfg = self._cfg
-        mon = self._monitor
         peaks = peak_matrix(
             seq, cfg.energy_fraction, cfg.max_peaks, cfg.peak_prominence,
             cfg.diffuse_features,
         )
+        plan = self._plan_windows(seq, peaks)
+        if plan is not None and plan.jobs:
+            score_ks_jobs(plan.jobs, cfg.alpha)
+        result = self._finish_windows(seq, peaks, plan)
+        return [result]
+
+    # -- kernel hooks (see repro.stream.batchkernel) -------------------------
+    #
+    # The fleet kernel drives one chunk through the same stages as
+    # _feed_samples, but pools the expensive middle stages (spectral
+    # transform, peak extraction, K-S scoring) across every session of a
+    # group before finishing each session individually. Canonical state
+    # lives only in this object; the staged/pooled arrays are transient,
+    # so snapshot/restore and eviction need no kernel-side pack/unpack.
+
+    def _stage_chunk(self, samples: ChunkLike):
+        """Stage one chunk's STFT (state advances; transform deferred).
+
+        Returns ``None`` when the stream is stopped and accepts no
+        further input.
+        """
+        if self.stopped:
+            return None
+        return self._stft.begin_feed(self._coerce_chunk(samples))
+
+    def _emit_windows(self, staged, power, freqs) -> SpectrumSequence:
+        """Turn a staged chunk plus its (possibly pooled) spectra into
+        the chunk's window sequence; counts the chunk."""
+        seq = self._stft.finish_feed(staged, power, freqs)
+        self._chunks += 1
+        return seq
+
+    def _plan_windows(self, seq: SpectrumSequence, peaks: np.ndarray):
+        """The monitor's optimistic fast-path plan for this chunk (or
+        ``None`` when the chunk must replay through scalar steps)."""
+        return self._monitor.plan_chunk(peaks, seq.quality)
+
+    def _finish_windows(
+        self, seq: SpectrumSequence, peaks: np.ndarray, plan
+    ) -> MonitorResult:
+        """Commit a scored plan's accept-only prefix, step through any
+        divergence scalar, re-plan the remainder, and assemble the
+        chunk's result."""
+        result = self._score_windows(seq, peaks, plan)
+        if self._keep_history:
+            self._chunk_results.append(result)
+        return result
+
+    def _score_windows(
+        self, seq: SpectrumSequence, peaks: np.ndarray, plan
+    ) -> MonitorResult:
+        mon = self._monitor
+        cfg = self._cfg
         quality = seq.quality
         n = len(seq)
         tracked: List[str] = []
@@ -257,21 +348,96 @@ class StreamingMonitor:
         unscorable_flags = np.zeros(n, dtype=bool)
         group_sizes = np.zeros(n, dtype=int)
         stop_at: Optional[int] = None
-        for i in range(n):
-            q = int(quality[i]) if quality is not None else 0
-            report, rejected = mon.step(
-                peaks[i], float(seq.times[i]), quality=q
-            )
-            tracked.append(mon.current_region)
-            rejection_flags[i] = rejected
-            unscorable_flags[i] = mon.last_unscorable
-            group_sizes[i] = self.model.profile(mon.current_region).group_size
-            if report is not None:
-                reports.append(report)
-                report_indices.append(i)
-                if self._early_exit and report.kind == "anomaly":
-                    stop_at = i + 1
+        # Alternate between committing fast-path plans and scalar-stepping
+        # through divergences. The entry plan (already scored, possibly by
+        # the fleet kernel) covers the accept-only prefix; each rejection
+        # or state excursion is stepped scalar until a window accepts
+        # cleanly, after which the remaining suffix is re-planned instead
+        # of replaying scalar to the end of the chunk.
+        #
+        # The plan's per-window K-S scores outlive its accept-only
+        # prefix: scalar replay pushes every scored window into the same
+        # history positions the plan assumed, so until the replay leaves
+        # the plan's straight line (an unscorable window skips a push, a
+        # gap or resync rewrites the history, a region transition swaps
+        # the reference and clamps the fill level -- a same-name
+        # self-transition included, detectable as a rejected step whose
+        # streak was reset), each replayed window's current-region
+        # decisions can be served from the plan instead of recomputed.
+        # Candidate probes still run live; see Monitor._hinted_dims.
+        i = 0
+        hints: Optional[dict] = None
+        hints_region: Optional[str] = None
+        live_plan = None  # last committed plan, meaningful while hints live
+        live_offset = 0
+        while i < n:
+            if plan is None and i and n - i >= 2 and mon.fast_path_ready():
+                # Re-entry with live hints means the replay never left
+                # the committed plan's straight line, so the remaining
+                # windows' verdicts are already known: slice them out of
+                # the old plan instead of re-planning and re-scoring.
+                if hints is not None and live_plan is not None:
+                    plan = plan_suffix(live_plan, i - live_offset)
+                if plan is None:
+                    plan = mon.plan_chunk(
+                        peaks[i:],
+                        quality[i:] if quality is not None else None,
+                    )
+                    if plan is not None and plan.jobs:
+                        score_ks_jobs(plan.jobs, cfg.alpha)
+            if plan is not None:
+                first_fast = mon.commit_chunk(plan)
+                if first_fast < plan.k:
+                    hints = _plan_hints(plan, i, first_fast)
+                    hints_region = mon.current_region
+                    live_plan, live_offset = plan, i
+                plan = None
+                if first_fast:
+                    # The fast stretch is accept-only: region unchanged,
+                    # no rejections, no reports, nothing unscorable.
+                    region = mon.current_region
+                    tracked.extend([region] * first_fast)
+                    group_sizes[i:i + first_fast] = self.model.profile(
+                        region
+                    ).group_size
+                    i += first_fast
+                    continue
+            while i < n:
+                q = int(quality[i]) if quality is not None else 0
+                report, rejected = mon.step(
+                    peaks[i],
+                    float(seq.times[i]),
+                    quality=q,
+                    score_hint=hints.get(i) if hints is not None else None,
+                )
+                if hints is not None and (
+                    mon.last_unscorable
+                    or mon.current_region != hints_region
+                    or (rejected and mon._streak == 0)
+                    or mon._gap_pending
+                    or mon._resync_remaining is not None
+                ):
+                    hints = None
+                tracked.append(mon.current_region)
+                rejection_flags[i] = rejected
+                unscorable_flags[i] = mon.last_unscorable
+                group_sizes[i] = self.model.profile(
+                    mon.current_region
+                ).group_size
+                if report is not None:
+                    reports.append(report)
+                    report_indices.append(i)
+                    if self._early_exit and report.kind == "anomaly":
+                        stop_at = i + 1
+                        break
+                accepted = not rejected and not mon.last_unscorable
+                i += 1
+                if accepted:
+                    # An accepting step reset the streak counters --
+                    # exactly the state plan_chunk assumes on entry.
                     break
+            if stop_at is not None:
+                break
         if stop_at is not None:
             self._stopped = True
             peaks = peaks[:stop_at]

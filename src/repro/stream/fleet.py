@@ -9,7 +9,12 @@ interleaved. :class:`FleetScheduler` is that multiplexer:
   reference* (its per-region sorted references are precomputed once), so
   per-session state is only the bounded stream state;
 - chunks are dispatched round-robin across sessions that carry a chunk
-  source, or pushed explicitly via :meth:`FleetScheduler.feed`;
+  source, or pushed explicitly via :meth:`FleetScheduler.feed`; batches
+  of chunks for many sessions go through :meth:`FleetScheduler.feed_many`,
+  which routes isomorphic sessions through the cross-session batch
+  kernel (:class:`repro.stream.batchkernel.FleetKernel`) so the whole
+  round's STFT, peak extraction, and K-S tests run as pooled vectorized
+  operations -- bit-identical to per-session feeding;
 - per-session metrics (chunks, windows, reports) and dispatch spans flow
   through :mod:`repro.obs` when observability is enabled;
 - aggregate memory is bounded: the scheduler refuses sessions beyond
@@ -31,6 +36,7 @@ from repro.core.model import EddieModel
 from repro.core.monitor import MonitorResult
 from repro.errors import ConfigurationError, MonitoringError
 from repro.obs import OBS, counter, span
+from repro.stream.batchkernel import DispatchResult, FleetKernel
 from repro.stream.engine import ChunkLike, StreamingMonitor, StreamSummary
 
 __all__ = ["FleetScheduler", "FleetSession"]
@@ -77,6 +83,11 @@ class FleetScheduler:
             summary)`` after an idle session was evicted for capacity;
             lets a server notify the evicted device before reusing the
             slot.
+        kernel: route :meth:`feed_many` / :meth:`step_round` batches
+            through the cross-session batch kernel, pooling STFT, peak
+            extraction, and K-S across isomorphic sessions. Results are
+            bit-identical either way; off exists for A/B benchmarking
+            and as an escape hatch.
     """
 
     def __init__(
@@ -88,6 +99,7 @@ class FleetScheduler:
         on_result: Optional[ResultSink] = None,
         evict_idle: bool = False,
         on_evict: Optional[EvictSink] = None,
+        kernel: bool = True,
     ) -> None:
         if max_sessions < 1:
             raise ConfigurationError(
@@ -99,6 +111,7 @@ class FleetScheduler:
         self._on_result = on_result
         self.evict_idle = bool(evict_idle)
         self._on_evict = on_evict
+        self._kernel = FleetKernel() if kernel else None
         self._sessions: Dict[str, FleetSession] = {}
         self._closed: Dict[str, StreamSummary] = {}
         self._feed_clock = 0
@@ -256,8 +269,21 @@ class FleetScheduler:
     def feed(self, session_id: str, chunk: ChunkLike) -> List[MonitorResult]:
         """Push one chunk into one session (push-mode ingestion)."""
         session = self.session(session_id)
-        with span("fleet.dispatch"):
+        if OBS.enabled:
+            # Span/counter objects are only materialized when someone is
+            # collecting them; the disabled path is a plain call.
+            with span("fleet.dispatch"):
+                results = session.monitor.feed(chunk)
+        else:
             results = session.monitor.feed(chunk)
+        self._after_feed(session, results)
+        return results
+
+    def _after_feed(
+        self, session: FleetSession, results: List[MonitorResult]
+    ) -> None:
+        """Post-chunk bookkeeping shared by :meth:`feed` and
+        :meth:`feed_many`: dispatch clock, history, result sink."""
         session.chunks_fed += 1
         self._feed_clock += 1
         session.last_fed = self._feed_clock
@@ -267,17 +293,92 @@ class FleetScheduler:
             counter("stream.fleet", "chunks_dispatched").inc()
         if self._on_result is not None:
             for result in results:
-                self._on_result(session_id, result)
+                self._on_result(session.session_id, result)
+
+    def feed_many(
+        self,
+        items: Iterable[tuple],
+        *,
+        return_errors: bool = False,
+    ) -> List[DispatchResult]:
+        """Push one chunk into each of many sessions in one batched round.
+
+        ``items`` is an iterable of ``(session_id, chunk)``. With the
+        kernel enabled (the default) every round's STFT, peak
+        extraction, and K-S scoring are pooled across all isomorphic
+        sessions in the batch -- bit-identical to feeding the sessions
+        one at a time, which is exactly what the kernel-less path does.
+
+        A session id may repeat: planning reads the state the previous
+        chunk's commit wrote, so repeats are split into consecutive
+        waves, each wave containing one chunk per session, dispatched
+        in order.
+
+        Returns one slot per item, aligned with the input. With
+        ``return_errors=True`` a failing session's slot holds the
+        exception it raised and the rest of the batch proceeds (a
+        missing session id lands as its :class:`MonitoringError` too);
+        otherwise the first error is raised after the whole batch has
+        been driven, so one bad chunk cannot starve the other sessions
+        of the round.
+        """
+        items = list(items)
+        results: List[DispatchResult] = [None] * len(items)  # type: ignore
+        pending = list(range(len(items)))
+        while pending:
+            wave: List[int] = []
+            later: List[int] = []
+            seen: set = set()
+            for idx in pending:
+                sid = items[idx][0]
+                if sid in seen:
+                    later.append(idx)
+                else:
+                    seen.add(sid)
+                    wave.append(idx)
+            pending = later
+            batch: List[tuple] = []  # (item index, FleetSession)
+            for idx in wave:
+                sid, chunk = items[idx]
+                try:
+                    session = self.session(sid)
+                except MonitoringError as exc:
+                    results[idx] = exc
+                    continue
+                batch.append((idx, session, chunk))
+            if not batch:
+                continue
+            if self._kernel is not None:
+                out = self._kernel.dispatch(
+                    [(session.monitor, chunk) for _, session, chunk in batch]
+                )
+            else:
+                out = []
+                for _, session, chunk in batch:
+                    try:
+                        out.append(session.monitor.feed(chunk))
+                    except Exception as exc:  # isolate per session
+                        out.append(exc)
+            for (idx, session, _), res in zip(batch, out):
+                results[idx] = res
+                if not isinstance(res, Exception):
+                    self._after_feed(session, res)
+        if not return_errors:
+            for res in results:
+                if isinstance(res, Exception):
+                    raise res
         return results
 
     def step_round(self) -> int:
         """One round-robin pass: feed one chunk to every sourced session.
 
+        The whole round is dispatched as one :meth:`feed_many` batch, so
+        isomorphic sessions advance together through the batch kernel.
         Sessions whose source is exhausted -- or that early-exited -- are
         closed and their slots freed. Returns the number of sourced
         sessions still live after the pass.
         """
-        live = 0
+        to_feed: List[tuple] = []
         for session_id in list(self._sessions):
             session = self._sessions.get(session_id)
             if session is None or session.source is None:
@@ -290,7 +391,19 @@ class FleetScheduler:
             except StopIteration:
                 self.close_session(session_id)
                 continue
-            self.feed(session_id, chunk)
+            to_feed.append((session_id, chunk))
+        if not to_feed:
+            return 0
+        if OBS.enabled:
+            with span("fleet.round"):
+                self.feed_many(to_feed)
+        else:
+            self.feed_many(to_feed)
+        live = 0
+        for session_id, _ in to_feed:
+            session = self._sessions.get(session_id)
+            if session is None:
+                continue
             if session.monitor.stopped:
                 self.close_session(session_id)
             else:

@@ -1,0 +1,389 @@
+"""Fleet batch kernel: pooled dispatch is bit-identical to isolation.
+
+DESIGN.md D20's load-bearing claim: routing a fleet round through
+:class:`FleetKernel` -- one pooled STFT, peak-extraction, planning, and
+K-S pass over every isomorphic session -- changes *nothing* about any
+session's results. The sweeps below pin that:
+
+- kernel fleets vs isolated scalar streams across every MiBench program,
+  with mixed chunk sizes and seeds sharing one fleet,
+- quality-gated (faulted) streams grouped with clean ones,
+- snapshot/restore and idle eviction in the middle of a live group,
+- the pooled chunk planner vs the per-session planner, job by job,
+- hypothesis fuzz of the vectorized exact-integer K-S row kernel and
+  the vectorized peak extractor against their scalar counterparts
+  (tie-heavy integer grids, since K-S run-end handling is where
+  vectorization could plausibly diverge).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.monitor import (
+    Monitor,
+    MonitorResult,
+    plan_chunks_pooled,
+    score_ks_jobs,
+)
+from repro.core.peaks import extract_peaks, peak_matrix, peak_rows
+from repro.core.stats.ks import _ks_d_int, ks_d_int_rows
+from repro.em.faults import FaultInjector, SampleDropFault, SaturationFault
+from repro.em.scenario import EmScenario
+from repro.experiments.runner import Scale, build_detector
+from repro.programs.mibench import BENCHMARKS
+from repro.stream import FleetScheduler, StreamingMonitor
+
+TINY = Scale(train_runs=2, clean_runs=1, injected_runs=1, group_sizes=(8, 16))
+
+_DETECTORS = {}
+
+# Mixed per-session chunkings: primes straddling the hop, a power of
+# two, and an odd giant -- sessions of one fleet need not agree.
+_CHUNKINGS = (997, 2048, 4099)
+
+
+def detector_for(name):
+    """One tiny-scale detector per program, built lazily and cached."""
+    if name not in _DETECTORS:
+        _DETECTORS[name] = build_detector(BENCHMARKS[name](), TINY, source="em")
+    return _DETECTORS[name]
+
+
+def assert_results_equal(a: MonitorResult, b: MonitorResult):
+    np.testing.assert_array_equal(a.times, b.times)
+    assert a.tracked == b.tracked
+    assert a.reports == b.reports
+    assert a.report_indices == b.report_indices
+    np.testing.assert_array_equal(a.rejection_flags, b.rejection_flags)
+    np.testing.assert_array_equal(a.group_sizes, b.group_sizes)
+    np.testing.assert_array_equal(a.unscorable_flags, b.unscorable_flags)
+    assert a.status == b.status
+
+
+def isolated_result(model, samples, chunk_samples) -> MonitorResult:
+    """The scalar truth: one stream fed alone, no kernel anywhere."""
+    monitor = StreamingMonitor(model, keep_history=True)
+    for start in range(0, len(samples), chunk_samples):
+        monitor.feed(samples[start : start + chunk_samples])
+    monitor.finish()
+    return monitor.result()
+
+
+def drive_fleet(fleet, signals, chunkings):
+    """Feed each signal through its fleet session in kernel rounds.
+
+    Sessions stay open afterwards (unlike source-driven
+    :meth:`step_round`, which closes exhausted streams), so their
+    monitors can be finished and compared in place.
+    """
+    steps = [
+        list(sig.iter_chunks(chunk))
+        for sig, chunk in zip(signals, chunkings)
+    ]
+    for r in range(max(len(s) for s in steps)):
+        fleet.feed_many([
+            (f"dev-{s}", steps[s][r])
+            for s in range(len(steps))
+            if r < len(steps[s])
+        ])
+    for s in range(len(steps)):
+        fleet.session(f"dev-{s}").monitor.finish()
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_every_program_mixed_chunkings(self, name):
+        """A kernel fleet of mixed seeds and chunk sizes == isolation."""
+        detector = detector_for(name)
+        model = detector.model
+        signals = [
+            detector.source.capture(seed=TINY.monitor_seed(50 + s)).iq
+            for s in range(len(_CHUNKINGS))
+        ]
+        fleet = FleetScheduler(max_sessions=8, keep_history=True)
+        for s in range(len(_CHUNKINGS)):
+            fleet.add_session(f"dev-{s}", model)
+        drive_fleet(fleet, signals, _CHUNKINGS)
+        for s, (signal, chunk) in enumerate(zip(signals, _CHUNKINGS)):
+            assert_results_equal(
+                fleet.session(f"dev-{s}").monitor.result(),
+                isolated_result(model, signal.samples, chunk),
+            )
+
+    def test_faulted_streams_grouped_with_clean(self):
+        """Quality-gated sessions pool with clean ones, results intact.
+
+        Gap/dead windows force mid-chunk resyncs -- the divergent state
+        the kernel must hand back to the scalar path -- while the clean
+        session keeps riding the pooled fast path in the same group.
+        """
+        detector = detector_for("bitcount")
+        model = detector.model
+        scenario = EmScenario.build(
+            BENCHMARKS["bitcount"](),
+            core=detector.source.simulator.core,
+            faults=FaultInjector(
+                faults=(
+                    SampleDropFault(rate_per_s=400.0),
+                    SaturationFault(rate_per_s=400.0),
+                )
+            ),
+        )
+        faulted = [scenario.capture(seed=7).iq, scenario.capture(seed=9).iq]
+        clean = detector.source.capture(seed=TINY.monitor_seed(51)).iq
+        signals = faulted + [clean]
+        chunks = (1021, 4096, 997)
+        fleet = FleetScheduler(max_sessions=4, keep_history=True)
+        for s in range(len(chunks)):
+            fleet.add_session(f"dev-{s}", model)
+        drive_fleet(fleet, signals, chunks)
+        for s, (signal, chunk) in enumerate(zip(signals, chunks)):
+            assert_results_equal(
+                fleet.session(f"dev-{s}").monitor.result(),
+                isolated_result(model, signal.samples, chunk),
+            )
+
+    def test_kernel_off_matches_kernel_on(self):
+        """kernel=False routes feed_many per session; same results."""
+        detector = detector_for("sha")
+        model = detector.model
+        signals = [
+            detector.source.capture(seed=TINY.monitor_seed(60 + s)).iq
+            for s in range(2)
+        ]
+        results = {}
+        for kernel in (True, False):
+            fleet = FleetScheduler(
+                max_sessions=4, keep_history=True, kernel=kernel
+            )
+            for s in range(len(signals)):
+                fleet.add_session(f"dev-{s}", model)
+            drive_fleet(fleet, signals, [2048] * len(signals))
+            results[kernel] = [
+                fleet.session(f"dev-{s}").monitor.result()
+                for s in range(len(signals))
+            ]
+        for with_kernel, without in zip(results[True], results[False]):
+            assert_results_equal(with_kernel, without)
+
+
+class TestKernelMidGroupChanges:
+    def test_snapshot_restore_mid_group(self):
+        """A session checkpointed out of one kernel group and restored
+        into another (already-running) fleet loses nothing: the kernel
+        keeps no per-session state to pack or unpack."""
+        detector = detector_for("bitcount")
+        model = detector.model
+        signals = [
+            detector.source.capture(seed=TINY.monitor_seed(70 + s)).iq
+            for s in range(3)
+        ]
+        chunk = 4096
+        steps = [
+            list(sig.iter_chunks(chunk)) for sig in signals
+        ]
+        rounds = max(len(s) for s in steps)
+        half = rounds // 2
+        # keep_history=False: snapshot() refuses history-keeping streams,
+        # so per-round results are collected from the feed_many slots.
+        fleet_a = FleetScheduler(max_sessions=4)
+        for s in range(3):
+            fleet_a.add_session(f"dev-{s}", model)
+        results = {s: [] for s in range(3)}
+        for r in range(half):
+            batch = [
+                (f"dev-{s}", steps[s][r])
+                for s in range(3)
+                if r < len(steps[s])
+            ]
+            for (sid, _), slot in zip(batch, fleet_a.feed_many(batch)):
+                results[int(sid[-1])].extend(slot)
+        # Suspend dev-1 over a snapshot; the other two keep their
+        # monitors (detached so fleet_b can adopt them unchanged).
+        snap = fleet_a.session("dev-1").monitor.snapshot()
+        restored = StreamingMonitor.restore(model, snap)
+        fleet_b = FleetScheduler(max_sessions=4)
+        fleet_b.attach_session("dev-0", fleet_a.detach_session("dev-0").monitor)
+        fleet_b.attach_session("dev-1", restored)
+        fleet_b.attach_session("dev-2", fleet_a.detach_session("dev-2").monitor)
+        for r in range(half, rounds):
+            batch = [
+                (f"dev-{s}", steps[s][r])
+                for s in range(3)
+                if r < len(steps[s])
+            ]
+            for (sid, _), slot in zip(batch, fleet_b.feed_many(batch)):
+                results[int(sid[-1])].extend(slot)
+        for s in range(3):
+            fleet_b.session(f"dev-{s}").monitor.finish()
+            streamed = MonitorResult.concat(
+                results[s],
+                max_unscorable_fraction=model.config.max_unscorable_fraction,
+            )
+            isolated = isolated_result(model, signals[s].samples, chunk)
+            assert_results_equal(streamed, isolated)
+
+    def test_idle_eviction_mid_group(self):
+        """Evicting the stalest session from a live group neither
+        corrupts the evicted summary nor perturbs the survivors."""
+        detector = detector_for("bitcount")
+        model = detector.model
+        signals = [
+            detector.source.capture(seed=TINY.monitor_seed(80 + s)).iq
+            for s in range(3)
+        ]
+        chunk = 4096
+        evicted = {}
+        fleet = FleetScheduler(
+            max_sessions=2,
+            evict_idle=True,
+            keep_history=True,
+            on_evict=lambda sid, summary: evicted.setdefault(sid, summary),
+        )
+        fleet.add_session("dev-0", model)
+        fleet.add_session("dev-1", model)
+        prefix = list(signals[0].iter_chunks(chunk))[:3]
+        for r in range(3):
+            fleet.feed_many([
+                ("dev-0", prefix[r]),
+                ("dev-1", list(signals[1].iter_chunks(chunk))[r]),
+            ])
+        # dev-0 goes idle; feeding only dev-1 makes dev-0 the stalest,
+        # so admitting dev-2 evicts it mid-group.
+        fleet.feed_many([("dev-1", list(signals[1].iter_chunks(chunk))[3])])
+        fleet.add_session("dev-2", model)
+        assert list(evicted) == ["dev-0"]
+        # The evicted summary equals a scalar run over the same prefix.
+        scalar = StreamingMonitor(model)
+        for part in prefix:
+            scalar.feed(part)
+        summary = scalar.finish()
+        assert evicted["dev-0"].windows == summary.windows
+        assert evicted["dev-0"].reports == summary.reports
+        # Survivors and the newcomer continue unperturbed, pooled into
+        # the same kernel groups.
+        rest1 = list(signals[1].iter_chunks(chunk))[4:]
+        rest2 = list(signals[2].iter_chunks(chunk))
+        for r in range(max(len(rest1), len(rest2))):
+            batch = []
+            if r < len(rest1):
+                batch.append(("dev-1", rest1[r]))
+            if r < len(rest2):
+                batch.append(("dev-2", rest2[r]))
+            fleet.feed_many(batch)
+        for sid in ("dev-1", "dev-2"):
+            fleet.session(sid).monitor.finish()
+        for sid, signal in (("dev-1", signals[1]), ("dev-2", signals[2])):
+            assert_results_equal(
+                fleet.session(sid).monitor.result(),
+                isolated_result(model, signal.samples, chunk),
+            )
+
+
+class TestPooledPlanner:
+    def test_pooled_plans_match_scalar_plans(self):
+        """plan_chunks_pooled == plan_chunk, job by job, on live state.
+
+        Plans are read-only, so the same monitor can be planned both
+        ways and compared directly -- including sessions at different
+        stream depths sharing one pooled call, which exercises both the
+        stacked steady-state path and the per-session fallback.
+        """
+        detector = detector_for("fft")
+        model = detector.model
+        streams = []
+        for s in range(4):
+            signal = detector.source.capture(seed=TINY.monitor_seed(90 + s)).iq
+            mon = StreamingMonitor(model)
+            # Different prefixes put each monitor at a different depth
+            # (including one fresh monitor with an unfilled history).
+            for start in range(0, 4096 * s, 4096):
+                mon.feed(signal.samples[start : start + 4096])
+            staged = mon._stage_chunk(
+                signal.samples[4096 * s : 4096 * (s + 1)]
+            )
+            power = freqs = None
+            if staged.n:
+                power, freqs = mon._stft.transform(staged)
+            seq = mon._emit_windows(staged, power, freqs)
+            cfg = mon._cfg
+            peaks = peak_matrix(
+                seq, cfg.energy_fraction, cfg.max_peaks,
+                cfg.peak_prominence, cfg.diffuse_features,
+            )
+            streams.append((mon, peaks, seq.quality))
+        pooled = plan_chunks_pooled(
+            [(mon._monitor, peaks, quality) for mon, peaks, quality in streams]
+        )
+        for (mon, peaks, quality), plan in zip(streams, pooled):
+            scalar = mon._monitor.plan_chunk(peaks, quality)
+            if scalar is None:
+                assert plan is None
+                continue
+            assert plan is not None
+            assert plan.k == scalar.k
+            assert plan.static_stop == scalar.static_stop
+            assert len(plan.jobs) == len(scalar.jobs)
+            score_ks_jobs(plan.jobs, mon._cfg.alpha)
+            score_ks_jobs(scalar.jobs, mon._cfg.alpha)
+            for a, b in zip(plan.jobs, scalar.jobs):
+                assert (a.dim, a.count, a.m) == (b.dim, b.count, b.m)
+                assert a.ref is b.ref
+                np.testing.assert_array_equal(a.windows, b.windows)
+                np.testing.assert_array_equal(a.rows, b.rows)
+                np.testing.assert_array_equal(a.d, b.d)
+                np.testing.assert_array_equal(a.rejected, b.rejected)
+
+
+class TestVectorizedKernels:
+    @settings(max_examples=300, deadline=None)
+    @given(data=st.data())
+    def test_ks_rows_fuzz_matches_scalar(self, data):
+        """ks_d_int_rows == _ks_d_int on tie-heavy integer grids.
+
+        Small integer grids maximize equal-value runs within and across
+        the reference and monitored sides -- exactly where the row
+        kernel's run-end shortcut could diverge from the scalar scan.
+        """
+        m = data.draw(st.integers(1, 32), label="m")
+        c = data.draw(st.integers(1, 10), label="c")
+        b = data.draw(st.integers(1, 6), label="rows")
+        grid = data.draw(st.integers(2, 9), label="grid")
+        vals = st.integers(-grid, grid)
+        ref = np.sort(np.asarray(
+            data.draw(st.lists(vals, min_size=m, max_size=m)), dtype=float
+        ))
+        rows = np.sort(np.asarray(
+            data.draw(st.lists(
+                st.lists(vals, min_size=c, max_size=c),
+                min_size=b, max_size=b,
+            )), dtype=float
+        ), axis=1)
+        expected = np.asarray(
+            [_ks_d_int(ref, row, m, c) for row in rows], dtype=np.int64
+        )
+        np.testing.assert_array_equal(ks_d_int_rows(ref, rows), expected)
+
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.data())
+    def test_peak_rows_fuzz_matches_scalar(self, data):
+        """peak_rows == extract_peaks per window, NaN padding included."""
+        n_windows = data.draw(st.integers(1, 5), label="windows")
+        n_bins = data.draw(st.integers(4, 24), label="bins")
+        max_peaks = data.draw(st.integers(1, 5), label="max_peaks")
+        power = np.asarray(data.draw(st.lists(
+            st.lists(
+                st.floats(1e-3, 1e3, allow_nan=False, allow_infinity=False),
+                min_size=n_bins, max_size=n_bins,
+            ),
+            min_size=n_windows, max_size=n_windows,
+        )), dtype=float)
+        freqs = np.arange(n_bins, dtype=float) * 13.5
+        rows = peak_rows(power, freqs, 0.01, max_peaks, 2.0)
+        for i in range(n_windows):
+            freqs_i, _ = extract_peaks(power[i], freqs, 0.01, max_peaks, 2.0)
+            expected = np.full(max_peaks, np.nan)
+            expected[: len(freqs_i)] = freqs_i
+            np.testing.assert_array_equal(rows[i], expected)

@@ -229,10 +229,16 @@ class TestSpillCodec:
                 snapshot_from_bytes(blob[:cut])
 
     def test_flipped_bit_is_refused(self):
-        blob = bytearray(snapshot_to_bytes(self._snapshot()))
-        # Flip a byte well inside an array member's data, past the zip
-        # local headers -- without the digest this would load "fine".
-        blob[len(blob) // 2] ^= 0x40
+        snap = self._snapshot()
+        blob = bytearray(snapshot_to_bytes(snap))
+        # Flip a byte provably inside an array member's payload (locate
+        # its raw bytes in the uncompressed zip) -- a flip in zip/npy
+        # header padding would not corrupt content, and without the
+        # digest a payload flip would load "fine".
+        needle = snap.arrays["mon.history"].tobytes()
+        pos = bytes(blob).find(needle)
+        assert pos > 0
+        blob[pos + len(needle) // 2] ^= 0x40
         with pytest.raises(ConfigurationError):
             snapshot_from_bytes(bytes(blob))
 
