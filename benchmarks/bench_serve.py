@@ -14,7 +14,14 @@ Exercises the :mod:`repro.serve` stack over real loopback TCP --
   :class:`~repro.serve.ChaosProxy` whose connection is killed several
   times mid-stream must transparently resume from the server's
   checkpoints -- p50/p99 resume latency, with zero windows lost and the
-  report stream bit-identical to a local run
+  report stream bit-identical to a local run,
+- **worker sweep** (DESIGN.md D21): the same client load against a
+  :class:`~repro.serve.ShardCluster` of 1/2/4/8 worker *processes*
+  behind the shard router, one DSP thread per worker so adding workers
+  is the only axis. Every sweep point must stay bit-identical to a
+  local run; the 4-worker point must beat the same-run single-worker
+  baseline by >=2x wherever the machine has >=4 cores to scale onto
+  (the core count is recorded so the CI gate can tell).
 
 -- and writes ``BENCH_serve.json`` at the repo root.
 
@@ -26,6 +33,7 @@ Run as pytest (``REPRO_SCALE=quick`` by default) or directly::
 import argparse
 import dataclasses
 import json
+import os
 import sys
 import tempfile
 import threading
@@ -42,6 +50,7 @@ from repro.serve import (
     EddieClient,
     ModelRegistry,
     ServerConfig,
+    ShardCluster,
     serve_in_thread,
 )
 from repro.serve.client import replay
@@ -218,6 +227,81 @@ def _recovery(registry, model, trace, kills=3):
     }
 
 
+def _cores():
+    """Cores actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _worker_sweep(registry, model, trace, worker_counts=(1, 2, 4, 8),
+                  clients=8, sessions_per_client=2):
+    """The same load against 1/2/4/8 worker processes, same run.
+
+    One DSP thread per worker keeps worker count the only axis; the
+    single-worker point is the baseline every speedup is measured
+    against, taken in the same run on the same machine.
+    """
+    monitor = StreamingMonitor(model, t0=trace.iq.t0)
+    local_reports = []
+    for chunk in trace.iq.iter_chunks(_CHUNK_SAMPLES):
+        for result in monitor.feed(chunk):
+            local_reports.extend(result.reports)
+    local_summary = monitor.finish()
+
+    config = ServerConfig(
+        max_sessions=clients + 2, worker_threads=1, checkpoint_interval=2,
+    )
+    points = []
+    for workers in worker_counts:
+        with ShardCluster(
+            registry, workers=workers, mode="process", config=config,
+        ) as cluster:
+            reports, summary = replay(
+                *cluster.address, _PROGRAM, trace,
+                chunk_samples=_CHUNK_SAMPLES,
+            )
+            identical = (
+                reports == local_reports
+                and summary == dataclasses.replace(
+                    local_summary, session_id=summary.session_id
+                )
+            )
+            thr = _throughput(
+                cluster.address, trace, clients, sessions_per_client
+            )
+        points.append({
+            "workers": workers,
+            "windows_per_sec": thr["windows_per_sec"],
+            "sessions_per_sec": thr["sessions_per_sec"],
+            "seconds": thr["seconds"],
+            "sessions": thr["sessions"],
+            "all_sessions_clean": thr["all_sessions_clean"],
+            "errors": thr["errors"],
+            "bit_identical": identical,
+        })
+
+    baseline = points[0]["windows_per_sec"] or 1e-9
+    for point in points:
+        point["speedup"] = (point["windows_per_sec"] or 0.0) / baseline
+    cores = _cores()
+    four = next((p for p in points if p["workers"] == 4), None)
+    return {
+        "cores": cores,
+        "clients": clients,
+        "sessions_per_client": sessions_per_client,
+        "worker_threads_per_worker": config.worker_threads,
+        "points": points,
+        # The >=2x gate only means something with >=4 cores to scale
+        # onto; single-core machines still gate bit-identity.
+        "scaling_gate_enforced": cores >= 4 and four is not None,
+        "speedup_4_workers": four["speedup"] if four else None,
+        "all_bit_identical": all(p["bit_identical"] for p in points),
+        "all_sessions_clean": all(p["all_sessions_clean"] for p in points),
+    }
+
+
 def run_benchmark(scale_name="quick", clients=8, sessions_per_client=2):
     scale = {"quick": Scale.quick, "default": Scale.default,
              "paper": Scale.paper}[scale_name]()
@@ -241,6 +325,10 @@ def run_benchmark(scale_name="quick", clients=8, sessions_per_client=2):
             }
         report["shedding"] = _shedding(registry, trace)
         report["recovery"] = _recovery(registry, detector.model, trace)
+        report["worker_sweep"] = _worker_sweep(
+            registry, detector.model, trace,
+            clients=clients, sessions_per_client=sessions_per_client,
+        )
     _OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
@@ -250,6 +338,7 @@ def _format(report):
     thr = report["throughput"]
     shed = report["shedding"]
     rec = report["recovery"]
+    sweep = report["worker_sweep"]
     return "\n".join([
         f"serving benchmark (scale={report['scale']}, "
         f"{report['trace_samples']:,} samples/capture)",
@@ -268,6 +357,20 @@ def _format(report):
         f"p99 {rec['recovery_p99_ms']:.0f} ms, "
         f"windows lost {rec['windows_lost']} "
         f"(bit-identical={rec['bit_identical']})",
+    ] + [
+        f"  {point['workers']} worker(s)        : "
+        f"{point['windows_per_sec']:,.0f} windows/s "
+        f"({point['speedup']:.2f}x, "
+        f"identical={point['bit_identical']})"
+        for point in sweep["points"]
+    ] + [
+        f"  worker scaling     : {sweep['cores']} cores, 4-worker gate "
+        + (
+            f"{'met' if sweep['speedup_4_workers'] >= 2 else 'MISSED'} "
+            f"({sweep['speedup_4_workers']:.2f}x)"
+            if sweep["scaling_gate_enforced"]
+            else "not enforced (needs >=4 cores)"
+        ),
         f"  -> {_OUTPUT}",
     ])
 
@@ -285,6 +388,11 @@ def test_serve_benchmark(scale, show):
     assert report["shedding"]["holders_clean"]
     assert report["recovery"]["windows_lost"] == 0, report["recovery"]
     assert report["recovery"]["bit_identical"], report["recovery"]
+    sweep = report["worker_sweep"]
+    assert sweep["all_bit_identical"], sweep["points"]
+    assert sweep["all_sessions_clean"], sweep["points"]
+    if sweep["scaling_gate_enforced"]:
+        assert sweep["speedup_4_workers"] >= 2.0, sweep["points"]
 
 
 if __name__ == "__main__":
@@ -300,11 +408,18 @@ if __name__ == "__main__":
         sessions_per_client=args.sessions_per_client,
     )
     print(_format(result))
+    sweep = result["worker_sweep"]
     ok = (
         result["throughput"]["all_sessions_clean"]
         and result["shedding"]["shed_all_over_capacity"]
         and result["shedding"]["holders_clean"]
         and result["recovery"]["windows_lost"] == 0
         and result["recovery"]["bit_identical"]
+        and sweep["all_bit_identical"]
+        and sweep["all_sessions_clean"]
+        and (
+            not sweep["scaling_gate_enforced"]
+            or sweep["speedup_4_workers"] >= 2.0
+        )
     )
     sys.exit(0 if ok else 1)

@@ -80,6 +80,9 @@ _LAZY_EXPORTS = {
     "serve_in_thread": "repro.serve",
     "ChaosConfig": "repro.serve",
     "ChaosProxy": "repro.serve",
+    "ShardCluster": "repro.serve",
+    "ShardRouter": "repro.serve",
+    "WorkerSpec": "repro.serve",
 }
 
 __all__ = [
@@ -103,6 +106,9 @@ __all__ = [
     "serve_in_thread",
     "ChaosConfig",
     "ChaosProxy",
+    "ShardCluster",
+    "ShardRouter",
+    "WorkerSpec",
     "ReproError",
     "AnalysisError",
     "ConfigurationError",

@@ -144,6 +144,16 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="relative tolerance for numeric comparisons "
                                "(absorbs float summation-order jitter "
                                "between serial and parallel runs)")
+    obs_stats = obs_sub.add_parser(
+        "stats",
+        help="print a serving STATS snapshot (fleet-wide when pointed "
+             "at a shard router)",
+    )
+    obs_stats.add_argument("--host", default="127.0.0.1")
+    obs_stats.add_argument("--port", type=int, default=7453)
+    obs_stats.add_argument("--json", action="store_true",
+                           help="dump the raw merged payload instead of "
+                                "the summary lines")
 
     capture = sub.add_parser(
         "capture", help="capture EM traces of a benchmark to .npz files"
@@ -217,8 +227,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queue-depth", type=int, default=8,
                        help="per-session bound on decoded-but-unscored "
                             "chunks (ingestion backpressure)")
-    serve.add_argument("--workers", type=int, default=4,
-                       help="DSP thread-pool size")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes behind a shard router; 1 "
+                            "runs a single in-process server, N>1 "
+                            "places sessions by consistent hash and "
+                            "scales the DSP across cores")
+    serve.add_argument("--threads", type=int, default=4,
+                       help="DSP thread-pool size per worker")
     serve.add_argument("--checkpoint-interval", type=int, default=16,
                        metavar="CHUNKS",
                        help="checkpoint each session to disk every N "
@@ -461,6 +476,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "stats":
+        return _cmd_obs_stats(args)
     from repro import obs
 
     a = obs.load_manifest(args.manifest_a)
@@ -473,6 +490,51 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         return 0
     print(obs.format_diff(diffs))
     return 1
+
+
+def _cmd_obs_stats(args: argparse.Namespace) -> int:
+    """Print a server's (or a shard router's merged) STATS snapshot."""
+    import json
+
+    from repro.serve import EddieClient
+
+    with EddieClient(args.host, args.port) as cli:
+        stats = cli.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    router = stats.get("router")
+    if router is not None:
+        print(
+            f"cluster: {router['workers_responding']}"
+            f"/{router['workers_configured']} workers responding, "
+            f"{router['redirects']} redirects, {router['splices']} "
+            f"splices, {router['placement_failures']} placement failures"
+        )
+        for worker in stats.get("workers", []):
+            print(
+                f"  worker {worker.get('worker')}: "
+                f"open={worker['sessions_open']}/{worker['max_sessions']} "
+                f"chunks={worker['chunks']} windows={worker['windows']} "
+                f"checkpoints={worker['checkpoints']}"
+            )
+    print(
+        f"sessions: open={stats['sessions_open']}"
+        f"/{stats['max_sessions']} opened={stats['sessions_opened']} "
+        f"closed={stats['sessions_closed']} shed={stats['sessions_shed']} "
+        f"evicted={stats['sessions_evicted']} "
+        f"resumed={stats['sessions_resumed']}"
+    )
+    print(
+        f"work: chunks={stats['chunks']} windows={stats['windows']} "
+        f"reports={stats['reports']} checkpoints={stats['checkpoints']} "
+        f"bytes_in={stats['bytes_in']} bytes_out={stats['bytes_out']}"
+    )
+    print(
+        f"state: draining={stats['draining']} "
+        f"protocol_errors={stats['protocol_errors']}"
+    )
+    return 0
 
 
 def _cmd_capture(args: argparse.Namespace) -> int:
@@ -616,10 +678,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         evict_idle=args.evict_idle,
         queue_depth=args.queue_depth,
-        worker_threads=args.workers,
+        worker_threads=args.threads,
         checkpoint_interval=args.checkpoint_interval,
         spill_dir=args.spill_dir,
     )
+    if args.workers > 1:
+        return _serve_sharded(args, registry, entries, config)
 
     async def _run() -> None:
         server = EddieServer(registry, config=config)
@@ -658,6 +722,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("stopped", file=sys.stderr)
+    return 0
+
+
+def _serve_sharded(args, registry, entries, config) -> int:
+    """`eddie serve --workers N`: worker processes behind a shard router.
+
+    Each worker is a full :class:`EddieServer` in its own process with
+    its own spill namespace; the router at (host, port) places sessions
+    by consistent hash. SIGTERM/SIGINT drain every worker gracefully
+    (sessions checkpoint and suspend, clients RESUME against a restarted
+    cluster at the same registry).
+    """
+    import dataclasses
+    import signal
+    import threading
+
+    from repro.serve import ShardCluster
+
+    # The router owns the public port; workers bind ephemeral ports.
+    worker_config = dataclasses.replace(config, port=0)
+    cluster = ShardCluster(
+        registry,
+        workers=args.workers,
+        mode="process",
+        config=worker_config,
+        host=args.host,
+        router_port=args.port,
+        spill_root=args.spill_dir,
+    )
+    cluster.start()
+    try:
+        host, port = cluster.address
+        print(
+            f"serving on {host}:{port} -- {args.workers} worker "
+            f"process(es) behind a shard router, {len(entries)} "
+            f"published model(s) in {registry.root}, "
+            f"{config.max_sessions} sessions/worker, checkpoints every "
+            f"{config.checkpoint_interval or 'never'} chunk(s) "
+            f"-> {cluster.spill_root}"
+        )
+        for worker_id, whost, wport in cluster.worker_addresses:
+            print(f"  worker {worker_id}: {whost}:{wport}")
+        for entry in entries:
+            print(f"  {entry.spec:32s} fp:{entry.fingerprint[:12]}")
+        stop = threading.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(sig, lambda *_: stop.set())
+        try:
+            stop.wait()
+        except KeyboardInterrupt:
+            pass
+        print("draining workers...", file=sys.stderr)
+        for worker_id, _, _ in cluster.worker_addresses:
+            cluster.drain_worker(worker_id)
+        print("drained", file=sys.stderr)
+    finally:
+        cluster.stop()
     return 0
 
 

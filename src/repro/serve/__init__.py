@@ -18,6 +18,11 @@ session checkpoint/resume with exactly-once report delivery, clients
 reconnect transparently with capped backoff, servers drain gracefully,
 and :mod:`repro.serve.chaos` provides the deterministic fault-injection
 proxy the resilience suite and recovery benchmark drive it all with.
+
+And the scale-out layer (DESIGN.md D21): :mod:`repro.serve.shard` runs
+N worker processes behind a consistent-hash :class:`ShardRouter`, with
+per-worker spill namespaces, spill adoption on worker death, rolling
+drain, and fleet-wide STATS aggregation.
 """
 
 from repro.serve.chaos import ChaosConfig, ChaosProxy, ChaosStats
@@ -43,6 +48,13 @@ from repro.serve.server import (
     ServerStats,
     serve_in_thread,
 )
+from repro.serve.shard import (
+    ShardCluster,
+    ShardRouter,
+    WorkerSpec,
+    merge_stats_payloads,
+    place,
+)
 
 __all__ = [
     "ChaosConfig",
@@ -59,14 +71,19 @@ __all__ = [
     "ServerConfig",
     "ServerHandle",
     "ServerStats",
+    "ShardCluster",
+    "ShardRouter",
+    "WorkerSpec",
     "decode_chunk",
     "encode_chunk",
     "encode_frame",
     "error_frame",
     "json_frame",
+    "merge_stats_payloads",
     "model_fingerprint",
     "negotiate_version",
     "parse_json",
+    "place",
     "replay",
     "serve_in_thread",
 ]

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import contextlib
 import random
+import secrets
 import socket
 import time
 from collections import deque
@@ -55,6 +56,7 @@ from repro.core.monitor import AnomalyReport
 from repro.errors import ProtocolError, ServeError, ServeTimeoutError
 from repro.serve.protocol import (
     ERR_AT_CAPACITY,
+    ERR_BAD_REDIRECT,
     ERR_DRAINING,
     ERR_RESUME_REJECTED,
     Frame,
@@ -63,6 +65,7 @@ from repro.serve.protocol import (
     encode_chunk,
     json_frame,
     parse_json,
+    parse_redirect,
     recv_frame,
     report_from_json,
     send_frame,
@@ -115,6 +118,12 @@ class EddieClient:
             overflowing it (a server that stops checkpointing) raises
             ``ServeError(code='replay_overflow')`` rather than silently
             losing resumability.
+        shard_key: stable placement key sent in OPEN/RESUME so a shard
+            router pins the session to one worker across reconnects
+            (DESIGN.md D21); defaults to a fresh random key per
+            :meth:`open`. Ignored by standalone servers.
+        max_redirects: placement hops tolerated per OPEN/RESUME before
+            giving up with ``ServeError(code='bad_redirect')``.
     """
 
     def __init__(
@@ -131,6 +140,8 @@ class EddieClient:
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
         replay_buffer_chunks: int = 256,
+        shard_key: Optional[str] = None,
+        max_redirects: int = 4,
     ) -> None:
         if window < 1:
             raise ServeError(f"window must be >= 1, got {window}")
@@ -151,8 +162,16 @@ class EddieClient:
         self.backoff_base = float(backoff_base)
         self.backoff_max = float(backoff_max)
         self.replay_buffer_chunks = int(replay_buffer_chunks)
+        self.shard_key = shard_key
+        self.max_redirects = int(max_redirects)
+        self.worker_id: Optional[int] = None
         self._rng = random.Random()
         self._offer_versions = list(PROTOCOL_VERSIONS)
+        # A REDIRECT points the connection at a worker, but (host, port)
+        # stays the entry address: every reconnect re-enters through the
+        # router so placement can move off a dead worker.
+        self._redirect_addr: Optional[Tuple[str, int]] = None
+        self._session_key: Optional[str] = None
         self._sock: Optional[socket.socket] = None
         self._session: Optional[str] = None
         self._token: Optional[str] = None
@@ -185,13 +204,14 @@ class EddieClient:
         return self
 
     def _dial(self) -> None:
+        host, port = self._redirect_addr or (self.host, self.port)
         try:
             sock = socket.create_connection(
-                (self.host, self.port), timeout=self.connect_timeout
+                (host, port), timeout=self.connect_timeout
             )
         except socket.timeout as exc:
             raise ServeTimeoutError(
-                f"connect to {self.host}:{self.port} timed out after "
+                f"connect to {host}:{port} timed out after "
                 f"{self.connect_timeout}s"
             ) from exc
         sock.settimeout(self.io_timeout)
@@ -216,6 +236,7 @@ class EddieClient:
         self._teardown()
         self._session = None
         self._token = None
+        self._redirect_addr = None
         self._buffer.clear()
         self._outstanding.clear()
 
@@ -261,13 +282,15 @@ class EddieClient:
         self._require_socket()
         if self._session is not None:
             raise ServeError("a session is already open on this client")
-        self._send_frame(json_frame(FrameType.OPEN, {
+        self._session_key = self.shard_key or secrets.token_hex(8)
+        ack = self._place_request(FrameType.OPEN, {
             "model": model_spec,
             "t0": t0,
             "window": self.window,
-        }))
-        ack = parse_json(self._expect(FrameType.OPEN))
+            "shard_key": self._session_key,
+        })
         self._session = str(ack.get("session"))
+        self.worker_id = ack.get("worker")
         self._model_info = dict(ack.get("model", {}))
         resume = ack.get("resume")
         self._token = (
@@ -388,6 +411,31 @@ class EddieClient:
         """The session's running status from the latest REPORT."""
         return self._status
 
+    # -- placement ------------------------------------------------------------
+
+    def _place_request(self, ftype: FrameType, payload: Dict) -> Dict:
+        """Send an OPEN/RESUME and follow REDIRECT placement hops.
+
+        A shard router answers a revision-3 OPEN/RESUME with the owning
+        worker's address; the client re-dials it and repeats the request
+        there. Hops are bounded so a misconfigured router cannot bounce
+        the client forever.
+        """
+        for _ in range(self.max_redirects + 1):
+            self._send_frame(json_frame(ftype, payload))
+            frame = self._expect(ftype, FrameType.REDIRECT)
+            if frame.type != FrameType.REDIRECT:
+                return parse_json(frame)
+            host, port, _worker = parse_redirect(frame)
+            self._teardown()
+            self._redirect_addr = (host, port)
+            self._dial()
+        raise ServeError(
+            f"placement did not settle after {self.max_redirects} "
+            f"redirect hops",
+            code=ERR_BAD_REDIRECT,
+        )
+
     # -- reconnection ---------------------------------------------------------
 
     def _buffering(self) -> bool:
@@ -428,6 +476,10 @@ class EddieClient:
             )
             time.sleep(delay * (0.5 + 0.5 * self._rng.random()))
             try:
+                # Re-enter through the entry address: against a shard
+                # router the session may have been re-placed onto a
+                # surviving worker, and only the router knows where.
+                self._redirect_addr = None
                 self._dial()
                 if (self.protocol_version or 0) < 2:
                     raise ServeError(
@@ -435,13 +487,17 @@ class EddieClient:
                         "revision",
                         code=ERR_RESUME_REJECTED,
                     )
-                self._send_frame(json_frame(FrameType.RESUME, {
+                resume_payload = {
                     "session": self._session,
                     "token": self._token,
                     "delivered": self._delivered,
                     "window": self.window,
-                }))
-                ack = parse_json(self._expect(FrameType.RESUME))
+                }
+                if self._session_key is not None:
+                    resume_payload["shard_key"] = self._session_key
+                ack = self._place_request(FrameType.RESUME, resume_payload)
+                if ack.get("worker") is not None:
+                    self.worker_id = ack.get("worker")
                 durable = int(ack.get("seq", 0))
                 # The ack doubles as a checkpoint ack: prune the buffer.
                 self._on_checkpoint_ack({"seq": durable})
@@ -534,7 +590,7 @@ class EddieClient:
             while self._buffer and self._buffer[0][0] <= seq:
                 self._buffer.popleft()
 
-    def _expect(self, ftype: FrameType) -> Frame:
+    def _expect(self, *ftypes: FrameType) -> Frame:
         while True:
             frame = self._recv()
             if frame.type == FrameType.ERROR:
@@ -543,12 +599,16 @@ class EddieClient:
                     str(err.get("message", "server error")),
                     code=str(err.get("code", "internal")),
                 )
-            if frame.type == FrameType.STATS and ftype != FrameType.STATS:
+            if (
+                frame.type == FrameType.STATS
+                and FrameType.STATS not in ftypes
+            ):
                 # Unsolicited health broadcast (the drain farewell).
                 continue
-            if frame.type != ftype:
+            if frame.type not in ftypes:
                 raise ProtocolError(
-                    f"expected {ftype.name}, got {frame.type.name}"
+                    f"expected {'/'.join(t.name for t in ftypes)}, "
+                    f"got {frame.type.name}"
                 )
             return frame
 

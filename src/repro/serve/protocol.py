@@ -39,6 +39,16 @@ exactly-once window scoring, exactly-once report delivery. Version
 negotiation keeps v1 clients working unchanged against v2 servers (they
 simply never see CHECKPOINT_ACK and cannot resume).
 
+Protocol revision 3 adds shard placement (DESIGN.md D21). A revision-3
+peer that sends OPEN or RESUME to a shard router may be answered with
+``REDIRECT {worker, host, port}`` instead of the session ack: "your
+session lives on that worker -- dial it directly and repeat the
+request". Clients include an optional ``shard_key`` in OPEN/RESUME so
+the router's consistent-hash placement is stable across reconnects
+(servers ignore unknown JSON fields, so the key is free against a
+single worker). v1/v2 clients never see REDIRECT: the router splices
+their connection through to the placed worker instead.
+
 Exactness: JSON floats are emitted with Python ``repr`` semantics and
 parse back to the identical double, and CHUNK payloads are raw
 little-endian sample bytes, so a replayed capture produces bit-identical
@@ -62,11 +72,13 @@ __all__ = [
     "CHUNK_HEADER",
     "ERR_AT_CAPACITY",
     "ERR_BAD_FRAME",
+    "ERR_BAD_REDIRECT",
     "ERR_BAD_STATE",
     "ERR_DRAINING",
     "ERR_EVICTED",
     "ERR_INTERNAL",
     "ERR_MODEL_CORRUPT",
+    "ERR_NO_WORKERS",
     "ERR_RESUME_REJECTED",
     "ERR_UNKNOWN_MODEL",
     "ERR_UNKNOWN_SESSION",
@@ -83,6 +95,7 @@ __all__ = [
     "json_frame",
     "negotiate_version",
     "parse_json",
+    "parse_redirect",
     "read_frame",
     "recv_frame",
     "report_from_json",
@@ -98,8 +111,9 @@ CHUNK_HEADER = struct.Struct(">IB3x")  # seq, dtype code, padding
 
 #: Protocol revisions this build understands, newest last. HELLO
 #: negotiation picks the highest revision both ends share. Revision 2
-#: adds session resumability (RESUME / CHECKPOINT_ACK).
-PROTOCOL_VERSIONS: Tuple[int, ...] = (1, 2)
+#: adds session resumability (RESUME / CHECKPOINT_ACK); revision 3 adds
+#: shard placement (REDIRECT + the optional ``shard_key`` field).
+PROTOCOL_VERSIONS: Tuple[int, ...] = (1, 2, 3)
 
 #: Refuse payloads beyond this size (a corrupt length prefix must not
 #: make the peer allocate gigabytes). 16 MiB >> any sane IQ chunk.
@@ -117,6 +131,8 @@ ERR_INTERNAL = "internal"
 ERR_DRAINING = "draining"
 ERR_UNKNOWN_SESSION = "unknown_session"
 ERR_RESUME_REJECTED = "resume_rejected"
+ERR_BAD_REDIRECT = "bad_redirect"
+ERR_NO_WORKERS = "no_workers"
 
 
 class FrameType(IntEnum):
@@ -130,6 +146,8 @@ class FrameType(IntEnum):
     # Protocol revision 2 (resumable sessions).
     RESUME = 8
     CHECKPOINT_ACK = 9
+    # Protocol revision 3 (shard placement).
+    REDIRECT = 10
 
 
 # Wire dtype codes for CHUNK payloads. complex64 is the nominal live-SDR
@@ -254,6 +272,52 @@ def negotiate_version(client_versions: Any) -> Optional[int]:
         ) from None
     shared = offered & set(PROTOCOL_VERSIONS)
     return max(shared) if shared else None
+
+
+def parse_redirect(frame: Frame) -> Tuple[str, int, int]:
+    """Validate a REDIRECT frame into ``(host, port, worker_id)``.
+
+    Every malformation -- wrong frame type, non-object payload, missing
+    or non-string host, out-of-range port, bad worker id -- raises a
+    typed :class:`ProtocolError` with ``code='bad_redirect'``, so a
+    client can distinguish a corrupt router from a lost connection.
+    """
+    if frame.type != FrameType.REDIRECT:
+        raise ProtocolError(
+            f"expected REDIRECT, got {frame.type.name}",
+            code=ERR_BAD_REDIRECT,
+        )
+    try:
+        payload = parse_json(frame)
+    except ProtocolError as error:
+        raise ProtocolError(str(error), code=ERR_BAD_REDIRECT) from None
+    host = payload.get("host")
+    if not isinstance(host, str) or not host:
+        raise ProtocolError(
+            f"REDIRECT 'host' must be a non-empty string, got {host!r}",
+            code=ERR_BAD_REDIRECT,
+        )
+    try:
+        port = int(payload["port"])
+    except (KeyError, TypeError, ValueError):
+        raise ProtocolError(
+            f"REDIRECT 'port' must be an integer, got "
+            f"{payload.get('port')!r}",
+            code=ERR_BAD_REDIRECT,
+        ) from None
+    if not 0 < port < 65536:
+        raise ProtocolError(
+            f"REDIRECT port {port} is out of range", code=ERR_BAD_REDIRECT
+        )
+    try:
+        worker = int(payload.get("worker", -1))
+    except (TypeError, ValueError):
+        raise ProtocolError(
+            f"REDIRECT 'worker' must be an integer, got "
+            f"{payload.get('worker')!r}",
+            code=ERR_BAD_REDIRECT,
+        ) from None
+    return host, port, worker
 
 
 class FrameDecoder:

@@ -138,6 +138,13 @@ class ServerConfig:
         spill_dir: where session checkpoints live; defaults to a
             ``.sessions`` directory inside the registry root, so a
             restarted server pointed at the same registry finds them.
+        worker_id: this server's slot in a sharded cluster (DESIGN.md
+            D21); surfaced in session acks and STATS so clients and the
+            router can attribute work. None for a standalone server.
+        spill_fallback_dirs: sibling workers' spill namespaces. A RESUME
+            whose checkpoint is not in ``spill_dir`` searches these and
+            adopts the spill into its own namespace -- how a survivor
+            picks up a dead worker's sessions.
     """
 
     host: str = "127.0.0.1"
@@ -150,6 +157,8 @@ class ServerConfig:
     registry_cache: int = 8
     checkpoint_interval: int = 16
     spill_dir: Optional[str] = None
+    worker_id: Optional[int] = None
+    spill_fallback_dirs: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -411,6 +420,7 @@ class EddieServer:
         """The STATS frame body: a JSON-able health snapshot."""
         s = self.stats
         payload = {
+            "worker": self.config.worker_id,
             "sessions_open": self.sessions_open,
             "max_sessions": self.config.max_sessions,
             "evict_idle": self.config.evict_idle,
@@ -666,6 +676,8 @@ class EddieServer:
                 "sample_rate": model.sample_rate,
             },
         }
+        if self.config.worker_id is not None:
+            ack["worker"] = self.config.worker_id
         if self._resumable(state):
             state.token = secrets.token_hex(16)
             ack["resume"] = {
@@ -756,7 +768,7 @@ class EddieServer:
                 )
                 return None
             path = self._spill_path(session_id)
-            if not path.exists():
+            if not path.exists() and not self._adopt_spill(session_id):
                 await refuse(
                     ERR_UNKNOWN_SESSION,
                     f"no checkpoint for session {session_id!r}",
@@ -839,9 +851,7 @@ class EddieServer:
             self.stats.sessions_resumed += 1
             if OBS.enabled:
                 counter("repro.serve", "sessions_resumed").inc()
-        await self._send(
-            writer, wlock,
-            json_frame(FrameType.RESUME, {
+        resume_ack = {
                 "session": session_id,
                 "seq": durable,
                 "model": {
@@ -852,7 +862,11 @@ class EddieServer:
                     "sample_rate": model.sample_rate,
                 },
                 "reports": replayed,
-            }),
+        }
+        if self.config.worker_id is not None:
+            resume_ack["worker"] = self.config.worker_id
+        await self._send(
+            writer, wlock, json_frame(FrameType.RESUME, resume_ack)
         )
         return state
 
@@ -904,6 +918,29 @@ class EddieServer:
     def _spill_path(self, session_id: str) -> Path:
         return self.spill_dir / f"{session_id}.npz"
 
+    def _adopt_spill(self, session_id: str) -> bool:
+        """Claim a sibling worker's checkpoint into our own namespace.
+
+        In a sharded cluster (DESIGN.md D21) each worker spills under
+        its own directory. When a worker dies, its sessions resume onto
+        a survivor whose own namespace has no spill for them: search
+        the fallback namespaces and move the file over -- ``os.replace``
+        within one filesystem, so the spill is never owned by two
+        workers at once.
+        """
+        target = self._spill_path(session_id)
+        for fallback in self.config.spill_fallback_dirs:
+            candidate = Path(fallback) / f"{session_id}.npz"
+            if candidate == target or not candidate.exists():
+                continue
+            try:
+                target.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(candidate, target)
+            except OSError:
+                continue
+            return True
+        return False
+
     def _drop_spill(self, session_id: str) -> None:
         with contextlib.suppress(OSError):
             self._spill_path(session_id).unlink()
@@ -950,12 +987,35 @@ class EddieServer:
             )
         except Exception:
             return False
+        if state.evicted:
+            # Eviction raced the pool-thread write: `_on_evict` dropped
+            # the spill, then our os.replace landed and resurrected it.
+            # An evicted session must stay dead, so undo the write.
+            self._drop_spill(state.session_id)
+            return False
         state.since_checkpoint = 0
         state.durable_seq = state.last_seq
         self.stats.checkpoints += 1
         if OBS.enabled:
             counter("repro.serve", "checkpoints").inc()
         return True
+
+    async def _ensure_checkpoint(self, state: _SessionState) -> bool:
+        """Make the session durable at ``last_seq`` without rewriting.
+
+        Drain and abort both roll a session forward to its last scored
+        chunk. When the periodic checkpoint already spilled at exactly
+        that sequence (a kernel-batcher round finishing just as drain
+        lands is the common race), rewriting the same state would count
+        a second checkpoint for one sequence number -- skip it.
+        """
+        if (
+            state.since_checkpoint == 0
+            and state.durable_seq == state.last_seq
+            and self._spill_path(state.session_id).exists()
+        ):
+            return True
+        return await self._checkpoint_session(state)
 
     async def _checkpoint_and_ack(self, state: _SessionState) -> bool:
         ok = await self._checkpoint_session(state)
@@ -1020,7 +1080,7 @@ class EddieServer:
                     if self._resumable(state):
                         # Roll-forward spill at the last scored chunk, so
                         # a resume recomputes as little as possible.
-                        if await self._checkpoint_session(state):
+                        if await self._ensure_checkpoint(state):
                             if self._suspend_fleet_session(state):
                                 return
                     self._close_fleet_session(state.session_id)
@@ -1115,7 +1175,7 @@ class EddieServer:
         self._flush_queue(state)
         suspended = False
         if self._resumable(state):
-            if await self._checkpoint_session(state):
+            if await self._ensure_checkpoint(state):
                 suspended = self._suspend_fleet_session(state)
         if suspended:
             with contextlib.suppress(ConnectionError, OSError):

@@ -1,0 +1,904 @@
+"""Sharded multi-worker serving (DESIGN.md D21): router + placement.
+
+One :class:`EddieServer` is one asyncio loop feeding one thread pool --
+a single-core ceiling. This module scales the serving layer across N
+worker processes (or threads, for tests) behind one entry address:
+
+- :func:`place` -- rendezvous (highest-random-weight) hashing of a
+  session's shard key over the live worker set. Deterministic,
+  order-independent, balanced within ~sqrt statistics, and minimally
+  disruptive: removing a worker re-places only that worker's keys.
+- :class:`ShardRouter` -- the asyncio frontend every client dials.
+  STATS fans out to the workers and merges their snapshots exactly
+  (:func:`merge_stats_payloads`); OPEN/RESUME is placed by shard key
+  and either answered with a ``REDIRECT`` (revision-3 clients, who
+  re-dial the owning worker and talk to it directly -- zero router
+  cost on the chunk hot path) or spliced through byte-for-byte
+  (revision-1/2 clients, who cannot know about shards).
+- :class:`ShardCluster` -- N workers plus a router as one handle.
+  Workers share the read-only model registry but checkpoint into
+  per-worker spill namespaces (``<spill root>/wNN``); every worker
+  lists its siblings' namespaces as fallbacks, so when a worker dies
+  its sessions RESUME onto a survivor which *adopts* the orphaned
+  spill. ``mode='process'`` spawns real worker processes (SIGTERM
+  drains gracefully -- the rolling-restart path); ``mode='thread'``
+  hosts workers on event-loop threads in-process (fast, for tests).
+
+Bit-identity is preserved end to end: placement only decides *where* a
+session's monitor lives, never how its windows are scored, so a sharded
+replay equals a single-worker replay equals a local
+:class:`~repro.stream.StreamingMonitor` run (``tests/test_serve_sharded.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServeError
+from repro.serve import protocol
+from repro.serve.protocol import (
+    ERR_NO_WORKERS,
+    FrameType,
+    error_frame,
+    json_frame,
+    negotiate_version,
+    parse_json,
+    read_frame,
+)
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import ServerConfig, serve_in_thread
+
+__all__ = [
+    "ShardCluster",
+    "ShardRouter",
+    "WorkerSpec",
+    "merge_stats_payloads",
+    "place",
+]
+
+
+# -- consistent-hash placement ------------------------------------------------
+
+
+def place(key: str, worker_ids: Sequence[int]) -> int:
+    """The worker that owns ``key``, by rendezvous (HRW) hashing.
+
+    Every candidate worker is scored with
+    ``sha256(f"{worker_id}|{key}")`` and the highest score wins. The
+    winner is a pure function of (key, candidate set): any router
+    replica computes the same owner without coordination, and removing
+    one worker re-places only the keys that worker owned -- the other
+    assignments are untouched (unlike modulo hashing, which reshuffles
+    nearly everything).
+    """
+    if not worker_ids:
+        raise ServeError("no workers to place onto", code=ERR_NO_WORKERS)
+    best_id: Optional[int] = None
+    best_score = b""
+    for worker_id in worker_ids:
+        score = hashlib.sha256(
+            f"{int(worker_id)}|{key}".encode("utf-8")
+        ).digest()
+        if best_id is None or score > best_score:
+            best_id, best_score = int(worker_id), score
+    return best_id
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """One worker's slot and dial address."""
+
+    worker_id: int
+    host: str
+    port: int
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+
+# -- fleet-wide STATS merge ---------------------------------------------------
+
+# Per-worker counters and capacities that sum across the fleet.
+_SUM_KEYS = frozenset({
+    "sessions_open", "max_sessions", "sessions_opened", "sessions_closed",
+    "sessions_shed", "sessions_evicted", "sessions_resumed",
+    "sessions_suspended", "checkpoints", "chunks", "samples", "windows",
+    "reports", "bytes_in", "bytes_out", "protocol_errors",
+})
+# Config echoes that are uniform across workers: first one wins.
+_FIRST_KEYS = frozenset({
+    "evict_idle", "kernel_batching", "checkpoint_interval",
+})
+
+
+def _merge_metric_snapshots(snaps: List[Dict]) -> Dict[str, Dict]:
+    """Merge ``snapshot_module()`` dicts without touching the registry.
+
+    Counters sum exactly; gauges take the last set value; histograms
+    pool bins / count / sum and extremize min / max. Pure -- unlike
+    :func:`repro.obs.merge_snapshot`, nothing is folded into this
+    process's live instruments.
+    """
+    out: Dict[str, Dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snap in snaps:
+        for name, value in snap.get("counters", {}).items():
+            out["counters"][name] = out["counters"].get(name, 0) + int(value)
+        for name, value in snap.get("gauges", {}).items():
+            prior = out["gauges"].get(name)
+            if prior is None or value.get("set"):
+                out["gauges"][name] = dict(value)
+        for name, value in snap.get("histograms", {}).items():
+            prior = out["histograms"].get(name)
+            if prior is None:
+                out["histograms"][name] = {
+                    "edges": list(value["edges"]),
+                    "bins": list(value["bins"]),
+                    "count": int(value["count"]),
+                    "sum": float(value["sum"]),
+                    "min": value["min"],
+                    "max": value["max"],
+                }
+                continue
+            if list(value["edges"]) != prior["edges"]:
+                continue  # incompatible edges: keep the first worker's
+            prior["bins"] = [
+                a + b for a, b in zip(prior["bins"], value["bins"])
+            ]
+            prior["count"] += int(value["count"])
+            prior["sum"] += float(value["sum"])
+            for side, pick in (("min", min), ("max", max)):
+                if value[side] is not None:
+                    prior[side] = (
+                        value[side] if prior[side] is None
+                        else pick(prior[side], value[side])
+                    )
+    return out
+
+
+def merge_stats_payloads(payloads: Sequence[Dict]) -> Dict:
+    """Fold per-worker STATS payloads into one fleet-wide snapshot.
+
+    Counter totals are exact sums of the worker values (asserted in
+    ``tests/test_serve_sharded.py``); ``draining`` is true when any
+    worker drains; the registry LRU block sums; the per-worker payloads
+    ride along under ``"workers"`` so nothing is lost in aggregation.
+    """
+    merged: Dict[str, Any] = {"workers": [], "worker_count": len(payloads)}
+    registry_sums: Dict[str, int] = {}
+    metric_snaps: List[Dict] = []
+    draining = False
+    for payload in payloads:
+        merged["workers"].append(dict(payload))
+        draining = draining or bool(payload.get("draining"))
+        for key, value in payload.items():
+            if key in _SUM_KEYS and isinstance(value, (int, float)):
+                merged[key] = merged.get(key, 0) + value
+            elif key in _FIRST_KEYS and key not in merged:
+                merged[key] = value
+        for key, value in payload.get("registry", {}).items():
+            if isinstance(value, (int, float)):
+                registry_sums[key] = registry_sums.get(key, 0) + value
+        if isinstance(payload.get("metrics"), dict):
+            metric_snaps.append(payload["metrics"])
+    for key in _SUM_KEYS:
+        merged.setdefault(key, 0)
+    merged["draining"] = draining
+    merged["registry"] = registry_sums
+    if metric_snaps:
+        merged["metrics"] = _merge_metric_snapshots(metric_snaps)
+    return merged
+
+
+# -- the shard router ---------------------------------------------------------
+
+
+@dataclass
+class RouterStats:
+    """Cumulative router counters (loop-thread mutated)."""
+
+    connections: int = 0
+    redirects: int = 0
+    splices: int = 0
+    stats_fanouts: int = 0
+    placement_failures: int = 0
+    dead_workers_skipped: int = 0
+
+
+class ShardRouter:
+    """The cluster's entry point: places sessions, aggregates STATS.
+
+    The router never touches IQ samples on the steady-state path:
+    revision-3 clients are redirected to their worker after one control
+    round trip, and even spliced (v1/v2) connections cost only a byte
+    pump, never a decode. Placement consults a short-TTL liveness probe
+    so sessions stop landing on a dead worker within ``probe_ttl``
+    seconds of its demise.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[WorkerSpec],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        probe_timeout: float = 1.0,
+        probe_ttl: float = 1.0,
+    ) -> None:
+        if not workers:
+            raise ServeError(
+                "a shard router needs at least one worker",
+                code=ERR_NO_WORKERS,
+            )
+        self.workers: List[WorkerSpec] = list(workers)
+        self.host = host
+        self.port = port
+        self.probe_timeout = float(probe_timeout)
+        self.probe_ttl = float(probe_ttl)
+        self.stats = RouterStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._round_robin = 0
+        # worker_id -> (alive?, probed-at); entries expire after
+        # probe_ttl so a restarted worker comes back into rotation.
+        self._liveness: Dict[int, Tuple[bool, float]] = {}
+
+    # -- lifecycle --
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise ServeError("router is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None or not self._server.sockets:
+            raise ServeError("router is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    def worker_spec(self, worker_id: int) -> WorkerSpec:
+        for spec in self.workers:
+            if spec.worker_id == worker_id:
+                return spec
+        raise ServeError(f"unknown worker {worker_id}")
+
+    # -- liveness --
+
+    def invalidate_worker(self, worker_id: int) -> None:
+        """Drop the cached liveness verdict (a dial just failed)."""
+        self._liveness.pop(worker_id, None)
+
+    async def _probe(self, spec: WorkerSpec) -> bool:
+        cached = self._liveness.get(spec.worker_id)
+        now = time.monotonic()
+        if cached is not None and now - cached[1] < self.probe_ttl:
+            return cached[0]
+        alive = True
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(*spec.address),
+                timeout=self.probe_timeout,
+            )
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        except (OSError, asyncio.TimeoutError):
+            alive = False
+        self._liveness[spec.worker_id] = (alive, now)
+        if not alive:
+            self.stats.dead_workers_skipped += 1
+        return alive
+
+    async def _live_workers(self) -> List[WorkerSpec]:
+        verdicts = await asyncio.gather(
+            *(self._probe(spec) for spec in self.workers)
+        )
+        return [s for s, ok in zip(self.workers, verdicts) if ok]
+
+    # -- placement --
+
+    async def _place_session(self, payload: Dict) -> WorkerSpec:
+        """The worker that should own this OPEN/RESUME."""
+        live = await self._live_workers()
+        if not live:
+            raise ServeError(
+                "no live workers behind this router", code=ERR_NO_WORKERS
+            )
+        key = payload.get("shard_key") or payload.get("session")
+        if not isinstance(key, str) or not key:
+            # A keyless OPEN (old client, new session) has no placement
+            # to preserve: spread it round-robin over the live set.
+            self._round_robin += 1
+            return live[self._round_robin % len(live)]
+        owner = place(key, [s.worker_id for s in live])
+        return next(s for s in live if s.worker_id == owner)
+
+    # -- connection handling --
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.stats.connections += 1
+        try:
+            await self._serve_peer(reader, writer)
+        except (ConnectionError, asyncio.TimeoutError, OSError):
+            pass
+        except protocol.ProtocolError as error:
+            with contextlib.suppress(Exception):
+                writer.write(error_frame(protocol.ERR_BAD_FRAME, str(error)))
+                await writer.drain()
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _send(self, writer: asyncio.StreamWriter, data: bytes) -> None:
+        writer.write(data)
+        await writer.drain()
+
+    async def _serve_peer(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        frame = await read_frame(reader)
+        if frame is None:
+            return
+        if frame.type != FrameType.HELLO:
+            await self._send(writer, error_frame(
+                protocol.ERR_BAD_STATE,
+                f"expected HELLO, got {frame.type.name}",
+            ))
+            return
+        hello = parse_json(frame)
+        version = negotiate_version(hello.get("versions", ()))
+        if version is None:
+            await self._send(writer, error_frame(
+                protocol.ERR_UNSUPPORTED_VERSION,
+                f"no shared protocol version (router speaks "
+                f"{list(protocol.PROTOCOL_VERSIONS)}, client offered "
+                f"{hello.get('versions')})",
+            ))
+            return
+        from repro import __version__
+
+        await self._send(writer, json_frame(FrameType.HELLO, {
+            "version": version,
+            "server": f"eddie-shard-router/{__version__}",
+        }))
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                return
+            if frame.type == FrameType.STATS:
+                await self._send(writer, json_frame(
+                    FrameType.STATS, await self.cluster_stats()
+                ))
+                continue
+            if frame.type in (FrameType.OPEN, FrameType.RESUME):
+                payload = parse_json(frame)
+                try:
+                    spec = await self._place_session(payload)
+                except ServeError as error:
+                    self.stats.placement_failures += 1
+                    await self._send(
+                        writer, error_frame(error.code, str(error))
+                    )
+                    return
+                if version >= 3:
+                    self.stats.redirects += 1
+                    await self._send(writer, json_frame(FrameType.REDIRECT, {
+                        "worker": spec.worker_id,
+                        "host": spec.host,
+                        "port": spec.port,
+                    }))
+                    # The client re-dials the worker; this connection is
+                    # done (it may also send another OPEN/RESUME after a
+                    # failed dial, so keep reading).
+                    continue
+                await self._splice(reader, writer, frame, spec, version)
+                return
+            await self._send(writer, error_frame(
+                protocol.ERR_BAD_STATE,
+                f"expected OPEN, RESUME, or STATS, got {frame.type.name}",
+            ))
+            return
+
+    async def _splice(
+        self,
+        client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+        first_frame: protocol.Frame,
+        spec: WorkerSpec,
+        version: int,
+    ) -> None:
+        """Proxy a pre-revision-3 connection through to its worker.
+
+        The router re-handshakes with the worker at exactly the
+        client's negotiated revision, forwards the buffered OPEN/RESUME,
+        then pumps raw bytes both ways -- the client never learns the
+        cluster exists.
+        """
+        try:
+            worker_reader, worker_writer = await asyncio.wait_for(
+                asyncio.open_connection(*spec.address),
+                timeout=self.probe_timeout,
+            )
+        except (OSError, asyncio.TimeoutError):
+            self.invalidate_worker(spec.worker_id)
+            await self._send(client_writer, error_frame(
+                ERR_NO_WORKERS,
+                f"worker {spec.worker_id} died during placement; retry",
+            ))
+            return
+        self.stats.splices += 1
+        try:
+            worker_writer.write(json_frame(FrameType.HELLO, {
+                "versions": [version],
+            }))
+            await worker_writer.drain()
+            reply = await read_frame(worker_reader)
+            if reply is None or reply.type != FrameType.HELLO:
+                # Forward the worker's refusal (an ERROR frame) verbatim.
+                if reply is not None:
+                    await self._send(client_writer, protocol.encode_frame(
+                        reply.type, reply.payload
+                    ))
+                return
+            worker_writer.write(protocol.encode_frame(
+                first_frame.type, first_frame.payload
+            ))
+            await worker_writer.drain()
+
+            async def pump(src: asyncio.StreamReader,
+                           dst: asyncio.StreamWriter) -> None:
+                while True:
+                    data = await src.read(65536)
+                    if not data:
+                        break
+                    dst.write(data)
+                    await dst.drain()
+                with contextlib.suppress(Exception):
+                    if dst.can_write_eof():
+                        dst.write_eof()
+
+            await asyncio.gather(
+                pump(client_reader, worker_writer),
+                pump(worker_reader, client_writer),
+                return_exceptions=True,
+            )
+        finally:
+            worker_writer.close()
+            with contextlib.suppress(Exception):
+                await worker_writer.wait_closed()
+
+    # -- fleet-wide stats --
+
+    async def _worker_stats(self, spec: WorkerSpec) -> Optional[Dict]:
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(*spec.address),
+                timeout=self.probe_timeout,
+            )
+        except (OSError, asyncio.TimeoutError):
+            self.invalidate_worker(spec.worker_id)
+            return None
+        try:
+            writer.write(json_frame(FrameType.HELLO, {"versions": [2]}))
+            writer.write(json_frame(FrameType.STATS, {}))
+            await writer.drain()
+            hello = await read_frame(reader)
+            if hello is None or hello.type != FrameType.HELLO:
+                return None
+            stats = await read_frame(reader)
+            if stats is None or stats.type != FrameType.STATS:
+                return None
+            return parse_json(stats)
+        except (OSError, protocol.ProtocolError, asyncio.TimeoutError):
+            return None
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def cluster_stats(self) -> Dict:
+        """Fan STATS out to every worker; merge into one snapshot."""
+        self.stats.stats_fanouts += 1
+        results = await asyncio.gather(
+            *(self._worker_stats(spec) for spec in self.workers)
+        )
+        payloads = [p for p in results if p is not None]
+        merged = merge_stats_payloads(payloads)
+        merged["router"] = {
+            "workers_configured": len(self.workers),
+            "workers_responding": len(payloads),
+            "connections": self.stats.connections,
+            "redirects": self.stats.redirects,
+            "splices": self.stats.splices,
+            "stats_fanouts": self.stats.stats_fanouts,
+            "placement_failures": self.stats.placement_failures,
+        }
+        return merged
+
+
+class RouterHandle:
+    """A :class:`ShardRouter` running on its own event-loop thread."""
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.router = router
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.router.address
+
+    def cluster_stats(self, timeout: float = 30.0) -> Dict:
+        future = asyncio.run_coroutine_threadsafe(
+            self.router.cluster_stats(), self._loop
+        )
+        return future.result(timeout)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.router.stop(), self._loop
+        )
+        with contextlib.suppress(Exception):
+            future.result(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+
+
+def route_in_thread(
+    workers: Sequence[WorkerSpec],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    probe_timeout: float = 1.0,
+    probe_ttl: float = 1.0,
+) -> RouterHandle:
+    """Start a :class:`ShardRouter` on a dedicated event-loop thread."""
+    started = threading.Event()
+    holder: Dict[str, Any] = {}
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        router = ShardRouter(
+            workers, host=host, port=port,
+            probe_timeout=probe_timeout, probe_ttl=probe_ttl,
+        )
+        try:
+            loop.run_until_complete(router.start())
+        except Exception as error:
+            holder["error"] = error
+            started.set()
+            loop.close()
+            return
+        holder["router"] = router
+        holder["loop"] = loop
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            with contextlib.suppress(Exception):
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    thread = threading.Thread(
+        target=run, name="eddie-shard-router", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=30):
+        raise ServeError("router failed to start within 30s")
+    if "error" in holder:
+        raise ServeError(f"router failed to start: {holder['error']}")
+    return RouterHandle(holder["router"], holder["loop"], thread)
+
+
+# -- worker processes ---------------------------------------------------------
+
+
+def _worker_process_main(
+    registry_root: str,
+    config_kwargs: Dict,
+    conn,
+) -> None:
+    """Entry point of one spawned worker process.
+
+    Binds the server, reports the bound address back over ``conn``, and
+    runs until SIGTERM -- which triggers a graceful drain (checkpoint +
+    suspend every session) before exit, the rolling-restart half of
+    DESIGN.md D21. SIGKILL is the chaos path: no drain, the periodic
+    checkpoints alone must carry the sessions (and do -- the survivor
+    adopts the spills).
+    """
+    import asyncio as _asyncio
+
+    from repro.serve.server import EddieServer
+
+    # A terminal Ctrl-C signals the whole foreground process group; the
+    # parent coordinates shutdown by SIGTERM-ing each worker, so a
+    # worker must not die messily on the stray SIGINT before that.
+    with contextlib.suppress(ValueError, OSError):
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    registry = ModelRegistry(registry_root)
+    config = ServerConfig(**config_kwargs)
+
+    async def run() -> None:
+        server = EddieServer(registry, config=config)
+        try:
+            await server.start()
+        except Exception as error:
+            conn.send(("error", repr(error)))
+            conn.close()
+            return
+        conn.send(("ready", server.address))
+        conn.close()
+        stop = _asyncio.Event()
+        loop = _asyncio.get_running_loop()
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        await stop.wait()
+        await server.drain()
+        await server.stop()
+
+    _asyncio.run(run())
+
+
+# -- the cluster handle -------------------------------------------------------
+
+
+@dataclass
+class _WorkerSlot:
+    spec: WorkerSpec
+    config: ServerConfig
+    handle: Any = None  # ServerHandle (thread mode) or Process
+    alive: bool = True
+    pipe: Any = field(default=None, repr=False)
+
+
+class ShardCluster:
+    """N serving workers behind one :class:`ShardRouter` entry address.
+
+    ::
+
+        cluster = ShardCluster(registry, workers=4).start()
+        host, port = cluster.address          # dial this
+        ...
+        cluster.drain_worker(2)               # rolling restart, no loss
+        cluster.kill_worker(1)                # chaos: sessions resume
+        stats = cluster.stats()               # fleet-wide merged STATS
+        cluster.stop()
+
+    ``mode='thread'`` hosts each worker on an in-process event-loop
+    thread (one GIL -- fine for conformance tests); ``mode='process'``
+    spawns real processes so the DSP scales across cores (the
+    ``eddie serve --workers N`` and benchmark path).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        workers: int = 2,
+        mode: str = "thread",
+        config: Optional[ServerConfig] = None,
+        host: str = "127.0.0.1",
+        router_port: int = 0,
+        spill_root: Optional[str] = None,
+        probe_timeout: float = 1.0,
+        probe_ttl: float = 1.0,
+    ) -> None:
+        if workers < 1:
+            raise ServeError(f"need at least 1 worker, got {workers}")
+        if mode not in ("thread", "process"):
+            raise ServeError(f"unknown cluster mode {mode!r}")
+        self.registry = registry
+        self.n_workers = int(workers)
+        self.mode = mode
+        self.base_config = config or ServerConfig()
+        self.host = host
+        self.router_port = router_port
+        self.probe_timeout = float(probe_timeout)
+        self.probe_ttl = float(probe_ttl)
+        self.spill_root = Path(
+            spill_root if spill_root is not None
+            else registry.root / ".sessions"
+        )
+        self._slots: List[_WorkerSlot] = []
+        self._router: Optional[RouterHandle] = None
+
+    # -- lifecycle --
+
+    def _worker_config(self, worker_id: int, port: int = 0) -> ServerConfig:
+        spill = self.spill_root / f"w{worker_id:02d}"
+        siblings = tuple(
+            str(self.spill_root / f"w{k:02d}")
+            for k in range(self.n_workers) if k != worker_id
+        )
+        import dataclasses
+
+        return dataclasses.replace(
+            self.base_config,
+            host=self.host,
+            port=port,
+            worker_id=worker_id,
+            spill_dir=str(spill),
+            spill_fallback_dirs=siblings,
+        )
+
+    def start(self) -> "ShardCluster":
+        if self._router is not None:
+            raise ServeError("cluster is already started")
+        self.spill_root.mkdir(parents=True, exist_ok=True)
+        try:
+            for worker_id in range(self.n_workers):
+                self._slots.append(self._start_worker(worker_id))
+            self._router = route_in_thread(
+                [slot.spec for slot in self._slots],
+                host=self.host,
+                port=self.router_port,
+                probe_timeout=self.probe_timeout,
+                probe_ttl=self.probe_ttl,
+            )
+        except Exception:
+            self.stop()
+            raise
+        return self
+
+    def _start_worker(self, worker_id: int, port: int = 0) -> _WorkerSlot:
+        config = self._worker_config(worker_id, port)
+        Path(config.spill_dir).mkdir(parents=True, exist_ok=True)
+        if self.mode == "thread":
+            handle = serve_in_thread(self.registry, config)
+            host, bound = handle.address
+            return _WorkerSlot(
+                spec=WorkerSpec(worker_id, host, bound),
+                config=config, handle=handle,
+            )
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        kwargs = {
+            f.name: getattr(config, f.name)
+            for f in config.__dataclass_fields__.values()
+        }
+        proc = ctx.Process(
+            target=_worker_process_main,
+            args=(str(self.registry.root), kwargs, child_conn),
+            name=f"eddie-worker-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        if not parent_conn.poll(60):
+            proc.kill()
+            raise ServeError(f"worker {worker_id} did not bind within 60s")
+        status, detail = parent_conn.recv()
+        if status != "ready":
+            proc.join(5)
+            raise ServeError(f"worker {worker_id} failed to start: {detail}")
+        host, bound = detail
+        return _WorkerSlot(
+            spec=WorkerSpec(worker_id, host, bound),
+            config=config, handle=proc, pipe=parent_conn,
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The router's entry ``(host, port)`` -- what clients dial."""
+        if self._router is None:
+            raise ServeError("cluster is not started")
+        return self._router.address
+
+    @property
+    def worker_addresses(self) -> List[Tuple[int, str, int]]:
+        return [
+            (s.spec.worker_id, s.spec.host, s.spec.port)
+            for s in self._slots
+        ]
+
+    def worker_handle(self, worker_id: int):
+        """The underlying ServerHandle (thread mode) or Process."""
+        return self._slot(worker_id).handle
+
+    def _slot(self, worker_id: int) -> _WorkerSlot:
+        for slot in self._slots:
+            if slot.spec.worker_id == worker_id:
+                return slot
+        raise ServeError(f"unknown worker {worker_id}")
+
+    # -- fault / restart operations --
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Hard-kill one worker: no drain, no checkpoint, no goodbye."""
+        slot = self._slot(worker_id)
+        if self.mode == "thread":
+            slot.handle.stop()
+        else:
+            slot.handle.kill()
+            slot.handle.join(10)
+        slot.alive = False
+        if self._router is not None:
+            self._router.router.invalidate_worker(worker_id)
+
+    def drain_worker(self, worker_id: int, timeout: float = 30.0) -> None:
+        """Gracefully drain one worker (the rolling-restart step):
+        every session is checkpointed and suspended before it exits."""
+        slot = self._slot(worker_id)
+        if self.mode == "thread":
+            slot.handle.drain(timeout)
+            slot.handle.stop()
+        else:
+            slot.handle.terminate()  # SIGTERM -> drain in the child
+            slot.handle.join(timeout)
+            if slot.handle.is_alive():
+                slot.handle.kill()
+                slot.handle.join(5)
+        slot.alive = False
+        if self._router is not None:
+            self._router.router.invalidate_worker(worker_id)
+
+    # -- observability --
+
+    def stats(self, timeout: float = 30.0) -> Dict:
+        """The fleet-wide merged STATS snapshot, via the router."""
+        if self._router is None:
+            raise ServeError("cluster is not started")
+        return self._router.cluster_stats(timeout)
+
+    def stop(self) -> None:
+        """Stop the router and every worker. Idempotent."""
+        if self._router is not None:
+            with contextlib.suppress(Exception):
+                self._router.stop()
+            self._router = None
+        for slot in self._slots:
+            if not slot.alive:
+                continue
+            with contextlib.suppress(Exception):
+                if self.mode == "thread":
+                    slot.handle.stop()
+                else:
+                    slot.handle.terminate()
+                    slot.handle.join(10)
+                    if slot.handle.is_alive():
+                        slot.handle.kill()
+                        slot.handle.join(5)
+            slot.alive = False
+        self._slots.clear()
+
+    def __enter__(self) -> "ShardCluster":
+        if self._router is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -3,7 +3,36 @@
 ``--update-golden`` regenerates the frozen run manifests under
 ``tests/golden/`` instead of comparing against them (see
 ``tests/test_golden_manifests.py`` for when that is legitimate).
+
+:func:`shared_tiny_detector` is the session-wide trained-model cache
+the serving suites draw from: training even a TINY-scale detector costs
+seconds, and the serve / resilience / sharded modules all need the same
+few MiBench programs, so each is trained exactly once per test session
+instead of once per module.
 """
+
+_TINY_DETECTORS = {}
+
+
+def tiny_scale():
+    """The shared TINY training scale of the serving test suites."""
+    from repro.experiments.runner import Scale
+
+    return Scale(
+        train_runs=2, clean_runs=1, injected_runs=1, group_sizes=(8, 16)
+    )
+
+
+def shared_tiny_detector(name):
+    """One TINY-scale trained detector per program per test session."""
+    if name not in _TINY_DETECTORS:
+        from repro.experiments.runner import build_detector
+        from repro.programs.mibench import BENCHMARKS
+
+        _TINY_DETECTORS[name] = build_detector(
+            BENCHMARKS[name](), tiny_scale(), source="em"
+        )
+    return _TINY_DETECTORS[name]
 
 
 def pytest_addoption(parser):

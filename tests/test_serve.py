@@ -15,6 +15,8 @@ import socket
 
 import numpy as np
 import pytest
+from conftest import shared_tiny_detector as detector_for
+from conftest import tiny_scale
 
 from repro.errors import (
     ConfigurationError,
@@ -23,8 +25,6 @@ from repro.errors import (
     RegistryError,
     ServeError,
 )
-from repro.experiments.runner import Scale, build_detector
-from repro.programs.mibench import BENCHMARKS
 from repro.serve import (
     EddieClient,
     FrameDecoder,
@@ -52,18 +52,10 @@ from repro.serve.protocol import (
 )
 from repro.stream import FleetScheduler, StreamingMonitor
 
-TINY = Scale(train_runs=2, clean_runs=1, injected_runs=1, group_sizes=(8, 16))
+TINY = tiny_scale()
 
 #: The loopback bit-identity sweep covers these programs end to end.
 SERVED_PROGRAMS = ("bitcount", "sha", "dijkstra")
-
-_DETECTORS = {}
-
-
-def detector_for(name):
-    if name not in _DETECTORS:
-        _DETECTORS[name] = build_detector(BENCHMARKS[name](), TINY, source="em")
-    return _DETECTORS[name]
 
 
 @pytest.fixture(scope="module")

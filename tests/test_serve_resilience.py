@@ -14,10 +14,10 @@ import socket
 import threading
 
 import pytest
+from conftest import shared_tiny_detector as detector_for
+from conftest import tiny_scale
 
 from repro.errors import ProtocolError, ServeError, ServeTimeoutError
-from repro.experiments.runner import Scale, build_detector
-from repro.programs.mibench import BENCHMARKS
 from repro.serve import (
     ChaosConfig,
     ChaosProxy,
@@ -35,15 +35,7 @@ from repro.serve.protocol import (
 )
 from repro.stream import StreamingMonitor
 
-TINY = Scale(train_runs=2, clean_runs=1, injected_runs=1, group_sizes=(8, 16))
-
-_DETECTORS = {}
-
-
-def detector_for(name):
-    if name not in _DETECTORS:
-        _DETECTORS[name] = build_detector(BENCHMARKS[name](), TINY, source="em")
-    return _DETECTORS[name]
+TINY = tiny_scale()
 
 
 @pytest.fixture(scope="module")
@@ -160,6 +152,7 @@ class TestKillAndResume:
             assert handle.stats.sessions_resumed >= 1
             assert handle.stats.sessions_suspended >= 1
 
+    @pytest.mark.slow
     def test_random_chaos_resumes_bit_identically(self, registry):
         detector = detector_for("bitcount")
         trace = detector.source.capture(seed=TINY.monitor_seed(2))
