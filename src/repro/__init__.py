@@ -37,6 +37,12 @@ sessions in one process (see :mod:`repro.stream`). :mod:`repro.serve`
 turns that into a networked service: publish trained models to a
 :class:`repro.ModelRegistry`, run an :class:`repro.EddieServer`, and
 stream captures from devices with :class:`repro.EddieClient`.
+
+For noisy environments, :mod:`repro.dsp` provides composable
+preprocessing stages -- :class:`repro.FirGateStage`,
+:class:`repro.SvdDenoiser`, :class:`repro.AgcStage` -- attached via
+``EddieConfig(frontend=(...,))`` and applied identically on the batch,
+streaming, and serving paths (DESIGN.md D22).
 """
 
 from repro.errors import (
@@ -83,6 +89,13 @@ _LAZY_EXPORTS = {
     "ShardCluster": "repro.serve",
     "ShardRouter": "repro.serve",
     "WorkerSpec": "repro.serve",
+    "FrontendStage": "repro.dsp",
+    "StreamingStage": "repro.dsp",
+    "FrontendChain": "repro.dsp",
+    "AgcStage": "repro.dsp",
+    "FirGateStage": "repro.dsp",
+    "SvdDenoiser": "repro.dsp",
+    "apply_frontend": "repro.dsp",
 }
 
 __all__ = [
@@ -109,6 +122,13 @@ __all__ = [
     "ShardCluster",
     "ShardRouter",
     "WorkerSpec",
+    "FrontendStage",
+    "StreamingStage",
+    "FrontendChain",
+    "AgcStage",
+    "FirGateStage",
+    "SvdDenoiser",
+    "apply_frontend",
     "ReproError",
     "AnalysisError",
     "ConfigurationError",

@@ -241,6 +241,7 @@ def sts_fingerprint(signal: Any, config: Any) -> str:
         config.gap_samples if config.quality_gating else None,
         config.dead_fraction if config.quality_gating else None,
         config.energy_outlier_mads if config.quality_gating else None,
+        getattr(config, "frontend", ()),
     )
 
 

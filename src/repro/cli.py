@@ -15,6 +15,7 @@ Subcommands:
 Examples::
 
     eddie train bitcount -o bitcount.npz --runs 8
+    eddie train sha -o sha_denoised.npz --denoise
     eddie monitor bitcount bitcount.npz --inject-loop --seed 7
     eddie stream bitcount bitcount.npz --sessions 8 --chunk-samples 4096
     eddie publish bitcount.npz --registry runs/registry
@@ -34,6 +35,7 @@ from typing import Callable, Dict, Optional
 
 from repro.arch.config import CoreConfig
 from repro.core.detector import Eddie, TrainedDetector
+from repro.core.model import EddieConfig
 from repro.em.scenario import EmScenario
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments.runner import Scale
@@ -80,6 +82,15 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument("--runs", type=int, default=8)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--source", choices=("em", "power"), default="em")
+    train.add_argument("--denoise", action="store_true",
+                       help="attach the noisy-environment front end "
+                            "(FIR band gate + SVD subspace denoiser, the "
+                            "bench_denoise 'denoised' tier)")
+    train.add_argument("--frontend", default=None, metavar="JSON",
+                       help="preprocessing chain as a JSON stage list, "
+                            "e.g. '[{\"type\": \"fir_gate\", "
+                            "\"cutoff\": 0.5}]' "
+                            "(types: agc, fir_gate, svd_denoiser)")
     train.add_argument("--clock", type=float, default=1e8,
                        help="core clock in Hz (scaled-down default)")
 
@@ -349,6 +360,39 @@ def _make_source(benchmark: str, source: str, clock: float, faults=None):
     return Simulator(program, CoreConfig.sim_ooo(clock))
 
 
+def _parse_frontend(args: argparse.Namespace):
+    """The preprocessing chain requested by ``--denoise``/``--frontend``."""
+    if args.denoise and args.frontend:
+        raise ConfigurationError(
+            "--denoise and --frontend are mutually exclusive; put the "
+            "full chain in --frontend instead"
+        )
+    if args.denoise:
+        from repro.dsp import FirGateStage, SvdDenoiser
+
+        return (
+            FirGateStage(cutoff=0.5),
+            SvdDenoiser(block_samples=2048, hankel_window=64, rank=8),
+        )
+    if args.frontend:
+        import json
+
+        from repro.dsp import stage_from_dict
+
+        try:
+            entries = json.loads(args.frontend)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"--frontend is not valid JSON: {error}"
+            ) from None
+        if not isinstance(entries, list):
+            raise ConfigurationError(
+                "--frontend must be a JSON list of stage objects"
+            )
+        return tuple(stage_from_dict(entry) for entry in entries)
+    return ()
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     program = BENCHMARKS[args.benchmark]()
     core = (
@@ -356,11 +400,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
         if args.source == "em"
         else CoreConfig.sim_ooo(args.clock)
     )
-    detector = Eddie().train(
+    frontend = _parse_frontend(args)
+    config = EddieConfig(frontend=frontend) if frontend else None
+    detector = Eddie(config).train(
         program, core=core, runs=args.runs, seed=args.seed, source=args.source
     )
     save_model(detector.model, args.output)
     print(f"trained {args.benchmark} on {args.runs} runs -> {args.output}")
+    if frontend:
+        chain = " -> ".join(stage.stage_type for stage in frontend)
+        print(f"  frontend: {chain}")
     for name, profile in detector.model.profiles.items():
         print(
             f"  {name:32s} refs={profile.n_reference:5d} "
@@ -623,10 +672,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         max_sessions=args.sessions, early_exit=args.early_exit
     )
     for s in range(args.sessions):
-        base = args.seed + s * args.runs
+        # The seed list is materialized eagerly: a genexpr over `base + k`
+        # would close over the loop variable and stream every session from
+        # the last session's seeds.
+        seeds = [args.seed + s * args.runs + k for k in range(args.runs)]
         source = itertools.chain.from_iterable(
-            scenario.capture_chunks(args.chunk_samples, seed=base + k)
-            for k in range(args.runs)
+            scenario.capture_chunks(args.chunk_samples, seed=sd)
+            for sd in seeds
         )
         fleet.add_session(f"dev-{s:03d}", model, source=source)
     rounds = 0

@@ -16,6 +16,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.core.stats.ks import sorted_run_ends
+from repro.dsp import FrontendStage, validate_frontend
 from repro.errors import ConfigurationError, TrainingError
 
 __all__ = ["EddieConfig", "RegionProfile", "EddieModel"]
@@ -72,6 +73,13 @@ class EddieConfig:
             ``desync`` report.
         max_unscorable_fraction: when at least this share of a run's
             windows is unscorable, the result's status is ``'degraded'``.
+        frontend: preprocessing chain applied to every captured signal
+            before the STFT -- a tuple of
+            :class:`~repro.dsp.FrontendStage` stages (e.g.
+            :class:`~repro.dsp.SvdDenoiser`) run in order on training,
+            batch, streaming, fleet, and served paths alike. Part of the
+            config fingerprint, so a served model reproduces its
+            training front end exactly (DESIGN.md D22).
     """
 
     window_samples: int = 512
@@ -95,8 +103,11 @@ class EddieConfig:
     energy_outlier_mads: float = 8.0
     resync_timeout: int = 96
     max_unscorable_fraction: float = 0.9
+    frontend: Tuple[FrontendStage, ...] = ()
 
     def __post_init__(self) -> None:
+        if not isinstance(self.frontend, tuple):
+            object.__setattr__(self, "frontend", tuple(self.frontend))
         self.validate()
 
     def validate(self) -> "EddieConfig":
@@ -152,6 +163,7 @@ class EddieConfig:
             raise ConfigurationError(
                 "max_unscorable_fraction must be in (0, 1]"
             )
+        validate_frontend(self.frontend)
         return self
 
 

@@ -647,6 +647,12 @@ class Monitor:
             if cached is not None:
                 peaks, times, quality = cached
                 return self.run_peaks(peaks, times, quality=quality)
+        if getattr(cfg, "frontend", ()):
+            from repro.dsp import apply_frontend
+
+            # The cache key is computed on the raw signal (the chain is
+            # part of the fingerprint), so denoising only runs on a miss.
+            signal = apply_frontend(cfg.frontend, signal)
         spectra = stft(signal, cfg.window_samples, cfg.overlap)
         peaks = peak_matrix(spectra, cfg.energy_fraction, cfg.max_peaks,
                             cfg.peak_prominence, cfg.diffuse_features)

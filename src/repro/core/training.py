@@ -91,6 +91,13 @@ class Trainer:
                 f"({self._sample_rate} vs {signal.sample_rate})"
             )
         cfg = self.config
+        if cfg.frontend:
+            from repro.dsp import apply_frontend
+
+            # Same placement as monitoring: the chain runs between
+            # capture and STFT, and quality flags are computed on the
+            # processed stream (matching the streaming path bit for bit).
+            signal = apply_frontend(cfg.frontend, signal)
         spectra = stft(signal, cfg.window_samples, cfg.overlap)
         peaks = peak_matrix(spectra, cfg.energy_fraction, cfg.max_peaks,
                             cfg.peak_prominence, cfg.diffuse_features)

@@ -1,0 +1,154 @@
+"""Windowed-Hankel SVD denoising (spectral-subspace projection).
+
+Following *Detecting Code Injections in Noisy Environments Through EM
+Signal Analysis and SVD Denoising* (arXiv 2212.05643): program loops put
+a handful of strong quasi-periodic components into each short stretch of
+the IQ stream, so a trajectory (Hankel) matrix built from that stretch
+is numerically low-rank -- its leading singular subspace spans the loop
+emission while wideband receiver noise spreads thinly over *all*
+singular directions. Projecting onto the leading subspace and reading
+the signal back off the anti-diagonals therefore raises the SNR of
+exactly the spectral lines EDDIE's K-S test monitors, recovering
+detection accuracy at noise levels where the raw spectra bury the
+peaks.
+
+Per block of ``block_samples`` samples ``x[0..N)``:
+
+1. build the Hankel matrix ``H[i, j] = x[i + j]`` of shape
+   ``(L, N - L + 1)`` with window ``L = hankel_window``;
+2. compute the SVD ``H = U diag(s) V*`` and keep the leading ``r``
+   directions -- a fixed ``rank``, or the smallest ``r`` whose singular
+   energy reaches ``energy_keep`` of the total (adaptive: clean blocks
+   keep almost everything, noisy blocks shed the noise floor);
+3. reconstruct ``H_r`` and average its anti-diagonals back into a
+   length-``N`` sequence (each output sample is the mean of every
+   ``H_r[i, j]`` with ``i + j = k``).
+
+Blocks are anchored at the start of the stream and processed
+independently, so the streaming form (buffer to full blocks, flush the
+final partial one) is bit-identical to batch for any chunking -- the
+:class:`~repro.dsp.stage.BlockStage` contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.dsp.stage import BlockStage, register_stage
+from repro.errors import ConfigurationError
+
+__all__ = ["SvdDenoiser"]
+
+# The anti-diagonal index grid and its bin counts depend only on the
+# (block length, Hankel window) pair; cache them per geometry so steady
+# streams pay the setup once.
+_GRID_CACHE: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _hankel_grid(n: int, window: int) -> Tuple[np.ndarray, np.ndarray]:
+    key = (n, window)
+    cached = _GRID_CACHE.get(key)
+    if cached is None:
+        idx = np.arange(window)[:, None] + np.arange(n - window + 1)[None, :]
+        counts = np.bincount(idx.ravel(), minlength=n).astype(float)
+        if len(_GRID_CACHE) > 64:  # geometry churn: drop, don't grow
+            _GRID_CACHE.clear()
+        _GRID_CACHE[key] = cached = (idx, counts)
+    return cached
+
+
+@register_stage("svd_denoiser")
+@dataclass(frozen=True, kw_only=True)
+class SvdDenoiser(BlockStage):
+    """SVD/spectral-subspace denoising front-end stage.
+
+    Attributes:
+        block_samples: samples per independently denoised block. Larger
+            blocks resolve closer spectral lines but cube the SVD cost.
+        hankel_window: trajectory-matrix window ``L``; the subspace can
+            hold at most ``L`` distinct complex exponentials. Blocks
+            shorter than ``2 * hankel_window`` (the stream tail) use
+            ``len // 2`` instead, so tiny tails still denoise.
+        rank: keep exactly this many singular directions (``None`` to
+            select by energy instead).
+        energy_keep: when ``rank`` is ``None``, keep the smallest
+            leading subspace holding at least this fraction of the total
+            singular energy.
+
+    Output dtype is float64/complex128 regardless of input width, so a
+    mixed-precision stream cannot make batch and streaming disagree.
+    """
+
+    block_samples: int = 2048
+    hankel_window: int = 64
+    rank: Optional[int] = None
+    energy_keep: float = 0.92
+
+    def validate(self) -> "SvdDenoiser":
+        if self.block_samples < 32:
+            raise ConfigurationError(
+                f"block_samples must be >= 32, got {self.block_samples}"
+            )
+        if self.hankel_window < 2:
+            raise ConfigurationError(
+                f"hankel_window must be >= 2, got {self.hankel_window}"
+            )
+        if 2 * self.hankel_window > self.block_samples:
+            raise ConfigurationError(
+                f"hankel_window {self.hankel_window} exceeds half the "
+                f"block ({self.block_samples} samples)"
+            )
+        if self.rank is not None and self.rank < 1:
+            raise ConfigurationError(
+                f"rank must be >= 1 (or None), got {self.rank}"
+            )
+        if not 0 < self.energy_keep <= 1:
+            raise ConfigurationError(
+                f"energy_keep must be in (0, 1], got {self.energy_keep}"
+            )
+        return self
+
+    def _select_rank(self, s: np.ndarray) -> int:
+        if self.rank is not None:
+            return min(self.rank, len(s))
+        energy = s * s
+        total = float(energy.sum())
+        if total <= 0.0:
+            return 1
+        cum = np.cumsum(energy)
+        return int(np.searchsorted(cum, self.energy_keep * total)) + 1
+
+    def _process_block(self, block: np.ndarray) -> np.ndarray:
+        out_dtype = (
+            np.complex128 if np.iscomplexobj(block) else np.float64
+        )
+        x = np.asarray(block, dtype=out_dtype)
+        n = len(x)
+        window = min(self.hankel_window, n // 2)
+        if window < 2:
+            # A 1..3-sample tail has no trajectory structure; pass it
+            # through (same path in batch and streaming).
+            return x.copy() if x is block else x
+        idx, counts = _hankel_grid(n, window)
+        hankel = x[idx]
+        u, s, vh = np.linalg.svd(hankel, full_matrices=False)
+        r = self._select_rank(s)
+        if r >= len(s):
+            low_rank = hankel
+        else:
+            low_rank = (u[:, :r] * s[:r]) @ vh[:r]
+        flat_idx = idx.ravel()
+        if out_dtype is np.complex128:
+            real = np.bincount(
+                flat_idx, weights=low_rank.real.ravel(), minlength=n
+            )
+            imag = np.bincount(
+                flat_idx, weights=low_rank.imag.ravel(), minlength=n
+            )
+            return (real + 1j * imag) / counts
+        return np.bincount(
+            flat_idx, weights=low_rank.ravel(), minlength=n
+        ) / counts

@@ -11,6 +11,9 @@ package synthesizes the equivalent received signal:
   (DESIGN.md D2),
 - :mod:`repro.em.channel` -- AWGN, narrowband interferers, and antenna
   coupling loss,
+- :mod:`repro.em.harsh` -- the harsh-environment scenario matrix (strong
+  interferers, co-located emitters, low-SNR distance sweeps) exercised
+  by the SVD denoising front end (DESIGN.md D22),
 - :mod:`repro.em.receiver` -- an SDR-like front end (gain, band-limiting,
   decimation),
 - :mod:`repro.em.faults` -- acquisition fault injection (overflow gaps,
@@ -21,6 +24,16 @@ package synthesizes the equivalent received signal:
 """
 
 from repro.em.channel import ChannelModel
+from repro.em.harsh import (
+    CoEmitter,
+    HarshChannel,
+    HarshPoint,
+    co_device_points,
+    distance_sweep,
+    harsh_matrix,
+    interferer_bank,
+    low_snr_sweep,
+)
 from repro.em.faults import (
     DeadChannelFault,
     FaultInjector,
@@ -37,6 +50,14 @@ from repro.em.scenario import EmScenario, EmTrace
 __all__ = [
     "am_modulate",
     "ChannelModel",
+    "HarshChannel",
+    "CoEmitter",
+    "HarshPoint",
+    "low_snr_sweep",
+    "distance_sweep",
+    "interferer_bank",
+    "co_device_points",
+    "harsh_matrix",
     "Receiver",
     "OverflowCounter",
     "saturate",

@@ -13,6 +13,7 @@ an overdriven ADC would, and both report overflow counts the same way.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -82,8 +83,13 @@ class Receiver:
         agc: normalize the block RMS level toward the ADC's sweet spot
             (half full scale) before quantization, as a cheap SDR's
             automatic gain control does. Reduces saturation but introduces
-            gain steps at block boundaries.
-        agc_block: AGC adaptation block length in samples.
+            gain steps at block boundaries. *Deprecated:* use
+            :class:`repro.dsp.AgcStage` on ``EddieConfig.frontend``
+            instead -- the stage form runs on the shared preprocessing
+            chain (streaming, checkpointable, fingerprinted into the
+            model).
+        agc_block: AGC adaptation block length in samples (deprecated
+            with ``agc``).
         dc_offset: additive DC at the mixer output (cheap direct-conversion
             SDRs have a notorious DC spike).
         iq_imbalance_db: gain imbalance between the I and Q chains in dB;
@@ -129,6 +135,15 @@ class Receiver:
             raise SignalError(f"agc_block must be >= 2, got {self.agc_block}")
         if self.iq_imbalance_db < 0:
             raise SignalError("iq_imbalance_db must be >= 0")
+        if self.agc:
+            warnings.warn(
+                "Receiver(agc=True) is deprecated; put an AgcStage on "
+                "EddieConfig.frontend instead (repro.dsp.AgcStage with "
+                "target=0.5*adc_full_scale and block_samples=agc_block "
+                "reproduces it on the shared preprocessing chain)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
     def capture(self, signal: Signal) -> Signal:
         """Apply the front end to a received signal."""

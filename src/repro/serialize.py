@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Union
 import numpy as np
 
 from repro.core.model import EddieConfig, EddieModel, RegionProfile
+from repro.dsp import stage_from_dict, stage_to_dict
 from repro.em.scenario import EmTrace
 from repro.errors import ConfigurationError
 from repro.types import FaultSpan, RegionInterval, RegionTimeline, Signal
@@ -85,6 +86,9 @@ def save_model(model: EddieModel, path: Union[str, Path]) -> None:
             "energy_outlier_mads": model.config.energy_outlier_mads,
             "resync_timeout": model.config.resync_timeout,
             "max_unscorable_fraction": model.config.max_unscorable_fraction,
+            "frontend": [
+                stage_to_dict(stage) for stage in model.config.frontend
+            ],
         },
         "regions": [
             {
@@ -120,6 +124,14 @@ def load_model(path: Union[str, Path]) -> EddieModel:
             )
         cfg_dict = dict(meta["config"])
         cfg_dict["group_sizes"] = tuple(cfg_dict["group_sizes"])
+        # Legacy files predate the frontend field; absent means none.
+        # Present entries round-trip through the stage registry, and a
+        # tampered entry either fails reconstruction here or changes the
+        # rebuilt config's fingerprint, tripping the check below.
+        cfg_dict["frontend"] = tuple(
+            stage_from_dict(entry)
+            for entry in cfg_dict.get("frontend", ())
+        )
         config = EddieConfig(**cfg_dict)
         expected = meta.get("config_fingerprint")
         if expected is not None and expected != config_fingerprint(config):

@@ -365,6 +365,11 @@ class EddieClient:
             except (ServeError, ConnectionError, OSError) as error:
                 self._handle_disconnect(error)
         self.last_summary = summary
+        # The summary carries the server's authoritative window total:
+        # it includes windows scored while flushing a preprocessing
+        # chain's buffered tail at finish, which no per-chunk REPORT
+        # frame ever carried.
+        self._windows = summary.windows
         self._session = None
         self._token = None
         self._buffer.clear()

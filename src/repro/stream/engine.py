@@ -38,6 +38,7 @@ from repro.core.monitor import (
 )
 from repro.core.peaks import peak_matrix
 from repro.core.stft import SpectrumSequence, StreamingQuality, StreamingStft
+from repro.dsp import FrontendChain
 from repro.errors import MonitoringError, SignalError
 from repro.obs import OBS, span
 from repro.types import Signal
@@ -176,6 +177,14 @@ class StreamingMonitor:
             t0=t0,
             quality=quality,
         )
+        # Preprocessing front end (DESIGN.md D22): raw chunks pass
+        # through the chain before the STFT sees them; finish() flushes
+        # the chain's buffered tail through scoring so streaming matches
+        # the batch pipeline sample for sample.
+        self._frontend = (
+            FrontendChain(cfg.frontend) if cfg.frontend else None
+        )
+        self._fe_drained = False
         self._early_exit = bool(early_exit)
         self._keep_history = bool(keep_history)
         self._chunk_results: Optional[List[MonitorResult]] = (
@@ -232,6 +241,8 @@ class StreamingMonitor:
             total += buf._values.nbytes + buf._ages.nbytes
         if self._stft._buffer is not None:
             total += self._stft._buffer.nbytes
+        if self._frontend is not None:
+            total += self._frontend.resident_bytes()
         if self._chunk_results:
             for r in self._chunk_results:
                 total += (
@@ -274,11 +285,19 @@ class StreamingMonitor:
         return np.asarray(samples)
 
     def _feed_samples(self, samples: np.ndarray) -> List[MonitorResult]:
+        if self._frontend is not None and len(samples):
+            samples = self._frontend.feed(samples)
+        return self._feed_processed(samples, count_chunk=True)
+
+    def _feed_processed(
+        self, samples: np.ndarray, *, count_chunk: bool
+    ) -> List[MonitorResult]:
+        """Score already-preprocessed samples (the post-frontend path)."""
         staged = self._stft.begin_feed(samples)
         power = freqs = None
         if staged.n:
             power, freqs = self._stft.transform(staged)
-        seq = self._emit_windows(staged, power, freqs)
+        seq = self._emit_windows(staged, power, freqs, count=count_chunk)
         if len(seq) == 0:
             return []
         cfg = self._cfg
@@ -309,13 +328,20 @@ class StreamingMonitor:
         """
         if self.stopped:
             return None
-        return self._stft.begin_feed(self._coerce_chunk(samples))
+        samples = self._coerce_chunk(samples)
+        if self._frontend is not None and len(samples):
+            samples = self._frontend.feed(samples)
+        return self._stft.begin_feed(samples)
 
-    def _emit_windows(self, staged, power, freqs) -> SpectrumSequence:
+    def _emit_windows(
+        self, staged, power, freqs, count: bool = True
+    ) -> SpectrumSequence:
         """Turn a staged chunk plus its (possibly pooled) spectra into
-        the chunk's window sequence; counts the chunk."""
+        the chunk's window sequence; counts the chunk (unless it is the
+        frontend's flush tail, which belongs to no fed chunk)."""
         seq = self._stft.finish_feed(staged, power, freqs)
-        self._chunks += 1
+        if count:
+            self._chunks += 1
         return seq
 
     def _plan_windows(self, seq: SpectrumSequence, peaks: np.ndarray):
@@ -495,6 +521,9 @@ class StreamingMonitor:
             )
         mon_meta, mon_arrays = self._monitor.export_state()
         stft_meta, stft_arrays = self._stft.export_state()
+        fe_meta = fe_arrays = None
+        if self._frontend is not None:
+            fe_meta, fe_arrays = self._frontend.export_state()
         meta = {
             "kind": _SNAPSHOT_KIND,
             "config_fingerprint": config_fingerprint(self._cfg),
@@ -512,12 +541,17 @@ class StreamingMonitor:
             ],
             "monitor": mon_meta,
             "stft": stft_meta,
+            "frontend": fe_meta,
+            "fe_drained": self._fe_drained,
         }
         arrays = {}
         for name, value in mon_arrays.items():
             arrays[f"mon.{name}"] = value
         for name, value in stft_arrays.items():
             arrays[f"stft.{name}"] = value
+        if fe_arrays is not None:
+            for name, value in fe_arrays.items():
+                arrays[f"fe.{name}"] = value
         return StreamSnapshot(meta=meta, arrays=arrays)
 
     @classmethod
@@ -574,16 +608,47 @@ class StreamingMonitor:
 
         monitor._monitor.restore_state(meta["monitor"], sub("mon."))
         monitor._stft.restore_state(meta["stft"], sub("stft."))
+        # Legacy snapshots (pre-frontend) can only pass the fingerprint
+        # check against a frontend-free config, where both fields below
+        # are absent and the defaults already match.
+        fe_meta = meta.get("frontend")
+        if monitor._frontend is not None and fe_meta is not None:
+            monitor._frontend.restore_state(fe_meta, sub("fe."))
+        monitor._fe_drained = bool(meta.get("fe_drained", False))
         return monitor
+
+    def _drain_frontend(self) -> List[MonitorResult]:
+        """Flush the frontend chain's buffered tail through scoring.
+
+        The batch pipeline processes a signal's final partial block and
+        the FIR delay pad; a streaming frontend holds those samples until
+        the stream ends, so closing the stream must push them through the
+        same scoring path (not counted as a fed chunk). Idempotent;
+        returns the results of any windows the tail completed.
+        """
+        if self._frontend is None or self._fe_drained:
+            return []
+        self._fe_drained = True
+        if self.stopped:
+            return []
+        tail = self._frontend.flush()
+        if len(tail) == 0:
+            return []
+        return self._feed_processed(tail, count_chunk=False)
 
     def finish(self) -> StreamSummary:
         """Close the stream: flush run-level metrics, return the summary.
 
-        Idempotent -- a second call returns the same summary without
-        double-counting.
+        With a frontend attached, its buffered tail is drained through
+        scoring first, so summaries cover every sample the batch path
+        would have scored (window counts, reports, and -- for
+        ``keep_history`` streams -- :meth:`result` all include the tail's
+        windows). Idempotent -- a second call returns the same summary
+        without double-counting.
         """
         if self._summary is not None:
             return self._summary
+        self._drain_frontend()
         if OBS.enabled:
             self._monitor._flush_obs_run(self.status)
         self._summary = StreamSummary(
@@ -621,6 +686,7 @@ class StreamingMonitor:
         collected: List[MonitorResult] = []
         for chunk in chunks:
             collected.extend(self.feed(chunk))
+        collected.extend(self._drain_frontend())
         self.finish()
         return MonitorResult.concat(
             collected,

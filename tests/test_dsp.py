@@ -1,0 +1,209 @@
+"""The preprocessing-stage API: validation, registry, bit-identity.
+
+The load-bearing contract (DESIGN.md D22): for any stage chain and ANY
+chunking of the input stream, ``FrontendChain`` feed/flush produces
+samples bit-identical to the batch ``process`` composition over the
+whole array -- so the batch trainer, the streaming monitor, and a
+checkpoint/resume cycle all see exactly the same front-end output. The
+hypothesis sweep drives that across random signals, random chunk
+boundaries, and random snapshot cut points.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp import (
+    AgcStage,
+    FirGateStage,
+    FrontendChain,
+    SvdDenoiser,
+    apply_frontend,
+    stage_from_dict,
+    stage_to_dict,
+    validate_frontend,
+)
+from repro.errors import ConfigurationError
+from repro.types import Signal
+
+#: Stage sets the equivalence sweep exercises. Small block sizes keep
+#: hypothesis examples fast while still spanning many block boundaries.
+STAGE_SETS = {
+    "agc": (AgcStage(block_samples=256),),
+    "fir": (FirGateStage(cutoff=0.4, taps=33, block_samples=256),),
+    "svd": (SvdDenoiser(block_samples=256, hankel_window=16, rank=4),),
+    "chain": (
+        AgcStage(block_samples=128),
+        FirGateStage(cutoff=0.5, taps=17, block_samples=128),
+        SvdDenoiser(block_samples=192, hankel_window=12, rank=3),
+    ),
+}
+
+
+def make_signal(seed, n):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / 1e4
+    clean = np.exp(2j * np.pi * 400.0 * t) * (
+        1.0 + 0.5 * np.cos(2 * np.pi * 60.0 * t)
+    )
+    return clean + 0.3 * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+
+
+def chunkings(samples, sizes):
+    out, start = [], 0
+    for size in sizes:
+        if start >= len(samples):
+            break
+        out.append(samples[start : start + size])
+        start += size
+    if start < len(samples):
+        out.append(samples[start:])
+    return out
+
+
+def batch_process(stages, samples):
+    for stage in stages:
+        samples = stage.process(samples)
+    return samples
+
+
+class TestValidation:
+    def test_stages_are_frozen(self):
+        stage = AgcStage(block_samples=256)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            stage.block_samples = 1
+
+    def test_stages_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            FirGateStage(0.5)  # noqa -- positional must be rejected
+
+    @pytest.mark.parametrize("bad", [
+        lambda: AgcStage(block_samples=1),
+        lambda: AgcStage(target=0.0),
+        lambda: FirGateStage(cutoff=0.0),
+        lambda: FirGateStage(cutoff=1.5),
+        lambda: FirGateStage(cutoff=0.5, taps=64),  # even
+        lambda: FirGateStage(cutoff=0.5, taps=65, block_samples=32),
+        lambda: SvdDenoiser(rank=0),
+        lambda: SvdDenoiser(energy_keep=0.0),
+        lambda: SvdDenoiser(hankel_window=1),
+        lambda: SvdDenoiser(block_samples=8, hankel_window=64),
+    ])
+    def test_invalid_parameters_raise_eagerly(self, bad):
+        with pytest.raises(ConfigurationError):
+            bad()
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrontendChain(())
+
+    def test_validate_frontend_rejects_non_stage(self):
+        with pytest.raises(ConfigurationError):
+            validate_frontend(("not a stage",))
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("stage", [s for ss in STAGE_SETS.values() for s in ss])
+    def test_round_trip(self, stage):
+        desc = stage_to_dict(stage)
+        assert desc["type"] == stage.stage_type
+        assert stage_from_dict(desc) == stage
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stage_from_dict({"type": "definitely_not_registered"})
+
+    def test_unknown_field_rejected(self):
+        desc = stage_to_dict(AgcStage())
+        desc["tampered_field"] = 1.0
+        with pytest.raises(ConfigurationError):
+            stage_from_dict(desc)
+
+
+class TestBatchStreamingEquivalence:
+    @given(
+        key=st.sampled_from(sorted(STAGE_SETS)),
+        seed=st.integers(0, 2**31),
+        n=st.integers(1, 4000),
+        sizes=st.lists(st.integers(1, 700), min_size=1, max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_chunking_is_bit_identical(self, key, seed, n, sizes):
+        stages = STAGE_SETS[key]
+        samples = make_signal(seed, n)
+        reference = batch_process(stages, samples)
+
+        chain = FrontendChain(stages)
+        parts = [chain.feed(c) for c in chunkings(samples, sizes)]
+        parts.append(chain.flush())
+        streamed = np.concatenate([p for p in parts if len(p)] or [np.empty(0)])
+        assert streamed.dtype == reference.dtype
+        assert np.array_equal(streamed, reference)
+
+    @given(
+        key=st.sampled_from(sorted(STAGE_SETS)),
+        seed=st.integers(0, 2**31),
+        cut=st.integers(0, 3000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_snapshot_restore_is_bit_identical(self, key, seed, cut):
+        stages = STAGE_SETS[key]
+        samples = make_signal(seed, 3000)
+        cut = min(cut, len(samples))
+        reference = batch_process(stages, samples)
+
+        first = FrontendChain(stages)
+        head = first.feed(samples[:cut])
+        meta, arrays = first.export_state()
+
+        second = FrontendChain(stages)
+        second.restore_state(meta, arrays)
+        tail = second.feed(samples[cut:])
+        out = np.concatenate([head, tail, second.flush()])
+        assert np.array_equal(out, reference)
+
+    def test_empty_feed_is_inert(self):
+        chain = FrontendChain(STAGE_SETS["chain"])
+        samples = make_signal(7, 1000)
+        reference = batch_process(STAGE_SETS["chain"], samples)
+        parts = [chain.feed(samples[:400])]
+        parts.append(chain.feed(np.empty(0, dtype=samples.dtype)))
+        parts.append(chain.feed(samples[400:]))
+        parts.append(chain.flush())
+        assert np.array_equal(np.concatenate(parts), reference)
+
+
+class TestSvdDenoiser:
+    def test_reduces_noise_on_structured_signal(self):
+        rng = np.random.default_rng(0)
+        n = 8192
+        t = np.arange(n) / 1e4
+        clean = np.exp(2j * np.pi * 400.0 * t) * (
+            1.0 + 0.5 * np.cos(2 * np.pi * 60.0 * t)
+        )
+        noisy = clean + 1.0 * (
+            rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        ) / np.sqrt(2)
+        denoised = SvdDenoiser(
+            block_samples=2048, hankel_window=64, rank=8
+        ).process(noisy)
+        mse_before = float(np.mean(np.abs(noisy - clean) ** 2))
+        mse_after = float(np.mean(np.abs(denoised - clean) ** 2))
+        assert mse_after < 0.25 * mse_before
+
+    def test_short_input_passthrough_shape(self):
+        stage = SvdDenoiser(block_samples=256, hankel_window=16, rank=4)
+        out = stage.process(make_signal(3, 3))
+        assert out.shape == (3,)
+
+    def test_apply_frontend_preserves_signal_frame(self):
+        samples = make_signal(11, 2000)
+        signal = Signal(samples, 1e4, t0=1.25)
+        out = apply_frontend(STAGE_SETS["svd"], signal)
+        assert out.sample_rate == signal.sample_rate
+        assert out.t0 == signal.t0
+        assert len(out.samples) == len(samples)
+        assert not np.array_equal(out.samples, samples)

@@ -1,0 +1,277 @@
+"""Front-end chains through the full detector stack (DESIGN.md D22).
+
+The contract under test: an ``EddieConfig(frontend=...)`` chain behaves
+identically everywhere it can run -- the batch monitor, the streaming
+engine under any chunking, a snapshot/resume cycle, the fleet batch
+kernel (mixed with frontend-less sessions), a model save/load round
+trip, and a served session killed and resumed mid-stream. "Identically"
+means bit-identical results with zero windows lost, including the
+windows produced by flushing the chain's buffered tail at finish().
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+from conftest import shared_tiny_detector, tiny_scale
+
+from repro.core.model import EddieConfig
+from repro.core.monitor import Monitor, MonitorResult
+from repro.dsp import FirGateStage, SvdDenoiser
+from repro.errors import ConfigurationError
+from repro.experiments.runner import build_detector
+from repro.programs.mibench import BENCHMARKS
+from repro.serialize import (
+    config_fingerprint,
+    load_model,
+    save_model,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
+from repro.serve import (
+    ChaosProxy,
+    EddieClient,
+    ModelRegistry,
+    ServerConfig,
+    serve_in_thread,
+)
+from repro.stream import FleetScheduler, StreamingMonitor
+
+TINY = tiny_scale()
+
+#: The chain every test here attaches: a band gate feeding the SVD
+#: subspace projection (the bench_denoise "denoised" tier, with a
+#: smaller Hankel window to keep the tiny-scale suite fast).
+FRONTEND = (
+    FirGateStage(cutoff=0.5),
+    SvdDenoiser(block_samples=2048, hankel_window=32, rank=8),
+)
+
+_FE_DETECTORS = {}
+
+
+def frontend_detector(name="bitcount"):
+    """One tiny-scale detector per program trained *with* the chain."""
+    if name not in _FE_DETECTORS:
+        _FE_DETECTORS[name] = build_detector(
+            BENCHMARKS[name](), TINY, source="em",
+            config=EddieConfig(frontend=FRONTEND),
+        )
+    return _FE_DETECTORS[name]
+
+
+def assert_results_equal(streamed: MonitorResult, batch: MonitorResult):
+    np.testing.assert_array_equal(streamed.times, batch.times)
+    assert streamed.tracked == batch.tracked
+    assert streamed.reports == batch.reports
+    assert streamed.report_indices == batch.report_indices
+    np.testing.assert_array_equal(
+        streamed.rejection_flags, batch.rejection_flags
+    )
+    np.testing.assert_array_equal(streamed.group_sizes, batch.group_sizes)
+    np.testing.assert_array_equal(
+        streamed.unscorable_flags, batch.unscorable_flags
+    )
+    assert streamed.status == batch.status
+
+
+def stream_in_chunks(model, signal, chunk_samples):
+    monitor = StreamingMonitor(model, keep_history=True)
+    for start in range(0, len(signal.samples), chunk_samples):
+        monitor.feed(signal.samples[start : start + chunk_samples])
+    monitor.finish()
+    return monitor
+
+
+class TestBatchStreamingParity:
+    @pytest.mark.parametrize("chunk_samples", [997, 2048, 4099, 10**9])
+    def test_any_chunking_matches_batch(self, chunk_samples):
+        detector = frontend_detector()
+        signal = detector.source.capture(seed=TINY.monitor_seed(0)).iq
+        batch = Monitor(detector.model).run_signal(signal)
+        monitor = stream_in_chunks(detector.model, signal, chunk_samples)
+        assert_results_equal(monitor.result(), batch)
+        # The chain buffers samples, so finish() must flush the tail
+        # through the STFT: no window the batch path scores may be lost.
+        assert monitor.windows_seen == len(batch.times)
+
+    def test_frontend_actually_changes_the_stream(self):
+        # Guard against the chain silently not running: the same capture
+        # scored by a frontend-less model must see different windows.
+        detector = frontend_detector()
+        plain = shared_tiny_detector("bitcount")
+        # Training saw the processed stream: the reference profiles must
+        # diverge from the frontend-less model's, and the fingerprint
+        # the serving/fleet layers group by must differ too.
+        assert detector.model.profiles != plain.model.profiles
+        assert config_fingerprint(detector.model.config) != (
+            config_fingerprint(plain.model.config)
+        )
+
+
+class TestSnapshotResume:
+    def test_mid_stream_resume_is_bit_identical(self):
+        detector = frontend_detector()
+        signal = detector.source.capture(seed=TINY.monitor_seed(1)).iq
+        samples = signal.samples
+        chunk = 3001  # never block-aligned: the chain always has a tail
+
+        straight = StreamingMonitor(detector.model)
+        reports = []
+        for start in range(0, len(samples), chunk):
+            for r in straight.feed(samples[start : start + chunk]):
+                reports.extend(r.reports)
+        expected_summary = straight.finish()
+
+        interrupted = StreamingMonitor(detector.model)
+        resumed_reports = []
+        cut = (len(samples) // chunk // 2) * chunk
+        for start in range(0, cut, chunk):
+            for r in interrupted.feed(samples[start : start + chunk]):
+                resumed_reports.extend(r.reports)
+        snap = snapshot_from_bytes(snapshot_to_bytes(interrupted.snapshot()))
+        resumed = StreamingMonitor.restore(detector.model, snap)
+        for start in range(cut, len(samples), chunk):
+            for r in resumed.feed(samples[start : start + chunk]):
+                resumed_reports.extend(r.reports)
+        summary = resumed.finish()
+
+        assert resumed_reports == reports
+        assert summary == dataclasses.replace(
+            expected_summary, session_id=summary.session_id
+        )
+        assert summary.windows == expected_summary.windows
+
+
+class TestFleetMixedFrontends:
+    def test_mixed_sessions_identical_to_isolated(self):
+        """Frontend and frontend-less sessions sharing one fleet must
+        each match their isolated runs -- the kernel may only pool
+        streams whose model fingerprints (chain included) agree."""
+        fe = frontend_detector()
+        plain = shared_tiny_detector("bitcount")
+        models = [fe.model, plain.model, fe.model, plain.model]
+        signals = [
+            det.source.capture(seed=TINY.monitor_seed(10 + s)).iq
+            for s, det in enumerate((fe, plain, fe, plain))
+        ]
+        chunkings = (997, 2048, 4099, 2048)
+
+        fleet = FleetScheduler(max_sessions=4, keep_history=True)
+        for s, model in enumerate(models):
+            fleet.add_session(f"dev-{s}", model)
+        steps = [
+            list(sig.iter_chunks(chunk))
+            for sig, chunk in zip(signals, chunkings)
+        ]
+        for r in range(max(len(s) for s in steps)):
+            fleet.feed_many([
+                (f"dev-{s}", steps[s][r])
+                for s in range(len(steps))
+                if r < len(steps[s])
+            ])
+        for s in range(len(steps)):
+            fleet.session(f"dev-{s}").monitor.finish()
+
+        for s, (model, sig, chunk) in enumerate(
+            zip(models, signals, chunkings)
+        ):
+            isolated = StreamingMonitor(model, keep_history=True)
+            for c in sig.iter_chunks(chunk):
+                isolated.feed(c)
+            isolated.finish()
+            assert_results_equal(
+                fleet.session(f"dev-{s}").monitor.result(),
+                isolated.result(),
+            )
+
+
+class TestModelRoundTrip:
+    def test_save_load_preserves_the_chain(self, tmp_path):
+        detector = frontend_detector()
+        path = tmp_path / "fe_model.npz"
+        save_model(detector.model, path)
+        loaded = load_model(path)
+        assert loaded.config.frontend == FRONTEND
+        assert config_fingerprint(loaded.config) == config_fingerprint(
+            detector.model.config
+        )
+
+    def test_tampered_stage_is_rejected(self, tmp_path):
+        detector = frontend_detector()
+        path = tmp_path / "fe_model.npz"
+        save_model(detector.model, path)
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            arrays = {k: data[k] for k in data.files if k != "meta"}
+        # Quietly weaken the gate: the recorded fingerprint no longer
+        # matches the rebuilt config, so the load must refuse.
+        meta["config"]["frontend"][0]["cutoff"] = 0.9
+        tampered = tmp_path / "tampered.npz"
+        with open(tampered, "wb") as handle:
+            np.savez_compressed(handle, meta=json.dumps(meta), **arrays)
+        with pytest.raises(ConfigurationError, match="fingerprint"):
+            load_model(tampered)
+
+    def test_unknown_stage_type_is_rejected(self, tmp_path):
+        detector = frontend_detector()
+        path = tmp_path / "fe_model.npz"
+        save_model(detector.model, path)
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            arrays = {k: data[k] for k in data.files if k != "meta"}
+        meta["config"]["frontend"][0] = {"type": "not_a_stage"}
+        tampered = tmp_path / "unknown.npz"
+        with open(tampered, "wb") as handle:
+            np.savez_compressed(handle, meta=json.dumps(meta), **arrays)
+        with pytest.raises(ConfigurationError):
+            load_model(tampered)
+
+
+class TestServeResumeWithFrontend:
+    def test_kill_and_resume_loses_zero_windows(self, tmp_path):
+        detector = frontend_detector()
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(detector.model)
+        trace = detector.source.capture(seed=TINY.monitor_seed(2))
+        chunks = list(trace.iq.iter_chunks(4096))
+        assert len(chunks) >= 4
+
+        local = StreamingMonitor(detector.model, t0=trace.iq.t0)
+        local_reports = []
+        for chunk in chunks:
+            for result in local.feed(chunk):
+                local_reports.extend(result.reports)
+        local_summary = local.finish()
+
+        config = ServerConfig(
+            max_sessions=4, worker_threads=2, checkpoint_interval=2
+        )
+        with serve_in_thread(registry, config) as handle:
+            with ChaosProxy(handle.address, seed=11) as proxy:
+                host, port = proxy.address
+                with EddieClient(
+                    host, port, window=4, connect_timeout=5.0,
+                    io_timeout=10.0, max_retries=8,
+                    backoff_base=0.02, backoff_max=0.25,
+                ) as client:
+                    client.open(detector.model.program_name, t0=trace.iq.t0)
+                    reports = []
+                    for i, chunk in enumerate(chunks):
+                        reports.extend(client.send(chunk))
+                        if i == len(chunks) // 2:
+                            reports.extend(client.drain())
+                            assert proxy.kill_connections() == 1
+                    reports.extend(client.drain())
+                    summary = client.close()
+                    assert client.reconnects >= 1
+                    assert reports == local_reports
+                    assert summary == dataclasses.replace(
+                        local_summary, session_id=summary.session_id
+                    )
+                    # Zero windows lost across the kill: the resumed
+                    # session scored exactly what the local run did,
+                    # drained chain tail included.
+                    assert client.windows_seen == local_summary.windows
+            assert handle.stats.sessions_resumed >= 1

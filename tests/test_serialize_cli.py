@@ -141,6 +141,53 @@ class TestCli:
         out = capsys.readouterr().out
         assert "run 0:" in out
 
+    def test_train_with_frontend_json(self, tmp_path, capsys):
+        model_path = str(tmp_path / "sha_fe.npz")
+        assert cli_main([
+            "train", "sha", "-o", model_path, "--runs", "2",
+            "--frontend", '[{"type": "fir_gate", "cutoff": 0.5}]',
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "frontend: fir_gate" in out
+        loaded = load_model(model_path)
+        assert len(loaded.config.frontend) == 1
+        assert loaded.config.frontend[0].stage_type == "fir_gate"
+
+    def test_train_frontend_flags_are_exclusive_and_validated(self, tmp_path):
+        model_path = str(tmp_path / "nope.npz")
+        assert cli_main([
+            "train", "sha", "-o", model_path, "--runs", "2",
+            "--denoise", "--frontend", "[]",
+        ]) != 0
+        assert cli_main([
+            "train", "sha", "-o", model_path, "--runs", "2",
+            "--frontend", '[{"type": "no_such_stage"}]',
+        ]) != 0
+        assert cli_main([
+            "train", "sha", "-o", model_path, "--runs", "2",
+            "--frontend", "not json",
+        ]) != 0
+
+    def test_stream_sessions_use_distinct_seeds(self, tmp_path, capsys):
+        """Each fleet session must stream its own seed block.
+
+        Regression: the session source genexpr used to close over the
+        loop's ``base`` variable, so every session lazily streamed the
+        *last* session's seeds and all lines came out identical.
+        """
+        model_path = str(tmp_path / "sha.npz")
+        cli_main(["train", "sha", "-o", model_path, "--runs", "2"])
+        capsys.readouterr()
+        assert cli_main(
+            ["stream", "sha", model_path, "--sessions", "2",
+             "--chunk-samples", "4096"]
+        ) == 0
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if ln.startswith("dev-")]
+        assert len(lines) == 2
+        suffixes = {ln.split(": ", 1)[1] for ln in lines}
+        assert len(suffixes) == 2, f"sessions streamed the same seed: {out}"
+
     def test_monitor_with_injection_detects(self, tmp_path, capsys):
         model_path = str(tmp_path / "sha.npz")
         cli_main(["train", "sha", "-o", model_path, "--runs", "4"])
