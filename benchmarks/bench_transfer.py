@@ -1,0 +1,257 @@
+"""Transfer benchmark: train once on a base device, deploy calibrated.
+
+EDDIE's per-device training is the blocker to fleet scale. This bench
+trains one base model, then confronts it with a grid of perturbed device
+variants -- clock drift x receiver gain x cache geometry
+(:class:`repro.transfer.DeviceVariant`) -- and compares three
+deployments per variant:
+
+- **uncal**: the base model pointed at the variant unchanged. Clock
+  drift moves every spectral line, so this collapses to coin-flip
+  balanced accuracy on drifted variants (100% false alarms).
+- **cal**: the base model adapted by :func:`repro.transfer.calibrate_model`
+  from one *short unlabeled capture* of the variant -- no retraining,
+  no ground-truth timeline (DESIGN.md D23).
+- **retrain**: full per-variant training, the expensive upper bound
+  calibration is trying to make unnecessary.
+
+Per variant the bench records balanced accuracy ((TPR + TNR) / 2; a
+clean run counts as a false alarm when it emits *any* report) in
+``BENCH_transfer.json``. The acceptance gates: on every drifted variant,
+calibrated strictly beats uncalibrated AND lands within 5 points of full
+retraining.
+
+Run as pytest (``REPRO_SCALE=quick`` by default) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_transfer.py --full
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.arch.config import CoreConfig
+from repro.core.detector import Eddie, TrainedDetector
+from repro.em.scenario import EmScenario
+from repro.experiments.report import format_table
+from repro.experiments.runner import Scale
+from repro.programs.mibench import BENCHMARKS, INJECTION_LOOPS
+from repro.programs.workloads import injection_mix
+from repro.transfer import DeviceVariant, calibrate_model
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_OUTPUT = _REPO_ROOT / "BENCH_transfer.json"
+
+_PROGRAM = "sha"
+
+#: The drift x gain x cache variant grid. ``identity`` is the control
+#: cell (calibrating against the same device must stay harmless); every
+#: other cell is drifted, so the gates apply to it.
+_VARIANTS = {
+    "identity": DeviceVariant(name="identity"),
+    "d2": DeviceVariant(name="d2", clock_scale=1.02),
+    "d5": DeviceVariant(name="d5", clock_scale=1.05),
+    "d2_gain": DeviceVariant(name="d2_gain", clock_scale=1.02, gain=0.5),
+    "d5_gain": DeviceVariant(name="d5_gain", clock_scale=1.05, gain=0.5),
+    "d2_cache": DeviceVariant(name="d2_cache", clock_scale=1.02, l1_kib=16),
+    "d5_gain_cache": DeviceVariant(
+        name="d5_gain_cache", clock_scale=1.05, gain=0.5, l1_kib=16
+    ),
+}
+
+#: The cells the default (CI) run exercises: the control, a pure drift,
+#: drift + cache geometry (exercises the quantile stage), and drift +
+#: gain. ``--full`` runs the whole grid.
+_DEFAULT_CELLS = ("identity", "d2", "d2_cache", "d5_gain")
+
+#: Seed block for the unlabeled calibration captures, disjoint from the
+#: train/monitor seed ranges.
+_CAPTURE_SEED = 77_000
+
+
+def _balanced_accuracy(model, scenario, scale, seed_base):
+    """Balanced accuracy of one model against one variant scenario.
+
+    TPR comes from ``metrics.detected`` (a report inside/after an
+    injected span); TNR counts a clean run as a false alarm when it
+    emits any report at all -- ``detected`` is defined off injected
+    spans, so it can never fire on a clean run.
+    """
+    detector = TrainedDetector(model, scenario)
+    clean = [
+        detector.monitor(seed=scale.monitor_seed(k) + seed_base).metrics
+        for k in range(scale.clean_runs)
+    ]
+    scenario.simulator.set_loop_injection(
+        INJECTION_LOOPS[_PROGRAM], injection_mix(4, 4), 1.0
+    )
+    injected = [
+        detector.monitor(seed=scale.injected_seed(k) + seed_base).metrics
+        for k in range(scale.injected_runs)
+    ]
+    scenario.simulator.clear_injections()
+    tpr = sum(int(m.detected) for m in injected) / len(injected)
+    tnr = 1.0 - sum(int(m.n_reports > 0) for m in clean) / len(clean)
+    return {
+        "tpr": tpr,
+        "tnr": tnr,
+        "accuracy": (tpr + tnr) / 2.0,
+        "clean_reports": [m.n_reports for m in clean],
+    }
+
+
+def _run_cell(base_model, base_scenario, variant, scale, seed_base):
+    """Uncal / cal / retrain accuracy of one variant cell."""
+    scenario = variant.apply(base_scenario)
+    cell = {
+        "variant": variant.name,
+        "description": variant.describe(),
+        "drifted": variant.is_drifted,
+        "uncal": _balanced_accuracy(base_model, scenario, scale, seed_base),
+    }
+    capture = scenario.capture(seed=_CAPTURE_SEED + seed_base)
+    result = calibrate_model(
+        base_model, capture, variant=variant.describe()
+    )
+    cell["cal"] = _balanced_accuracy(
+        result.model, scenario, scale, seed_base
+    )
+    cell["calibration"] = {
+        "freq_scale": result.report.freq_scale,
+        "windows": result.report.windows,
+        "snapped_fraction": result.report.snapped_fraction,
+        "capture_ms": capture.iq.duration * 1e3,
+        "method": result.model.calibration.method,
+    }
+    retrained = Eddie().train(
+        BENCHMARKS[_PROGRAM](), scenario=scenario,
+        runs=scale.train_runs, seed=scale.train_seed() + seed_base + 500,
+    )
+    cell["retrain"] = _balanced_accuracy(
+        retrained.model, scenario, scale, seed_base
+    )
+    return cell
+
+
+def run_benchmark(scale_name="quick", cell_names=_DEFAULT_CELLS):
+    scale = {"quick": Scale.quick, "default": Scale.default,
+             "paper": Scale.paper}[scale_name]()
+    unknown = [n for n in cell_names if n not in _VARIANTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown variants {unknown}; have {sorted(_VARIANTS)}"
+        )
+    core = CoreConfig.iot_inorder(clock_hz=scale.clock_hz)
+    base_scenario = EmScenario.build(BENCHMARKS[_PROGRAM](), core=core)
+    # Train ONCE; every variant cell deploys this same base model.
+    base = Eddie().train(
+        BENCHMARKS[_PROGRAM](), scenario=base_scenario,
+        runs=scale.train_runs, seed=scale.train_seed(),
+    )
+    cells = []
+    for ci, name in enumerate(cell_names):
+        # Each cell gets its own deterministic seed block so the cells
+        # are independent scenario draws (same scheme as bench_denoise).
+        cells.append(
+            _run_cell(
+                base.model, base_scenario, _VARIANTS[name], scale,
+                seed_base=1000 * ci,
+            )
+        )
+    report = {
+        "benchmark": "transfer-calibration",
+        "scale": scale_name,
+        "program": _PROGRAM,
+        "deployments": {
+            "uncal": "base model, no adaptation",
+            "cal": ("calibrate_model() from one short unlabeled "
+                    "target capture"),
+            "retrain": "full per-variant training (upper bound)",
+        },
+        "cells": cells,
+        "gates": _check_gates(cells),
+    }
+    _OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _check_gates(cells):
+    """The acceptance gates, evaluated and recorded in the report.
+
+    - ``calibrated_beats_uncalibrated``: on every drifted variant,
+      calibrated balanced accuracy strictly exceeds uncalibrated.
+    - ``calibrated_matches_retrain``: on every drifted variant,
+      calibrated accuracy is within 5 points of full retraining.
+    """
+    drifted = [c for c in cells if c["drifted"]]
+    return {
+        "calibrated_beats_uncalibrated": bool(drifted) and all(
+            c["cal"]["accuracy"] > c["uncal"]["accuracy"] for c in drifted
+        ),
+        "calibrated_matches_retrain": bool(drifted) and all(
+            c["cal"]["accuracy"] >= c["retrain"]["accuracy"] - 0.05
+            for c in drifted
+        ),
+    }
+
+
+def _format(report):
+    rows = [
+        [c["variant"], c["description"].split(": ", 1)[1],
+         f"{c['uncal']['accuracy']:.2f}",
+         f"{c['cal']['accuracy']:.2f}",
+         f"{c['retrain']['accuracy']:.2f}",
+         f"{c['calibration']['freq_scale']:.5f}"]
+        for c in report["cells"]
+    ]
+    table = format_table(
+        f"Train-once/deploy-many balanced accuracy ({report['program']}, "
+        "8-instruction loop injection)",
+        ["Variant", "Perturbation", "Uncal", "Cal", "Retrain", "Scale"],
+        rows,
+    )
+    gates = report["gates"]
+    return "\n".join([
+        table,
+        f"  cal > uncal (drifted variants)   : "
+        f"{gates['calibrated_beats_uncalibrated']}",
+        f"  cal >= retrain - 0.05 (drifted)  : "
+        f"{gates['calibrated_matches_retrain']}",
+        f"  -> {_OUTPUT}",
+    ])
+
+
+def test_transfer_benchmark(scale, show):
+    import os
+
+    scale_name = os.environ.get("REPRO_SCALE", "quick")
+    report = run_benchmark(scale_name=scale_name)
+    show(_format(report))
+    assert report["gates"]["calibrated_beats_uncalibrated"], (
+        "calibration failed to strictly beat the uncalibrated base "
+        "model on a drifted variant"
+    )
+    assert report["gates"]["calibrated_matches_retrain"], (
+        "calibration fell more than 5 points short of full retraining "
+        "on a drifted variant"
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="quick",
+                        choices=("quick", "default", "paper"))
+    parser.add_argument("--cells", nargs="*", default=None,
+                        help="variant cell names (default: control + one "
+                             "per perturbation class)")
+    parser.add_argument("--full", action="store_true",
+                        help="run the whole drift x gain x cache grid")
+    args = parser.parse_args()
+    if args.full:
+        names = tuple(_VARIANTS)
+    else:
+        names = tuple(args.cells) if args.cells else _DEFAULT_CELLS
+    result = run_benchmark(scale_name=args.scale, cell_names=names)
+    print(_format(result))
+    sys.exit(0 if all(result["gates"].values()) else 1)

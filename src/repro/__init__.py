@@ -43,6 +43,13 @@ preprocessing stages -- :class:`repro.FirGateStage`,
 :class:`repro.SvdDenoiser`, :class:`repro.AgcStage` -- attached via
 ``EddieConfig(frontend=(...,))`` and applied identically on the batch,
 streaming, and serving paths (DESIGN.md D22).
+
+For fleet scale, :mod:`repro.transfer` adapts a trained model to a
+perturbed device variant from one short unlabeled capture -- no
+retraining: describe the target with :class:`repro.DeviceVariant`, call
+:func:`repro.calibrate_model`, and publish the result as a registry
+derivation (``name@N+cal:FP``) via
+:meth:`repro.ModelRegistry.publish_derived` (DESIGN.md D23).
 """
 
 from repro.errors import (
@@ -89,6 +96,11 @@ _LAZY_EXPORTS = {
     "ShardCluster": "repro.serve",
     "ShardRouter": "repro.serve",
     "WorkerSpec": "repro.serve",
+    "DeviceVariant": "repro.transfer",
+    "calibrate_model": "repro.transfer",
+    "CalibrationResult": "repro.transfer",
+    "CalibrationReport": "repro.transfer",
+    "CalibrationInfo": "repro.core.model",
     "FrontendStage": "repro.dsp",
     "StreamingStage": "repro.dsp",
     "FrontendChain": "repro.dsp",
@@ -122,6 +134,11 @@ __all__ = [
     "ShardCluster",
     "ShardRouter",
     "WorkerSpec",
+    "DeviceVariant",
+    "calibrate_model",
+    "CalibrationResult",
+    "CalibrationReport",
+    "CalibrationInfo",
     "FrontendStage",
     "StreamingStage",
     "FrontendChain",

@@ -182,7 +182,7 @@ def describe(obj: Any) -> Any:
             describe(obj.reference),
         ]
     if isinstance(obj, EddieModel):
-        return [
+        desc = [
             "EddieModel",
             obj.program_name,
             describe(obj.config),
@@ -191,6 +191,13 @@ def describe(obj: Any) -> Any:
             describe(list(obj.initial_regions)),
             describe(obj.sample_rate),
         ]
+        # Calibration provenance is part of a derived model's identity;
+        # appended only when present so base-model fingerprints (and every
+        # registry entry and golden manifest written before derivations
+        # existed) are unchanged.
+        if obj.calibration is not None:
+            desc.append(describe(obj.calibration))
+        return desc
     if callable(obj) and hasattr(obj, "__code__"):
         return _describe_callable(obj)
     raise TypeError(

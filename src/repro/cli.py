@@ -5,6 +5,8 @@ Subcommands:
 - ``train``      train a detector on a built-in benchmark, save the model
 - ``monitor``    run clean/injected monitoring runs against a saved model
 - ``stream``     feed captures chunk-by-chunk through the streaming fleet
+- ``calibrate``  adapt a trained model to a target device variant from a
+  short unlabeled capture, without retraining
 - ``publish``    publish a trained model into a serving registry
 - ``serve``      serve EM monitoring over TCP from a registry
 - ``client``     stream captures to a running ``eddie serve``
@@ -18,7 +20,9 @@ Examples::
     eddie train sha -o sha_denoised.npz --denoise
     eddie monitor bitcount bitcount.npz --inject-loop --seed 7
     eddie stream bitcount bitcount.npz --sessions 8 --chunk-samples 4096
+    eddie calibrate sha.npz --capture target_cap.npz -o sha_target.npz
     eddie publish bitcount.npz --registry runs/registry
+    eddie calibrate sha@latest --capture cap.npz --registry runs/registry
     eddie serve --registry runs/registry --port 7453
     eddie client bitcount@latest --port 7453 --benchmark bitcount
     eddie experiment table1 --scale quick
@@ -209,6 +213,27 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="stop each session at its first anomaly")
     stream.add_argument("--quality-gating", action="store_true",
                         help="causal acquisition-quality gating per window")
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="adapt a trained model to a target device from a short "
+             "unlabeled capture (train once, deploy many)",
+    )
+    calibrate.add_argument("model",
+                           help="model .npz file, or a registry spec when "
+                                "--registry is given")
+    calibrate.add_argument("--capture", required=True, metavar="TRACE",
+                           help="short unlabeled capture of the target "
+                                "device (`eddie capture` .npz)")
+    calibrate.add_argument("-o", "--output", default=None, metavar="FILE",
+                           help="write the derived model to FILE")
+    calibrate.add_argument("--registry", default=None, metavar="DIR",
+                           help="resolve MODEL from this registry and "
+                                "publish the derived model back as "
+                                "name@N+cal:FP")
+    calibrate.add_argument("--variant", default="",
+                           help="free-form target-device description, "
+                                "recorded in the calibration provenance")
 
     publish = sub.add_parser(
         "publish", help="publish a trained model into a serving registry"
@@ -583,6 +608,13 @@ def _cmd_obs_stats(args: argparse.Namespace) -> int:
         f"state: draining={stats['draining']} "
         f"protocol_errors={stats['protocol_errors']}"
     )
+    for session in stats.get("sessions", []):
+        worker = session.get("worker")
+        where = f" (worker {worker})" if worker is not None else ""
+        print(
+            f"  session {session.get('session')}{where}: "
+            f"model {session.get('model')}"
+        )
     return 0
 
 
@@ -698,6 +730,40 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         f"fleet: {len(summaries)} sessions, {rounds} dispatch rounds, "
         f"{detected} detected"
     )
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.serialize import load_trace, save_model
+    from repro.transfer import calibrate_model
+
+    if args.output is None and args.registry is None:
+        print(
+            "error: nowhere to put the derived model; pass -o FILE "
+            "and/or --registry DIR",
+            file=sys.stderr,
+        )
+        return 2
+    registry = base_entry = None
+    if args.registry is not None:
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry(args.registry)
+        model, base_entry = registry.load(args.model)
+    else:
+        model = load_model(args.model)
+    capture = load_trace(args.capture)
+    result = calibrate_model(model, capture, variant=args.variant)
+    print(result.report.format())
+    if registry is not None:
+        entry = registry.publish_derived(result.model, base_entry)
+        print(
+            f"published {entry.spec} (fp:{entry.fingerprint[:12]}) "
+            f"-> {entry.path}"
+        )
+    if args.output is not None:
+        save_model(result.model, args.output)
+        print(f"saved derived model -> {args.output}")
     return 0
 
 
@@ -952,6 +1018,7 @@ def main(argv: Optional[list] = None) -> int:
         "capture": _cmd_capture,
         "monitor-trace": _cmd_monitor_trace,
         "stream": _cmd_stream,
+        "calibrate": _cmd_calibrate,
         "publish": _cmd_publish,
         "serve": _cmd_serve,
         "client": _cmd_client,

@@ -10,8 +10,8 @@ relation, which Algorithm 1 consults on rejections.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass, fields as dataclass_fields, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,7 +19,83 @@ from repro.core.stats.ks import sorted_run_ends
 from repro.dsp import FrontendStage, validate_frontend
 from repro.errors import ConfigurationError, TrainingError
 
-__all__ = ["EddieConfig", "RegionProfile", "EddieModel"]
+__all__ = ["EddieConfig", "RegionProfile", "EddieModel", "CalibrationInfo"]
+
+
+@dataclass(frozen=True, kw_only=True)
+class CalibrationInfo:
+    """Provenance of a derived (calibrated) model.
+
+    A derived model is a trained :class:`EddieModel` whose reference
+    distributions were warped onto a perturbed device variant by
+    ``repro.transfer.calibrate_model`` -- never retrained. The record
+    pins the exact base model (by content fingerprint) and the warp that
+    produced the derivation, so registries and serve can refuse
+    derivations whose lineage does not check out.
+
+    Attributes:
+        base_fingerprint: ``model_fingerprint`` hex of the base model the
+            references were warped from.
+        method: warp family identifier (currently ``"scale-snap"``:
+            global constrained frequency scale + per-region refinement +
+            per-dim monotone line snapping; DESIGN.md D23).
+        variant: free-form description of the target device variant.
+        freq_scale: the estimated global frequency scale factor
+            (target / base).
+        windows: STS windows of the unlabeled calibration capture used.
+        snapped_fraction: share of reference mass that snapped onto an
+            observed target spectral line.
+    """
+
+    base_fingerprint: str
+    method: str = "scale-snap"
+    variant: str = ""
+    freq_scale: float = 1.0
+    windows: int = 0
+    snapped_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.base_fingerprint:
+            raise ConfigurationError(
+                "CalibrationInfo requires the base model fingerprint"
+            )
+        if not self.method:
+            raise ConfigurationError("CalibrationInfo.method must be set")
+        if not self.freq_scale > 0:
+            raise ConfigurationError(
+                f"freq_scale must be positive, got {self.freq_scale}"
+            )
+        if self.windows < 0:
+            raise ConfigurationError("windows must be >= 0")
+        if not 0 <= self.snapped_fraction <= 1:
+            raise ConfigurationError("snapped_fraction must be in [0, 1]")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "base_fingerprint": self.base_fingerprint,
+            "method": self.method,
+            "variant": self.variant,
+            "freq_scale": float(self.freq_scale),
+            "windows": int(self.windows),
+            "snapped_fraction": float(self.snapped_fraction),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: object) -> "CalibrationInfo":
+        if not isinstance(raw, dict):
+            raise ConfigurationError(
+                f"calibration block must be a mapping, got {type(raw).__name__}"
+            )
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = set(raw) - known
+        if unknown:
+            raise ConfigurationError(
+                f"calibration block has unknown fields: {sorted(unknown)}"
+            )
+        try:
+            return cls(**raw)
+        except TypeError as exc:
+            raise ConfigurationError(f"bad calibration block: {exc}") from None
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -291,6 +367,7 @@ class EddieModel:
         successors: Dict[str, List[str]],
         initial_regions: Sequence[str],
         sample_rate: float,
+        calibration: Optional[CalibrationInfo] = None,
     ) -> None:
         if not profiles:
             raise TrainingError("model has no region profiles")
@@ -305,7 +382,13 @@ class EddieModel:
             profiles
         )[:1]
         self.sample_rate = float(sample_rate)
+        self.calibration = calibration
         del unknown
+
+    @property
+    def is_derived(self) -> bool:
+        """Whether this model was calibrated from a base model."""
+        return self.calibration is not None
 
     def profile(self, region: str) -> RegionProfile:
         try:
@@ -363,6 +446,7 @@ class EddieModel:
             self.successors,
             self.initial_regions,
             self.sample_rate,
+            calibration=self.calibration,
         )
 
     def with_alpha(self, alpha: float) -> "EddieModel":
@@ -374,6 +458,7 @@ class EddieModel:
             self.successors,
             self.initial_regions,
             self.sample_rate,
+            calibration=self.calibration,
         )
 
     def with_quality_gating(self, enabled: bool = True) -> "EddieModel":
@@ -385,6 +470,60 @@ class EddieModel:
             self.successors,
             self.initial_regions,
             self.sample_rate,
+            calibration=self.calibration,
+        )
+
+    def with_calibrated_references(
+        self,
+        references: Dict[str, np.ndarray],
+        calibration: CalibrationInfo,
+        sample_rate: Optional[float] = None,
+    ) -> "EddieModel":
+        """Derived-model constructor (``with_*`` style, DESIGN.md D23).
+
+        Replaces per-region reference arrays with warped copies while
+        keeping the state machine, per-region group sizes, and tested
+        dimensions of the base model. Every replacement must match its
+        base region's shape exactly: calibration warps observations, it
+        never adds or drops them. ``sample_rate`` may be updated to the
+        target device's estimated rate so hop timing follows the warp.
+        """
+        unknown = set(references) - set(self.profiles)
+        if unknown:
+            raise TrainingError(
+                f"calibrated references for unknown regions: {sorted(unknown)}"
+            )
+        profiles = {}
+        for name, base in self.profiles.items():
+            warped = references.get(name)
+            if warped is None:
+                profiles[name] = base
+                continue
+            warped = np.asarray(warped, dtype=float)
+            if warped.shape != base.reference.shape:
+                raise TrainingError(
+                    f"region {name!r}: warped reference shape {warped.shape} "
+                    f"!= base {base.reference.shape}"
+                )
+            if not np.array_equal(np.isnan(warped), np.isnan(base.reference)):
+                raise TrainingError(
+                    f"region {name!r}: warp changed the NaN padding mask"
+                )
+            profiles[name] = RegionProfile(
+                name=base.name,
+                reference=warped,
+                num_peaks=base.num_peaks,
+                group_size=base.group_size,
+                descriptor_dims=base.descriptor_dims,
+            )
+        return EddieModel(
+            self.program_name,
+            self.config,
+            profiles,
+            self.successors,
+            self.initial_regions,
+            self.sample_rate if sample_rate is None else float(sample_rate),
+            calibration=calibration,
         )
 
     def __repr__(self) -> str:

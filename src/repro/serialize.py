@@ -17,7 +17,12 @@ from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
-from repro.core.model import EddieConfig, EddieModel, RegionProfile
+from repro.core.model import (
+    CalibrationInfo,
+    EddieConfig,
+    EddieModel,
+    RegionProfile,
+)
 from repro.dsp import stage_from_dict, stage_to_dict
 from repro.em.scenario import EmTrace
 from repro.errors import ConfigurationError
@@ -53,6 +58,22 @@ def config_fingerprint(config: EddieConfig) -> str:
     from repro.cache import fingerprint
 
     return fingerprint("eddie-config", config)
+
+
+def _calibration_digest(cal_dict: dict, cfg_fp: str) -> str:
+    """Tamper-evident digest binding a calibration block to its config.
+
+    Covers the canonical JSON of the calibration provenance *and* the
+    config fingerprint it was saved under, so neither the provenance
+    fields nor the config section can be swapped independently after
+    save without the load-time check below refusing the file.
+    """
+    payload = json.dumps(
+        {"calibration": cal_dict, "config_fingerprint": cfg_fp},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def save_model(model: EddieModel, path: Union[str, Path]) -> None:
@@ -100,6 +121,14 @@ def save_model(model: EddieModel, path: Union[str, Path]) -> None:
             for profile in model.profiles.values()
         ],
     }
+    if model.calibration is not None:
+        cal_dict = model.calibration.to_dict()
+        meta["calibration"] = {
+            "info": cal_dict,
+            "digest": _calibration_digest(
+                cal_dict, meta["config_fingerprint"]
+            ),
+        }
     arrays = {
         f"reference_{i}": profile.reference
         for i, profile in enumerate(model.profiles.values())
@@ -143,6 +172,28 @@ def load_model(path: Union[str, Path]) -> EddieModel:
                 f"config section does not match its recorded fingerprint "
                 f"(corrupted or mislabeled model artifact)"
             )
+        # Models written before the transfer layer carry no calibration
+        # block and load as base models. A present block must verify
+        # against its recorded digest (which also binds the config
+        # fingerprint): any edit to the provenance fields -- base
+        # fingerprint, warp parameters -- is refused here.
+        calibration = None
+        cal_block = meta.get("calibration")
+        if cal_block is not None:
+            if not isinstance(cal_block, dict) or "info" not in cal_block:
+                raise ConfigurationError(
+                    f"{path}: malformed calibration block"
+                )
+            recorded = cal_block.get("digest")
+            actual = _calibration_digest(
+                cal_block["info"], meta.get("config_fingerprint", "")
+            )
+            if recorded != actual:
+                raise ConfigurationError(
+                    f"{path}: calibration block failed its integrity "
+                    f"check (tampered or corrupted derivation provenance)"
+                )
+            calibration = CalibrationInfo.from_dict(cal_block["info"])
         profiles = {}
         for i, region_meta in enumerate(meta["regions"]):
             profiles[region_meta["name"]] = RegionProfile(
@@ -159,6 +210,7 @@ def load_model(path: Union[str, Path]) -> EddieModel:
         successors={k: list(v) for k, v in meta["successors"].items()},
         initial_regions=list(meta["initial_regions"]),
         sample_rate=float(meta["sample_rate"]),
+        calibration=calibration,
     )
 
 

@@ -46,10 +46,109 @@ from repro.errors import RegistryError
 from repro.obs import OBS, record_count
 from repro.serialize import config_fingerprint, load_model, save_model
 
-__all__ = ["ModelRegistry", "RegistryEntry"]
+__all__ = ["ModelRegistry", "RegistryEntry", "ParsedSpec", "parse_spec"]
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 _VERSION_RE = re.compile(r"^v(\d{5})\.npz$")
+# Derived (calibrated) artifacts live beside their base version, tagged
+# with a 12-hex label of the derived model's own content fingerprint.
+# _VERSION_RE deliberately does not match them: `name@latest` always
+# resolves to a *base* version, never silently to somebody's derivation.
+_DERIVED_RE = re.compile(r"^v(\d{5})\+cal-([0-9a-f]{12})\.npz$")
+_CAL_LABEL_LEN = 12
+_HEX_RE = re.compile(r"^[0-9a-fA-F]+$")
+_VERSION_PART_RE = re.compile(r"^v?(\d+)$")
+
+
+@dataclass(frozen=True)
+class ParsedSpec:
+    """A model spec, parsed: exactly one of ``fingerprint`` / ``name``.
+
+    Grammar (DESIGN.md D23)::
+
+        spec        := "fp:" HEX            (>= 6 hex digits)
+                     | name version? cal?
+        version     := "@latest" | "@" INT | "@v" INT
+        cal         := "+cal:" HEX          (>= 6 hex digits)
+
+    ``version is None`` means "latest". Fingerprint specs cannot carry a
+    version or a calibration suffix -- a content address is already
+    exact.
+    """
+
+    name: Optional[str] = None
+    version: Optional[int] = None
+    fingerprint: Optional[str] = None
+    cal: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.fingerprint is not None:
+            return f"fp:{self.fingerprint}"
+        spec = str(self.name)
+        if self.version is not None:
+            spec += f"@{self.version}"
+        if self.cal is not None:
+            spec += f"+cal:{self.cal}"
+        return spec
+
+
+def _bad_spec(spec: object, why: str) -> RegistryError:
+    return RegistryError(
+        f"invalid model spec {spec!r}: {why}", code="bad_spec"
+    )
+
+
+def parse_spec(spec: str) -> ParsedSpec:
+    """Parse a model spec string, or raise a typed ``bad_spec`` error.
+
+    Never raises anything but :class:`~repro.errors.RegistryError` --
+    malformed input from the CLI or a network peer must surface as a
+    typed refusal, not a traceback.
+    """
+    if not isinstance(spec, str):
+        raise _bad_spec(spec, "spec must be a string")
+    if not spec:
+        raise _bad_spec(spec, "spec is empty")
+    if spec.startswith("fp:"):
+        prefix = spec[3:]
+        if len(prefix) < 6:
+            raise _bad_spec(
+                spec, "fingerprint prefix too short (use >= 6 hex digits)"
+            )
+        if not _HEX_RE.match(prefix):
+            raise _bad_spec(spec, "fingerprint prefix is not hex")
+        return ParsedSpec(fingerprint=prefix.lower())
+    body, plus, cal_part = spec.partition("+")
+    cal: Optional[str] = None
+    if plus:
+        if not cal_part.startswith("cal:"):
+            raise _bad_spec(spec, "only '+cal:HEX' suffixes are supported")
+        cal = cal_part[4:]
+        if len(cal) < 6:
+            raise _bad_spec(
+                spec, "calibration label too short (use >= 6 hex digits)"
+            )
+        if len(cal) > _CAL_LABEL_LEN:
+            raise _bad_spec(
+                spec,
+                f"calibration label longer than {_CAL_LABEL_LEN} hex digits",
+            )
+        if not _HEX_RE.match(cal):
+            raise _bad_spec(spec, "calibration label is not hex")
+        cal = cal.lower()
+    name, at, version_part = body.partition("@")
+    if not _NAME_RE.match(name):
+        raise _bad_spec(spec, "bad model name")
+    version: Optional[int] = None
+    if at:
+        if version_part != "latest":
+            match = _VERSION_PART_RE.match(version_part)
+            if not match:
+                raise _bad_spec(spec, f"bad version {version_part!r}")
+            version = int(match.group(1))
+            if version < 1:
+                raise _bad_spec(spec, "version must be >= 1")
+    return ParsedSpec(name=name, version=version, cal=cal)
 
 
 def model_fingerprint(model: EddieModel) -> str:
@@ -61,16 +160,30 @@ def model_fingerprint(model: EddieModel) -> str:
 
 @dataclass(frozen=True)
 class RegistryEntry:
-    """One published model version."""
+    """One published model version (base, or a ``+cal:`` derivation).
+
+    ``cal`` is the derivation label (12 hex digits of the derived
+    model's own fingerprint) and ``base_fingerprint`` the full content
+    address of the base model it was calibrated from; both are empty for
+    base versions.
+    """
 
     name: str
     version: int
     fingerprint: str
     path: Path
     meta: Dict = field(default_factory=dict, compare=False)
+    cal: str = ""
+    base_fingerprint: str = ""
+
+    @property
+    def is_derived(self) -> bool:
+        return bool(self.cal)
 
     @property
     def spec(self) -> str:
+        if self.cal:
+            return f"{self.name}@{self.version}+cal:{self.cal}"
         return f"{self.name}@{self.version}"
 
 
@@ -112,6 +225,12 @@ class ModelRegistry:
         name). Publishing an explicit version that already exists is an
         error -- published versions are immutable.
         """
+        if model.calibration is not None:
+            raise RegistryError(
+                "calibrated models are published with publish_derived(), "
+                "which records their base lineage",
+                code="internal",
+            )
         name = name if name is not None else model.program_name
         if not _NAME_RE.match(name):
             raise RegistryError(
@@ -162,6 +281,91 @@ class ModelRegistry:
             meta=meta,
         )
 
+    def publish_derived(
+        self,
+        model: EddieModel,
+        base: Union[str, RegistryEntry],
+    ) -> RegistryEntry:
+        """Publish a calibrated derivation beside its base version.
+
+        ``base`` is the published base entry (or a spec resolving to
+        one). The derived artifact is stored as
+        ``<name>/v{NNNNN}+cal-{LABEL}.npz`` where ``LABEL`` is the first
+        12 hex digits of the derived model's own content fingerprint,
+        and resolves as ``name@N+cal:LABEL``. The sidecar records the
+        base fingerprint and the full calibration provenance; load
+        refuses the derivation if either was tampered with or the base
+        is no longer published.
+        """
+        if model.calibration is None:
+            raise RegistryError(
+                "publish_derived() needs a calibrated model (no "
+                "calibration provenance attached)",
+                code="internal",
+            )
+        base_entry = base if isinstance(base, RegistryEntry) else (
+            self.resolve(base)
+        )
+        if base_entry.is_derived:
+            raise RegistryError(
+                f"{base_entry.spec}: cannot derive from a derivation; "
+                f"calibrate from the base model",
+                code="internal",
+            )
+        if model.calibration.base_fingerprint != base_entry.fingerprint:
+            raise RegistryError(
+                f"model was calibrated from "
+                f"fp:{model.calibration.base_fingerprint[:12]}, not from "
+                f"{base_entry.spec} "
+                f"(fp:{base_entry.fingerprint[:12]})",
+                code="internal",
+            )
+        fingerprint = model_fingerprint(model)
+        label = fingerprint[:_CAL_LABEL_LEN]
+        path = (
+            self.root / base_entry.name
+            / f"v{base_entry.version:05d}+cal-{label}.npz"
+        )
+        if path.exists():
+            raise RegistryError(
+                f"{base_entry.spec}+cal:{label} is already published; "
+                f"derivations are immutable",
+                code="internal",
+            )
+        meta = {
+            "name": base_entry.name,
+            "version": base_entry.version,
+            "cal": label,
+            "fingerprint": fingerprint,
+            "config_fingerprint": config_fingerprint(model.config),
+            "base_fingerprint": base_entry.fingerprint,
+            "base_spec": base_entry.spec,
+            "calibration": model.calibration.to_dict(),
+            "program_name": model.program_name,
+            "sample_rate": model.sample_rate,
+            "regions": len(model.profiles),
+            "created_at": time.time(),
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(path, lambda tmp: save_model(model, tmp))
+        self._atomic_write(
+            path.with_suffix(".json"),
+            lambda tmp: tmp.write_text(
+                json.dumps(meta, indent=2, sort_keys=True)
+            ),
+        )
+        if OBS.enabled:
+            record_count("repro.serve.registry", "published_derived")
+        return RegistryEntry(
+            name=base_entry.name,
+            version=base_entry.version,
+            fingerprint=fingerprint,
+            path=path,
+            meta=meta,
+            cal=label,
+            base_fingerprint=base_entry.fingerprint,
+        )
+
     @staticmethod
     def _atomic_write(path: Path, writer) -> None:
         fd, tmp_name = tempfile.mkstemp(
@@ -189,8 +393,24 @@ class ModelRegistry:
                 versions.append(int(match.group(1)))
         return sorted(versions)
 
-    def _entry(self, name: str, version: int) -> RegistryEntry:
-        path = self.root / name / f"v{version:05d}.npz"
+    def _derived_labels(self, name: str, version: int) -> List[str]:
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            return []
+        labels = []
+        for entry in model_dir.iterdir():
+            match = _DERIVED_RE.match(entry.name)
+            if match and int(match.group(1)) == version:
+                labels.append(match.group(2))
+        return sorted(labels)
+
+    def _entry(
+        self, name: str, version: int, cal: str = ""
+    ) -> RegistryEntry:
+        if cal:
+            path = self.root / name / f"v{version:05d}+cal-{cal}.npz"
+        else:
+            path = self.root / name / f"v{version:05d}.npz"
         sidecar = path.with_suffix(".json")
         meta: Dict = {}
         if sidecar.exists():
@@ -204,50 +424,67 @@ class ModelRegistry:
             fingerprint=str(meta.get("fingerprint", "")),
             path=path,
             meta=meta,
+            cal=cal,
+            base_fingerprint=str(meta.get("base_fingerprint", "")),
         )
 
     def list_entries(self) -> List[RegistryEntry]:
-        """Every published version, sorted by (name, version)."""
+        """Every published version (base versions, then each version's
+        derivations), sorted by (name, version, cal)."""
         entries: List[RegistryEntry] = []
         for model_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
             for version in self._versions(model_dir.name):
                 entries.append(self._entry(model_dir.name, version))
+                for label in self._derived_labels(model_dir.name, version):
+                    entries.append(
+                        self._entry(model_dir.name, version, label)
+                    )
         return entries
 
     def resolve(self, spec: str) -> RegistryEntry:
-        """Resolve ``name``, ``name@latest``, ``name@N``, or ``fp:HEX``."""
-        if not isinstance(spec, str) or not spec:
-            raise RegistryError(f"invalid model spec {spec!r}")
-        if spec.startswith("fp:"):
-            return self._resolve_fingerprint(spec[3:])
-        name, _, version_part = spec.partition("@")
-        if not _NAME_RE.match(name):
-            raise RegistryError(f"invalid model spec {spec!r}")
+        """Resolve a model spec to its entry.
+
+        Accepts ``name``, ``name@latest``, ``name@N``, ``fp:HEX``, and
+        calibrated derivations ``name[@N]+cal:HEX``. Malformed specs
+        raise a typed ``bad_spec`` :class:`RegistryError`; well-formed
+        specs that match nothing raise ``unknown_model``.
+        """
+        parsed = parse_spec(spec)
+        if parsed.fingerprint is not None:
+            return self._resolve_fingerprint(parsed.fingerprint)
+        name = str(parsed.name)
         versions = self._versions(name)
         if not versions:
             raise RegistryError(f"no model named {name!r} in {self.root}")
-        if version_part in ("", "latest"):
-            return self._entry(name, versions[-1])
-        try:
-            version = int(version_part.lstrip("v"))
-        except ValueError:
+        if parsed.version is None:
+            version = versions[-1]
+        elif parsed.version not in versions:
             raise RegistryError(
-                f"invalid version {version_part!r} in spec {spec!r}"
-            ) from None
-        if version not in versions:
-            raise RegistryError(
-                f"{name}@{version} is not published (have "
+                f"{name}@{parsed.version} is not published (have "
                 f"{', '.join(map(str, versions))})"
             )
-        return self._entry(name, version)
+        else:
+            version = parsed.version
+        if parsed.cal is None:
+            return self._entry(name, version)
+        labels = [
+            label
+            for label in self._derived_labels(name, version)
+            if label.startswith(parsed.cal)
+        ]
+        if not labels:
+            raise RegistryError(
+                f"{name}@{version} has no derivation matching "
+                f"+cal:{parsed.cal}"
+            )
+        if len(labels) > 1:
+            raise RegistryError(
+                f"+cal:{parsed.cal} is ambiguous under {name}@{version} "
+                f"({len(labels)} derivations); use a longer label"
+            )
+        return self._entry(name, version, labels[0])
 
     def _resolve_fingerprint(self, prefix: str) -> RegistryEntry:
-        prefix = prefix.lower()
-        if len(prefix) < 6:
-            raise RegistryError(
-                f"fingerprint prefix {prefix!r} too short (use >= 6 hex "
-                f"digits)"
-            )
         matches = [
             e for e in self.list_entries()
             if e.fingerprint.startswith(prefix)
@@ -262,7 +499,7 @@ class ModelRegistry:
             )
         # Identical content published under several names/versions:
         # any entry serves; pick the newest deterministically.
-        return max(matches, key=lambda e: (e.name, e.version))
+        return max(matches, key=lambda e: (e.name, e.version, e.cal))
 
     # -- loading --------------------------------------------------------------
 
@@ -311,6 +548,40 @@ class ModelRegistry:
             raise RegistryError(
                 f"{entry.spec}: content fingerprint mismatch (corrupted "
                 f"or mislabeled artifact)",
+                code="model_corrupt",
+            )
+        if entry.is_derived:
+            # A derivation's lineage must check out end to end: the
+            # artifact itself carries (digest-verified) calibration
+            # provenance, the sidecar pins the same base fingerprint,
+            # and that base must still be published here.
+            if model.calibration is None:
+                raise RegistryError(
+                    f"{entry.spec}: derivation artifact carries no "
+                    f"calibration provenance (tampered or mislabeled)",
+                    code="model_corrupt",
+                )
+            if model.calibration.base_fingerprint != entry.base_fingerprint:
+                raise RegistryError(
+                    f"{entry.spec}: base fingerprint mismatch between "
+                    f"artifact and sidecar (tampered derivation)",
+                    code="model_corrupt",
+                )
+            base_published = any(
+                not e.is_derived
+                and e.fingerprint == entry.base_fingerprint
+                for e in self.list_entries()
+            )
+            if not base_published:
+                raise RegistryError(
+                    f"{entry.spec}: base model "
+                    f"fp:{entry.base_fingerprint[:12]} is not published "
+                    f"here; refusing the orphaned derivation",
+                )
+        elif model.calibration is not None:
+            raise RegistryError(
+                f"{entry.spec}: base entry resolves to a calibrated "
+                f"artifact (mislabeled derivation)",
                 code="model_corrupt",
             )
         if self.cache_size:

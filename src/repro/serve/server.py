@@ -200,6 +200,7 @@ class _SessionState:
     durable_seq: int = 0
     since_checkpoint: int = 0
     model_fp: str = ""
+    model_spec: str = ""
     report_log: Deque[Dict] = field(default_factory=deque)
     finalized: bool = False
     suspended: bool = False
@@ -446,6 +447,18 @@ class EddieServer:
                 "lru_misses": self.registry.cache_misses,
                 "cached": len(self.registry.cached_fingerprints),
             },
+            # Which model each open session runs, by full registry spec
+            # -- a derived model shows its +cal: provenance here, so an
+            # operator can see at a glance which sessions serve
+            # calibrated fingerprints.
+            "sessions": [
+                {
+                    "session": sid,
+                    "model": state.model_spec,
+                    "fingerprint": state.model_fp,
+                }
+                for sid, state in sorted(self._states.items())
+            ],
         }
         if OBS.enabled:
             payload["metrics"] = snapshot_module("repro.serve")
@@ -665,12 +678,14 @@ class EddieServer:
             protocol_version=version,
             window=self._parse_window(open_payload),
             model_fp=entry.fingerprint,
+            model_spec=entry.spec,
         )
         ack = {
             "session": session_id,
             "model": {
                 "name": entry.name,
                 "version": entry.version,
+                "spec": entry.spec,
                 "fingerprint": entry.fingerprint,
                 "program": model.program_name,
                 "sample_rate": model.sample_rate,
@@ -844,6 +859,7 @@ class EddieServer:
                 last_seq=durable,
                 durable_seq=durable,
                 model_fp=entry.fingerprint,
+                model_spec=entry.spec,
             )
             state.report_log.extend(log)
             self._trim_report_log(state)
@@ -857,6 +873,7 @@ class EddieServer:
                 "model": {
                     "name": entry.name,
                     "version": entry.version,
+                    "spec": entry.spec,
                     "fingerprint": entry.fingerprint,
                     "program": model.program_name,
                     "sample_rate": model.sample_rate,

@@ -175,10 +175,17 @@ def merge_stats_payloads(payloads: Sequence[Dict]) -> Dict:
     merged: Dict[str, Any] = {"workers": [], "worker_count": len(payloads)}
     registry_sums: Dict[str, int] = {}
     metric_snaps: List[Dict] = []
+    sessions: List[Dict] = []
     draining = False
     for payload in payloads:
         merged["workers"].append(dict(payload))
         draining = draining or bool(payload.get("draining"))
+        for session in payload.get("sessions", ()):
+            if isinstance(session, dict):
+                tagged = dict(session)
+                if payload.get("worker") is not None:
+                    tagged.setdefault("worker", payload["worker"])
+                sessions.append(tagged)
         for key, value in payload.items():
             if key in _SUM_KEYS and isinstance(value, (int, float)):
                 merged[key] = merged.get(key, 0) + value
@@ -193,6 +200,9 @@ def merge_stats_payloads(payloads: Sequence[Dict]) -> Dict:
         merged.setdefault(key, 0)
     merged["draining"] = draining
     merged["registry"] = registry_sums
+    merged["sessions"] = sorted(
+        sessions, key=lambda s: str(s.get("session", ""))
+    )
     if metric_snaps:
         merged["metrics"] = _merge_metric_snapshots(metric_snaps)
     return merged

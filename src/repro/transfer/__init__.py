@@ -1,0 +1,46 @@
+"""repro.transfer: train-once / deploy-many model adaptation.
+
+EDDIE's per-device training is the blocker to fleet scale: every
+(program, arch config, receiver) triple needs its own training runs.
+This package adapts a trained :class:`~repro.core.model.EddieModel` to a
+perturbed device variant from a *short unlabeled capture* of the target
+-- no retraining, no ground-truth timeline (PAPERS.md, the synthetic-
+fingerprinting line of work; DESIGN.md D23).
+
+Two halves:
+
+- :class:`DeviceVariant` -- a perturbation model over the physics knobs
+  the repo already simulates (clock scale/drift, cache geometry,
+  receiver gain, channel coupling/SNR, carrier offset). It both
+  *synthesizes* variant scenarios for evaluation (``variant.apply(
+  scenario)``) and *describes* a real target device for provenance.
+- :func:`calibrate_model` -- the calibration pipeline: optional
+  front-end denoise, spectral line re-alignment (constrained global +
+  per-region frequency warp matching the model's reference peak sets to
+  the target capture's pooled spectral lines), then a per-dim monotone
+  warp of every reference distribution, snapping onto the target's
+  observed line grid so the exact-integer K-S kernel keeps seeing exact
+  value matches.
+
+Derived models carry :class:`~repro.core.model.CalibrationInfo`
+provenance and publish into the registry as ``name@N+cal:FP`` entries
+via :meth:`~repro.serve.ModelRegistry.publish_derived`.
+"""
+
+from repro.core.model import CalibrationInfo
+from repro.transfer.calibrate import (
+    CalibrationReport,
+    CalibrationResult,
+    RegionCalibration,
+    calibrate_model,
+)
+from repro.transfer.variant import DeviceVariant
+
+__all__ = [
+    "CalibrationInfo",
+    "CalibrationReport",
+    "CalibrationResult",
+    "DeviceVariant",
+    "RegionCalibration",
+    "calibrate_model",
+]

@@ -1,0 +1,189 @@
+"""Device-variant perturbation model.
+
+A :class:`DeviceVariant` names the ways a *deployed* device differs from
+the one a model was trained on, using the physics knobs the simulator
+already exposes:
+
+- ``clock_scale`` / ``lo_drift_hz_per_s`` -- the target core runs at a
+  (slightly) different clock, or the receiver's local oscillator drifts.
+  Every frequency in the system derives from the clock (DESIGN.md D4),
+  so a clock-scaled target shifts *all* spectral lines by the same
+  factor relative to the trained references -- the canonical case
+  calibration must fix.
+- ``l1_kib`` / ``l2_kib`` -- different cache geometry changes loop
+  timing (miss patterns), moving individual lines non-uniformly.
+- ``gain`` / ``coupling_scale`` / ``snr_db_delta`` / ``carrier_offset_hz``
+  -- receiver gain, antenna coupling, noise-figure, and tuner offset
+  differences between probes.
+
+The same object serves two roles: *synthesizing* variant capture
+scenarios for evaluation (:meth:`apply`), and *describing* a real target
+device so the description can travel with a derived model's calibration
+provenance (:meth:`describe`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.arch.config import CoreConfig
+from repro.arch.simulator import Simulator
+from repro.em.channel import ChannelModel
+from repro.em.receiver import Receiver
+from repro.em.scenario import EmScenario
+from repro.errors import ConfigurationError
+
+__all__ = ["DeviceVariant"]
+
+
+@dataclass(frozen=True, kw_only=True)
+class DeviceVariant:
+    """A perturbed deployment of a trained device setup.
+
+    All fields default to "identical to the base device"; construct with
+    only the knobs that differ. ``l1_kib``/``l2_kib`` are cache sizes in
+    KiB (``None`` keeps the base geometry).
+    """
+
+    name: str = "variant"
+    clock_scale: float = 1.0
+    lo_drift_hz_per_s: float = 0.0
+    l1_kib: Optional[int] = None
+    l2_kib: Optional[int] = None
+    gain: float = 1.0
+    coupling_scale: float = 1.0
+    snr_db_delta: float = 0.0
+    carrier_offset_hz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.clock_scale > 0:
+            raise ConfigurationError(
+                f"clock_scale must be positive, got {self.clock_scale}"
+            )
+        if not self.gain > 0:
+            raise ConfigurationError(
+                f"gain must be positive, got {self.gain}"
+            )
+        if not self.coupling_scale > 0:
+            raise ConfigurationError(
+                f"coupling_scale must be positive, got {self.coupling_scale}"
+            )
+        for label, kib in (("l1_kib", self.l1_kib), ("l2_kib", self.l2_kib)):
+            if kib is not None and kib < 1:
+                raise ConfigurationError(
+                    f"{label} must be >= 1 KiB, got {kib}"
+                )
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether this variant changes nothing about the base device."""
+        return (
+            self.clock_scale == 1.0
+            and self.lo_drift_hz_per_s == 0.0
+            and self.l1_kib is None
+            and self.l2_kib is None
+            and self.gain == 1.0
+            and self.coupling_scale == 1.0
+            and self.snr_db_delta == 0.0
+            and self.carrier_offset_hz == 0.0
+        )
+
+    @property
+    def is_drifted(self) -> bool:
+        """Whether the variant's spectral lines move vs. the base device.
+
+        True for clock scaling and LO drift -- the perturbations an
+        uncalibrated base model has no hope of tracking because every
+        reference frequency is systematically displaced.
+        """
+        return self.clock_scale != 1.0 or self.lo_drift_hz_per_s != 0.0
+
+    # -- synthesis ----------------------------------------------------------
+
+    def apply_core(self, core: CoreConfig) -> CoreConfig:
+        """The base core as this variant's device implements it."""
+        out = core
+        if self.clock_scale != 1.0:
+            out = out.scaled(out.clock_hz * self.clock_scale)
+        if self.l1_kib is not None or self.l2_kib is not None:
+            mem = out.mem
+            if self.l1_kib is not None:
+                mem = replace(
+                    mem, l1=replace(mem.l1, size=self.l1_kib * 1024)
+                )
+            if self.l2_kib is not None:
+                mem = replace(
+                    mem, l2=replace(mem.l2, size=self.l2_kib * 1024)
+                )
+            out = replace(out, mem=mem)
+        if not self.is_identity:
+            out = replace(out, name=f"{core.name}+{self.name}")
+        return out
+
+    def apply_receiver(self, receiver: Receiver) -> Receiver:
+        """The base receiver with this variant's gain and LO drift."""
+        if self.gain == 1.0 and self.lo_drift_hz_per_s == 0.0:
+            return receiver
+        return replace(
+            receiver,
+            gain=receiver.gain * self.gain,
+            lo_drift_hz_per_s=(
+                receiver.lo_drift_hz_per_s + self.lo_drift_hz_per_s
+            ),
+        )
+
+    def apply_channel(self, channel: ChannelModel) -> ChannelModel:
+        """The base channel with this variant's coupling and SNR."""
+        if self.coupling_scale == 1.0 and self.snr_db_delta == 0.0:
+            return channel
+        return replace(
+            channel,
+            coupling_gain=channel.coupling_gain * self.coupling_scale,
+            snr_db=channel.snr_db + self.snr_db_delta,
+        )
+
+    def apply(self, scenario: EmScenario) -> EmScenario:
+        """Synthesize the variant capture setup from a base scenario.
+
+        Returns a fresh scenario (fresh simulator: injections configured
+        on the base do not carry over) whose core, receiver, channel,
+        and carrier offset are the base's as perturbed by this variant.
+        """
+        simulator = scenario.simulator
+        return EmScenario(
+            simulator=Simulator(
+                simulator.program, self.apply_core(simulator.core)
+            ),
+            channel=self.apply_channel(scenario.channel),
+            receiver=self.apply_receiver(scenario.receiver),
+            mod_depth=scenario.mod_depth,
+            carrier_offset_hz=(
+                scenario.carrier_offset_hz + self.carrier_offset_hz
+            ),
+            faults=scenario.faults,
+        )
+
+    # -- description --------------------------------------------------------
+
+    def describe(self) -> str:
+        """A compact human-readable summary of every non-default knob."""
+        parts = []
+        if self.clock_scale != 1.0:
+            parts.append(f"clock x{self.clock_scale:g}")
+        if self.lo_drift_hz_per_s != 0.0:
+            parts.append(f"drift {self.lo_drift_hz_per_s:g} Hz/s")
+        if self.l1_kib is not None:
+            parts.append(f"L1 {self.l1_kib} KiB")
+        if self.l2_kib is not None:
+            parts.append(f"L2 {self.l2_kib} KiB")
+        if self.gain != 1.0:
+            parts.append(f"gain x{self.gain:g}")
+        if self.coupling_scale != 1.0:
+            parts.append(f"coupling x{self.coupling_scale:g}")
+        if self.snr_db_delta != 0.0:
+            parts.append(f"SNR {self.snr_db_delta:+g} dB")
+        if self.carrier_offset_hz != 0.0:
+            parts.append(f"carrier {self.carrier_offset_hz:+g} Hz")
+        detail = ", ".join(parts) if parts else "identity"
+        return f"{self.name}: {detail}"

@@ -1,0 +1,97 @@
+"""Registry spec grammar: round-trip, canonicalization, typed rejection.
+
+The spec grammar (DESIGN.md D23) is the fleet's addressing surface --
+CLI arguments, OPEN frames from network peers, checkpoint metadata all
+funnel through :func:`repro.serve.registry.parse_spec`. Two properties
+are load-bearing:
+
+- **round-trip**: ``parse_spec(str(parsed)) == parsed`` for every
+  well-formed spec, so specs survive being stored and echoed;
+- **typed rejection**: malformed input raises
+  :class:`~repro.errors.RegistryError` with ``code='bad_spec'`` --
+  never a traceback, never a silent mis-parse.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RegistryError
+from repro.serve.registry import ParsedSpec, parse_spec
+
+names = st.from_regex(r"[A-Za-z0-9][A-Za-z0-9._-]{0,24}", fullmatch=True)
+versions = st.one_of(st.none(), st.integers(min_value=1, max_value=99999))
+hex_digits = "0123456789abcdef"
+cals = st.one_of(
+    st.none(),
+    st.text(alphabet=hex_digits, min_size=6, max_size=12),
+)
+fingerprints = st.text(alphabet=hex_digits, min_size=6, max_size=64)
+
+
+class TestRoundTrip:
+    @given(name=names, version=versions, cal=cals)
+    @settings(max_examples=200, deadline=None)
+    def test_name_specs_round_trip(self, name, version, cal):
+        spec = ParsedSpec(name=name, version=version, cal=cal)
+        assert parse_spec(str(spec)) == spec
+
+    @given(fingerprint=fingerprints)
+    @settings(max_examples=100, deadline=None)
+    def test_fingerprint_specs_round_trip(self, fingerprint):
+        spec = ParsedSpec(fingerprint=fingerprint)
+        assert parse_spec(str(spec)) == spec
+
+    @given(fingerprint=fingerprints)
+    @settings(max_examples=50, deadline=None)
+    def test_hex_case_is_canonicalized(self, fingerprint):
+        assert parse_spec(f"fp:{fingerprint.upper()}") == ParsedSpec(
+            fingerprint=fingerprint
+        )
+
+    def test_version_forms(self):
+        assert parse_spec("m@3") == parse_spec("m@v3")
+        assert parse_spec("m@latest") == parse_spec("m")
+        assert parse_spec("m").version is None
+
+
+class TestRejection:
+    @pytest.mark.parametrize("spec", [
+        "",
+        "fp:",
+        "fp:abc",  # too short
+        "fp:nothex",
+        "fp:abcdef@1",  # version on a content address
+        "@1",
+        "m@",
+        "m@0",
+        "m@-1",
+        "m@1.5",
+        "m@@1",
+        ".m",  # name must start alphanumeric
+        "na me",
+        "m+cal",
+        "m+cal:",
+        "m+cal:abc",  # too short
+        "m+cal:abcdefabcdefa",  # > 12 digits
+        "m+cal:nothexx",
+        "m+gpu:abcdef",  # unknown suffix
+        "m@1+cal:abc def",
+        None,
+        7,
+    ])
+    def test_malformed_specs_are_typed_refusals(self, spec):
+        with pytest.raises(RegistryError) as excinfo:
+            parse_spec(spec)
+        assert excinfo.value.code == "bad_spec"
+
+    @given(st.text(max_size=30))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_text_parses_or_refuses_typed(self, text):
+        # Never anything but a ParsedSpec or a typed bad_spec error.
+        try:
+            parsed = parse_spec(text)
+        except RegistryError as error:
+            assert error.code == "bad_spec"
+        else:
+            assert parse_spec(str(parsed)) == parsed

@@ -282,6 +282,134 @@ class TestFaultPersistence:
         assert loaded.config == model.config
 
 
+class TestCalibrationPersistence:
+    """Derived-model (calibration) blocks in the .npz format.
+
+    The transfer layer (DESIGN.md D23) added an optional ``calibration``
+    section to model files. Pre-transfer files must keep loading as base
+    models, and a present block is tamper-evident: its digest binds the
+    provenance fields to the config fingerprint.
+    """
+
+    def calibrated_model(self):
+        import numpy as np
+
+        from repro.core.model import CalibrationInfo
+
+        base = tiny_model()
+        references = {
+            name: np.where(
+                np.isnan(profile.reference),
+                profile.reference,
+                profile.reference * 1.02,
+            )
+            for name, profile in base.profiles.items()
+        }
+        info = CalibrationInfo(
+            base_fingerprint="abcdef123456",
+            variant="clock 1.02x",
+            freq_scale=1.02,
+            windows=64,
+            snapped_fraction=0.95,
+        )
+        return base.with_calibrated_references(references, info)
+
+    def test_legacy_model_without_calibration_loads(self, tmp_path):
+        """Files written before the transfer layer load as base models."""
+        path = tmp_path / "legacy.npz"
+        save_model(tiny_model(), path)
+        loaded = load_model(path)
+        assert loaded.calibration is None
+        assert not loaded.is_derived
+
+    def test_calibration_block_round_trips(self, tmp_path):
+        model = self.calibrated_model()
+        path = tmp_path / "derived.npz"
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.is_derived
+        assert loaded.calibration == model.calibration
+        np.testing.assert_array_equal(
+            loaded.profiles["loop:A"].reference,
+            model.profiles["loop:A"].reference,
+        )
+
+    def rewrite_meta(self, path, mutate):
+        """Re-save ``path`` with its meta JSON altered by ``mutate``."""
+        import json
+
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+            arrays = {
+                name: data[name] for name in data.files if name != "meta"
+            }
+        mutate(meta)
+        np.savez_compressed(path, meta=json.dumps(meta), **arrays)
+
+    def test_tampered_calibration_provenance_refused(self, tmp_path):
+        """Editing provenance fields after save trips the digest check."""
+        path = tmp_path / "derived.npz"
+        save_model(self.calibrated_model(), path)
+
+        def swap_base(meta):
+            meta["calibration"]["info"]["base_fingerprint"] = "f" * 12
+
+        self.rewrite_meta(path, swap_base)
+        with pytest.raises(ConfigurationError, match="integrity"):
+            load_model(path)
+
+    def test_tampered_calibration_digest_refused(self, tmp_path):
+        path = tmp_path / "derived.npz"
+        save_model(self.calibrated_model(), path)
+
+        def zero_digest(meta):
+            meta["calibration"]["digest"] = "0" * 64
+
+        self.rewrite_meta(path, zero_digest)
+        with pytest.raises(ConfigurationError, match="integrity"):
+            load_model(path)
+
+    def test_malformed_calibration_block_refused(self, tmp_path):
+        path = tmp_path / "derived.npz"
+        save_model(self.calibrated_model(), path)
+        self.rewrite_meta(
+            path, lambda meta: meta.__setitem__("calibration", {"x": 1})
+        )
+        with pytest.raises(ConfigurationError, match="malformed"):
+            load_model(path)
+
+
+class TestCliCalibrate:
+    def test_calibrate_file_mode(self, tmp_path, capsys):
+        model_path = str(tmp_path / "sha.npz")
+        cli_main(["train", "sha", "-o", model_path, "--runs", "3"])
+        prefix = str(tmp_path / "c_")
+        cli_main(["capture", "sha", "-o", prefix, "--runs", "1",
+                  "--seed", "7"])
+        capsys.readouterr()
+        out_path = str(tmp_path / "sha_cal.npz")
+        assert cli_main([
+            "calibrate", model_path, "--capture", f"{prefix}7.npz",
+            "-o", out_path, "--variant", "same device",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "freq scale" in out
+        assert "saved derived model" in out
+        loaded = load_model(out_path)
+        assert loaded.is_derived
+        assert loaded.calibration.variant == "same device"
+
+    def test_calibrate_requires_destination(self, tmp_path, capsys):
+        model_path = str(tmp_path / "sha.npz")
+        cli_main(["train", "sha", "-o", model_path, "--runs", "2"])
+        capsys.readouterr()
+        assert cli_main(
+            ["calibrate", model_path, "--capture", "whatever.npz"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "nowhere to put" in err
+
+
 class TestCliFaults:
     def test_monitor_with_faults_and_gating(self, tmp_path, capsys):
         model_path = str(tmp_path / "sha.npz")

@@ -504,6 +504,35 @@ class TestStatsAggregation:
         # The per-worker payloads ride along unmodified.
         assert [w["worker"] for w in merged["workers"]] == [0, 1]
 
+    def test_merge_concatenates_session_listings(self):
+        """Per-session model specs survive the merge, tagged by worker.
+
+        ``obs stats`` shows which model spec (including ``+cal:``
+        derivations) each live session runs; the fleet merge must keep
+        every entry and record which worker holds it.
+        """
+        a = {
+            "worker": 0, "sessions_open": 1,
+            "sessions": [
+                {"session": "s-beta", "model": "sha@1+cal:abcdef123456",
+                 "fingerprint": "b" * 12},
+            ],
+        }
+        b = {
+            "worker": 1, "sessions_open": 1,
+            "sessions": [
+                {"session": "s-alpha", "model": "sha@1",
+                 "fingerprint": "a" * 12},
+            ],
+        }
+        merged = merge_stats_payloads([a, b])
+        assert merged["sessions"] == [
+            {"session": "s-alpha", "model": "sha@1",
+             "fingerprint": "a" * 12, "worker": 1},
+            {"session": "s-beta", "model": "sha@1+cal:abcdef123456",
+             "fingerprint": "b" * 12, "worker": 0},
+        ]
+
     def test_merge_of_nothing_is_zeroed(self):
         merged = merge_stats_payloads([])
         assert merged["worker_count"] == 0
